@@ -1,0 +1,25 @@
+//! Criterion bench behind Figure 2: cost of simulating one testbed flow
+//! per overhead level. Regenerate the figure itself with
+//! `cargo run -p hermes-bench --bin fig2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hermes_sim::testbed::{normalized_impact, TestbedConfig};
+use std::hint::black_box;
+
+fn overhead_sweep(c: &mut Criterion) {
+    let config = TestbedConfig { packets: 1_000, ..Default::default() };
+    let mut group = c.benchmark_group("fig2_overhead_sweep");
+    for overhead in [28u32, 68, 108] {
+        group.bench_with_input(
+            BenchmarkId::new("512B_packets", overhead),
+            &overhead,
+            |b, &overhead| {
+                b.iter(|| black_box(normalized_impact(&config, 512, black_box(overhead))))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, overhead_sweep);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 2: impact of the per-packet byte overhead on end-to-end FCT and
+//! goodput, normalized to the zero-overhead run.
+//!
+//! Setup per §II-B: five switch hops, packet sizes 512/1024/1500 B,
+//! metadata overhead swept from 28 to 108 bytes.
+
+use hermes_bench::report::{maybe_json, Table};
+use hermes_sim::testbed::{fig2_sweep, TestbedConfig, PACKET_SIZES};
+
+fn main() {
+    let config = TestbedConfig::default();
+    let rows = fig2_sweep(&config);
+    if maybe_json(&rows) {
+        return;
+    }
+
+    println!("Figure 2 — per-packet byte overhead vs. end-to-end performance");
+    println!(
+        "({} hops, {} Gbps links, {} packets per flow, normalized to 0-byte overhead)\n",
+        config.hops, config.rate_gbps, config.packets
+    );
+
+    let mut fct = Table::new(
+        std::iter::once("overhead (B)".to_owned())
+            .chain(PACKET_SIZES.iter().map(|s| format!("FCT x ({s} B pkts)"))),
+    );
+    let mut goodput = Table::new(
+        std::iter::once("overhead (B)".to_owned())
+            .chain(PACKET_SIZES.iter().map(|s| format!("goodput x ({s} B pkts)"))),
+    );
+    for row in &rows {
+        fct.row(
+            std::iter::once(row.overhead_bytes.to_string())
+                .chain(row.per_size.iter().map(|p| format!("{:.3}", p.fct_ratio))),
+        );
+        goodput.row(
+            std::iter::once(row.overhead_bytes.to_string())
+                .chain(row.per_size.iter().map(|p| format!("{:.3}", p.goodput_ratio))),
+        );
+    }
+    println!("(a) normalized flow completion time\n{}", fct.render());
+    println!("(b) normalized goodput\n{}", goodput.render());
+
+    // The §II-B headline numbers for context.
+    let at_68 = rows.iter().find(|r| r.overhead_bytes == 68).expect("sweep covers 68 B");
+    println!(
+        "headline: 68 B of metadata -> +{:.0}% FCT / -{:.0}% goodput on 512 B packets",
+        (at_68.per_size[0].fct_ratio - 1.0) * 100.0,
+        (1.0 - at_68.per_size[0].goodput_ratio) * 100.0
+    );
+}

@@ -1,0 +1,126 @@
+//! Plain-text table and JSON reporting for the experiment binaries.
+
+use serde::Serialize;
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a millisecond reading the way the paper's log-scale bars do:
+/// `"(>cap)"`-style marker for capped values, sub-millisecond precision
+/// for fast runs.
+pub fn fmt_ms(ms: f64, capped: bool) -> String {
+    if capped {
+        return format!(">{:.0e} (capped)", ms);
+    }
+    if ms < 1.0 {
+        format!("{ms:.3}")
+    } else if ms < 1000.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{:.1}k", ms / 1000.0)
+    }
+}
+
+/// Prints a serializable value as pretty JSON when `--json` was passed on
+/// the command line; returns whether it printed.
+pub fn maybe_json<T: Serialize>(value: &T) -> bool {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(value).expect("report types serialize"));
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["hermes", "4"]);
+        t.row(["a-very-long-name", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("hermes"));
+        // Columns aligned: "value" column starts at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(&lines[3][col - 2..col], "  ");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(fmt_ms(0.5, false), "0.500");
+        assert_eq!(fmt_ms(12.34, false), "12.3");
+        assert_eq!(fmt_ms(4200.0, false), "4.2k");
+        assert!(fmt_ms(1e7, true).contains("capped"));
+    }
+}

@@ -1,0 +1,421 @@
+//! Library backing the `hermes` command-line tool.
+//!
+//! Everything testable lives here: argument parsing, topology-spec
+//! parsing, algorithm lookup, and the three commands (`analyze`,
+//! `deploy`, `simulate`). `main.rs` is a thin shell around [`run`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use hermes_backend::config::generate;
+use hermes_backend::simulate::{simulate_plan, PlanFlowConfig};
+use hermes_baselines::{FirstFitByLevel, FirstFitByLevelAndSize, IlpBaseline, IlpConfig, Sonata};
+use hermes_core::{
+    explain, verify, DeploymentAlgorithm, Epsilon, GreedyHeuristic, OptimalSolver,
+    ProgramAnalyzer,
+};
+use hermes_dataplane::lint::lint_composition;
+use hermes_dataplane::parser::parse_programs;
+use hermes_net::topology::{self, WanConfig};
+use hermes_net::Network;
+use std::fmt;
+use std::time::Duration;
+
+/// A CLI usage or execution error.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Parses a topology spec: `linear:N`, `star:N`, `fattree:K`, `wan:I`
+/// (Table III index, 1-based), or `waxman:N,ALPHA,BETA,SEED`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed specs.
+pub fn parse_topology(spec: &str) -> Result<Network, CliError> {
+    let (kind, args) = spec.split_once(':').ok_or_else(|| {
+        err(format!("topology `{spec}` must look like `linear:3` or `wan:10`"))
+    })?;
+    let int = |s: &str| -> Result<usize, CliError> {
+        s.parse().map_err(|_| err(format!("`{s}` is not a number in `{spec}`")))
+    };
+    match kind {
+        "linear" => Ok(topology::linear(int(args)?.max(1), 10.0)),
+        "star" => Ok(topology::star(int(args)?.max(1), 10.0)),
+        "fattree" => {
+            let k = int(args)?;
+            if k < 2 || k % 2 != 0 {
+                return Err(err("fat-tree arity must be even and >= 2"));
+            }
+            Ok(topology::fat_tree(k, 10.0))
+        }
+        "wan" => {
+            let i = int(args)?;
+            if !(1..=10).contains(&i) {
+                return Err(err("wan index must be 1..=10 (Table III)"));
+            }
+            Ok(topology::table3_wan(i - 1))
+        }
+        "waxman" => {
+            let parts: Vec<&str> = args.split(',').collect();
+            if parts.len() != 4 {
+                return Err(err("waxman spec is `waxman:N,ALPHA,BETA,SEED`"));
+            }
+            let n = int(parts[0])?;
+            let alpha: f64 =
+                parts[1].parse().map_err(|_| err("bad alpha"))?;
+            let beta: f64 = parts[2].parse().map_err(|_| err("bad beta"))?;
+            let seed: u64 = parts[3].parse().map_err(|_| err("bad seed"))?;
+            if !(alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0) {
+                return Err(err("alpha/beta must be in (0, 1]"));
+            }
+            Ok(topology::waxman(n.max(1), alpha, beta, seed, &WanConfig::default()))
+        }
+        other => Err(err(format!("unknown topology kind `{other}`"))),
+    }
+}
+
+/// Looks an algorithm up by CLI name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on unknown names.
+pub fn algorithm(name: &str, budget: Duration) -> Result<Box<dyn DeploymentAlgorithm>, CliError> {
+    let config = IlpConfig { time_limit: budget, ..Default::default() };
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "hermes" => Box::new(GreedyHeuristic::new()),
+        "optimal" => Box::new(OptimalSolver::new(budget)),
+        "ffl" => Box::new(FirstFitByLevel),
+        "ffls" => Box::new(FirstFitByLevelAndSize),
+        "ms" | "min-stage" => Box::new(IlpBaseline::min_stage(config)),
+        "sonata" => Box::new(Sonata::new(config)),
+        "speed" => Box::new(IlpBaseline::speed(config)),
+        "mtp" => Box::new(IlpBaseline::mtp(config)),
+        "fp" | "flightplan" => Box::new(IlpBaseline::flightplan(config)),
+        "p4all" => Box::new(IlpBaseline::p4all(config)),
+        other => {
+            return Err(err(format!(
+                "unknown algorithm `{other}` (hermes, optimal, ffl, ffls, ms, sonata, speed, mtp, fp, p4all)"
+            )))
+        }
+    })
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Subcommand: analyze | deploy | simulate.
+    pub command: String,
+    /// Program source files.
+    pub files: Vec<String>,
+    /// Topology spec (deploy/simulate).
+    pub topology: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// ε₁ in microseconds.
+    pub eps1: f64,
+    /// ε₂.
+    pub eps2: usize,
+    /// Solver budget in seconds.
+    pub budget_secs: u64,
+    /// Emit Graphviz dot (analyze).
+    pub dot: bool,
+    /// Emit JSON artifacts (deploy).
+    pub json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            command: String::new(),
+            files: Vec::new(),
+            topology: "linear:3".to_owned(),
+            algorithm: "hermes".to_owned(),
+            eps1: f64::INFINITY,
+            eps2: usize::MAX,
+            budget_secs: 10,
+            dot: false,
+            json: false,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+hermes — network-wide data plane program deployment
+
+USAGE:
+  hermes analyze  <files…> [--dot]
+  hermes deploy   <files…> [--topology SPEC] [--algorithm NAME]
+                  [--eps1 US] [--eps2 N] [--budget SECS] [--json]
+  hermes simulate <files…> [--topology SPEC] [--algorithm NAME]
+
+TOPOLOGY SPECS:  linear:N  star:N  fattree:K  wan:1..10  waxman:N,A,B,SEED
+ALGORITHMS:      hermes optimal ffl ffls ms sonata speed mtp fp p4all
+";
+
+/// Parses raw arguments (without the binary name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with usage guidance on malformed input.
+pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
+    let mut options = Options::default();
+    let mut iter = args.iter().peekable();
+    options.command = iter
+        .next()
+        .ok_or_else(|| err(format!("missing command\n\n{USAGE}")))?
+        .clone();
+    if !matches!(options.command.as_str(), "analyze" | "deploy" | "simulate") {
+        return Err(err(format!("unknown command `{}`\n\n{USAGE}", options.command)));
+    }
+    while let Some(arg) = iter.next() {
+        let value = |iter: &mut std::iter::Peekable<std::slice::Iter<String>>| {
+            iter.next().cloned().ok_or_else(|| err(format!("flag `{arg}` needs a value")))
+        };
+        match arg.as_str() {
+            "--topology" => options.topology = value(&mut iter)?,
+            "--algorithm" => options.algorithm = value(&mut iter)?,
+            "--eps1" => {
+                options.eps1 =
+                    value(&mut iter)?.parse().map_err(|_| err("--eps1 needs a number"))?
+            }
+            "--eps2" => {
+                options.eps2 =
+                    value(&mut iter)?.parse().map_err(|_| err("--eps2 needs an integer"))?
+            }
+            "--budget" => {
+                options.budget_secs =
+                    value(&mut iter)?.parse().map_err(|_| err("--budget needs seconds"))?
+            }
+            "--dot" => options.dot = true,
+            "--json" => options.json = true,
+            flag if flag.starts_with("--") => {
+                return Err(err(format!("unknown flag `{flag}`\n\n{USAGE}")))
+            }
+            file => options.files.push(file.to_owned()),
+        }
+    }
+    if options.files.is_empty() {
+        return Err(err(format!("no program files given\n\n{USAGE}")));
+    }
+    Ok(options)
+}
+
+fn load_programs(options: &Options) -> Result<Vec<hermes_dataplane::Program>, CliError> {
+    let mut sources = String::new();
+    for file in &options.files {
+        let text = std::fs::read_to_string(file)
+            .map_err(|e| err(format!("cannot read `{file}`: {e}")))?;
+        sources.push_str(&text);
+        sources.push('\n');
+    }
+    parse_programs(&sources).map_err(|e| err(format!("parse error: {e}")))
+}
+
+/// Executes the parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on any failure (I/O, parse, deployment).
+pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| err(format!("write failed: {e}"));
+    let programs = load_programs(options)?;
+    let tdg = ProgramAnalyzer::new().analyze(&programs);
+
+    match options.command.as_str() {
+        "analyze" => {
+            let stats = hermes_tdg::stats(&tdg);
+            writeln!(out, "programs: {}", programs.len()).map_err(io)?;
+            writeln!(
+                out,
+                "merged TDG: {} MATs, {} dependencies, {:.2} stage-units, critical path {} MATs",
+                stats.nodes, stats.edges, stats.total_resource, stats.critical_path_len
+            )
+            .map_err(io)?;
+            for finding in lint_composition(&programs) {
+                writeln!(out, "lint: {finding}").map_err(io)?;
+            }
+            if options.dot {
+                writeln!(out, "{}", hermes_tdg::to_dot(&tdg)).map_err(io)?;
+            }
+        }
+        "deploy" => {
+            let net = parse_topology(&options.topology)?;
+            let eps = Epsilon::new(options.eps1, options.eps2);
+            let algo = algorithm(&options.algorithm, Duration::from_secs(options.budget_secs))?;
+            let plan = algo
+                .deploy(&tdg, &net, &eps)
+                .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
+            let violations = verify(&tdg, &net, &plan, &eps);
+            if !violations.is_empty() {
+                return Err(err(format!("plan failed verification: {violations:?}")));
+            }
+            if options.json {
+                let artifacts = generate(&tdg, &net, &plan);
+                writeln!(
+                    out,
+                    "{}",
+                    serde_json::to_string_pretty(&artifacts)
+                        .map_err(|e| err(format!("serialize: {e}")))?
+                )
+                .map_err(io)?;
+            } else {
+                write!(out, "{}", explain(&tdg, &net, &plan)).map_err(io)?;
+            }
+        }
+        "simulate" => {
+            let net = parse_topology(&options.topology)?;
+            let eps = Epsilon::new(options.eps1, options.eps2);
+            let algo = algorithm(&options.algorithm, Duration::from_secs(options.budget_secs))?;
+            let plan = algo
+                .deploy(&tdg, &net, &eps)
+                .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
+            let artifacts = generate(&tdg, &net, &plan);
+            let result = simulate_plan(&tdg, &net, &plan, &artifacts, &PlanFlowConfig::default())
+                .ok_or_else(|| err("plan could not be simulated (empty or unroutable)"))?;
+            writeln!(out, "overhead: {} B per packet", result.overhead_bytes).map_err(io)?;
+            writeln!(out, "switches traversed: {}", result.traversed.len()).map_err(io)?;
+            writeln!(out, "loaded:   {}", result.loaded).map_err(io)?;
+            writeln!(out, "baseline: {}", result.baseline).map_err(io)?;
+            writeln!(
+                out,
+                "impact: {:.3}x FCT, {:.3}x goodput",
+                result.fct_ratio(),
+                result.goodput_ratio()
+            )
+            .map_err(io)?;
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_deploy_flags() {
+        let options = parse_args(&args(&[
+            "deploy", "a.p4dsl", "--topology", "wan:3", "--algorithm", "ffl", "--eps2", "4",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(options.command, "deploy");
+        assert_eq!(options.files, vec!["a.p4dsl"]);
+        assert_eq!(options.topology, "wan:3");
+        assert_eq!(options.algorithm, "ffl");
+        assert_eq!(options.eps2, 4);
+        assert!(options.json);
+        assert!(options.eps1.is_infinite());
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse_args(&args(&["frobnicate", "x"])).is_err());
+        assert!(parse_args(&args(&["deploy", "x", "--wat"])).is_err());
+        assert!(parse_args(&args(&["deploy"])).is_err());
+        assert!(parse_args(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn topology_specs() {
+        assert_eq!(parse_topology("linear:3").unwrap().switch_count(), 3);
+        assert_eq!(parse_topology("star:4").unwrap().switch_count(), 5);
+        assert_eq!(parse_topology("fattree:4").unwrap().switch_count(), 20);
+        assert_eq!(parse_topology("wan:1").unwrap().switch_count(), 79);
+        assert_eq!(parse_topology("waxman:20,0.5,0.4,7").unwrap().switch_count(), 20);
+        for bad in ["linear", "wan:11", "fattree:3", "waxman:5,2.0,0.4,7", "blob:2"] {
+            assert!(parse_topology(bad).is_err(), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn algorithm_lookup() {
+        for name in ["hermes", "optimal", "ffl", "ffls", "ms", "sonata", "speed", "mtp", "fp", "p4all"] {
+            assert!(algorithm(name, Duration::from_secs(1)).is_ok(), "{name}");
+        }
+        assert!(algorithm("gurobi", Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn end_to_end_deploy_over_a_temp_file() {
+        let dir = std::env::temp_dir().join("hermes-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("counter.p4dsl");
+        std::fs::write(
+            &file,
+            r#"
+            program counter {
+                header ipv4.src: 4;
+                metadata meta.idx: 4;
+                table hash { actions { go { meta.idx = hash(ipv4.src); } } resource 0.2; }
+                table count {
+                    key { meta.idx: exact; }
+                    actions { bump { register(meta.idx); } }
+                    resource 0.4;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let options = parse_args(&args(&[
+            "deploy",
+            file.to_str().unwrap(),
+            "--topology",
+            "linear:2",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("deployment: A_max="), "{text}");
+
+        // analyze over the same file reports the TDG.
+        let options =
+            parse_args(&args(&["analyze", file.to_str().unwrap(), "--dot"])).unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("merged TDG: 2 MATs"), "{text}");
+        assert!(text.contains("digraph"), "{text}");
+
+        // simulate reports the end-to-end impact.
+        let options = parse_args(&args(&[
+            "simulate",
+            file.to_str().unwrap(),
+            "--topology",
+            "linear:2",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("impact:"), "{text}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let options =
+            parse_args(&args(&["analyze", "/nonexistent/path.p4dsl"])).unwrap();
+        let mut out = Vec::new();
+        let e = run(&options, &mut out).unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
+    }
+}

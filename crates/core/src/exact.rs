@@ -1,0 +1,529 @@
+//! The "Optimal" solver: exact minimization of `A_max`.
+//!
+//! Plays the role of the paper's Gurobi-based Hermes variant. Rather than
+//! feeding the full stage-level MILP to the LP-based solver (see
+//! [`crate::milp_formulation`] for that encoding), this solver branches
+//! directly over MAT → switch assignments in topological order with
+//! aggressive incumbent pruning:
+//!
+//! - the running `A_max` is monotone in the partial assignment, so any
+//!   partial plan at or above the incumbent is cut;
+//! - per-switch resource totals are tracked incrementally;
+//! - the switch-level dependency graph must stay acyclic (packets never
+//!   recirculate through a switch), checked incrementally;
+//! - identical switches under loose ε-bounds are interchangeable, so the
+//!   search only ever opens one fresh switch at a time (symmetry breaking);
+//! - the greedy heuristic provides the initial incumbent.
+//!
+//! A wall-clock limit bounds the worst case; the outcome reports whether
+//! optimality was proven, which the execution-time experiment (Exp#3) uses
+//! to flag timed-out ILP-style runs.
+
+use crate::deployment::{
+    DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute,
+};
+use crate::heuristic::GreedyHeuristic;
+use crate::stage_assign::assign_stages;
+use hermes_net::{shortest_path, Network, SwitchId};
+use hermes_tdg::{NodeId, Tdg};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// Result of an exact solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimalOutcome {
+    /// The best plan found.
+    pub plan: DeploymentPlan,
+    /// Its `A_max` in bytes.
+    pub objective: u64,
+    /// `true` iff the search space was exhausted before the time limit.
+    pub proven_optimal: bool,
+    /// Branch-and-bound nodes visited.
+    pub nodes_explored: u64,
+}
+
+/// Exact `A_max` minimizer with a time limit.
+#[derive(Debug, Clone)]
+pub struct OptimalSolver {
+    /// Wall-clock budget; on expiry the best incumbent is returned with
+    /// `proven_optimal == false`.
+    pub time_limit: Duration,
+}
+
+impl Default for OptimalSolver {
+    fn default() -> Self {
+        OptimalSolver { time_limit: Duration::from_secs(30) }
+    }
+}
+
+impl OptimalSolver {
+    /// Solver with the given time budget.
+    pub fn new(time_limit: Duration) -> Self {
+        OptimalSolver { time_limit }
+    }
+
+    /// Runs the exact search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] when not even the heuristic incumbent nor
+    /// any exhaustive assignment is feasible.
+    pub fn solve(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<OptimalOutcome, DeployError> {
+        let candidates = net.programmable_switches();
+        if candidates.is_empty() {
+            return Err(DeployError::NoProgrammableSwitch);
+        }
+        if tdg.node_count() == 0 {
+            return Ok(OptimalOutcome {
+                plan: DeploymentPlan::new(),
+                objective: 0,
+                proven_optimal: true,
+                nodes_explored: 0,
+            });
+        }
+
+        // Seed with the heuristic.
+        let seed = GreedyHeuristic::new().deploy(tdg, net, eps).ok();
+        let mut best_plan = seed.clone();
+        let mut best: u64 = seed
+            .as_ref()
+            .map(|p| p.max_inter_switch_bytes(tdg))
+            .unwrap_or(u64::MAX);
+        // A zero-overhead incumbent is already optimal.
+        if best == 0 {
+            return Ok(OptimalOutcome {
+                plan: best_plan.expect("zero overhead implies a plan"),
+                objective: 0,
+                proven_optimal: true,
+                nodes_explored: 0,
+            });
+        }
+
+        let order = tdg.topo_order().expect("TDGs are DAGs");
+        let q = candidates.len();
+        let symmetric = eps.max_latency_us.is_infinite()
+            && candidates.windows(2).all(|w| {
+                let (a, b) = (net.switch(w[0]), net.switch(w[1]));
+                a.stages == b.stages && (a.stage_capacity - b.stage_capacity).abs() < 1e-12
+            });
+
+        let mut search = Search {
+            tdg,
+            net,
+            eps,
+            order: &order,
+            candidates: &candidates,
+            symmetric,
+            assign: vec![usize::MAX; tdg.node_count()],
+            used_capacity: vec![0.0; q],
+            pair_bytes: vec![0u64; q * q],
+            order_edges: vec![0u32; q * q],
+            current_max: 0,
+            best,
+            best_assign: None,
+            explored: 0,
+            deadline: Instant::now() + self.time_limit,
+            timed_out: false,
+        };
+        search.dfs(0);
+        best = search.best;
+        let timed_out = search.timed_out;
+        let explored = search.explored;
+
+        if let Some(assign) = search.best_assign {
+            if let Some(plan) = materialize(tdg, net, &candidates, &assign) {
+                best_plan = Some(plan);
+            }
+        }
+        match best_plan {
+            Some(plan) => Ok(OptimalOutcome {
+                objective: plan.max_inter_switch_bytes(tdg).min(best),
+                plan,
+                proven_optimal: !timed_out,
+                nodes_explored: explored,
+            }),
+            None => Err(DeployError::NoFeasiblePlacement {
+                reason: "exhausted assignment search without a feasible plan".to_owned(),
+            }),
+        }
+    }
+}
+
+impl DeploymentAlgorithm for OptimalSolver {
+    fn name(&self) -> &str {
+        "Optimal"
+    }
+
+    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+        self.solve(tdg, net, eps).map(|o| o.plan)
+    }
+
+    fn is_exhaustive(&self) -> bool {
+        true
+    }
+}
+
+struct Search<'a> {
+    tdg: &'a Tdg,
+    net: &'a Network,
+    eps: &'a Epsilon,
+    order: &'a [NodeId],
+    candidates: &'a [SwitchId],
+    symmetric: bool,
+    assign: Vec<usize>,
+    used_capacity: Vec<f64>,
+    pair_bytes: Vec<u64>,
+    order_edges: Vec<u32>,
+    current_max: u64,
+    best: u64,
+    best_assign: Option<Vec<usize>>,
+    explored: u64,
+    deadline: Instant,
+    timed_out: bool,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, depth: usize) {
+        if self.timed_out {
+            return;
+        }
+        self.explored += 1;
+        if Instant::now() >= self.deadline {
+            self.timed_out = true;
+            return;
+        }
+        if self.current_max >= self.best {
+            return; // the running A_max only ever grows
+        }
+        if depth == self.order.len() {
+            self.accept_leaf();
+            return;
+        }
+        let node = self.order[depth];
+        let q = self.candidates.len();
+        let resource = self.tdg.node(node).mat.resource();
+
+        // Symmetry breaking: only the first unused switch may be opened.
+        let used_switches: usize = if self.symmetric {
+            self.assign[..]
+                .iter()
+                .filter(|&&a| a != usize::MAX)
+                .collect::<BTreeSet<_>>()
+                .len()
+        } else {
+            0
+        };
+
+        for c in 0..q {
+            if self.symmetric && c > used_switches {
+                break;
+            }
+            let sw = self.net.switch(self.candidates[c]);
+            if self.used_capacity[c] + resource > sw.total_capacity() + 1e-9 {
+                continue;
+            }
+            // ε₂: opening a new switch must stay within the bound.
+            let opens_new = self.used_capacity[c] == 0.0;
+            if opens_new {
+                let occupied = self.used_capacity.iter().filter(|&&u| u > 0.0).count();
+                if occupied + 1 > self.eps.max_switches {
+                    continue;
+                }
+            }
+
+            // Collect the cross-switch deltas this choice induces.
+            let mut delta: Vec<(usize, u64)> = Vec::new();
+            for e in self.tdg.in_edges(node) {
+                let p = self.assign[e.from.index()];
+                if p == usize::MAX || p == c {
+                    continue;
+                }
+                delta.push((p * q + c, u64::from(e.bytes)));
+            }
+
+            // Apply order edges, then require the switch DAG to stay
+            // acyclic (no packet recirculation through a switch).
+            for &(key, _) in &delta {
+                self.order_edges[key] += 1;
+            }
+            if !self.switch_dag_acyclic() {
+                for &(key, _) in &delta {
+                    self.order_edges[key] -= 1;
+                }
+                continue;
+            }
+
+            let old_max = self.current_max;
+            for &(key, bytes) in &delta {
+                self.pair_bytes[key] += bytes;
+                self.current_max = self.current_max.max(self.pair_bytes[key]);
+            }
+            self.used_capacity[c] += resource;
+            self.assign[node.index()] = c;
+
+            self.dfs(depth + 1);
+
+            // Undo.
+            self.assign[node.index()] = usize::MAX;
+            self.used_capacity[c] -= resource;
+            for &(key, bytes) in &delta {
+                self.pair_bytes[key] -= bytes;
+                self.order_edges[key] -= 1;
+            }
+            self.current_max = old_max;
+            if self.timed_out {
+                return;
+            }
+        }
+    }
+
+    /// Kahn acyclicity check over the switch-level order edges. `q` is
+    /// tiny (bounded by the programmable switch count), so O(q²) is fine.
+    fn switch_dag_acyclic(&self) -> bool {
+        let q = self.candidates.len();
+        let mut indegree = vec![0u32; q];
+        for u in 0..q {
+            for v in 0..q {
+                if self.order_edges[u * q + v] > 0 {
+                    indegree[v] += 1;
+                }
+            }
+        }
+        let mut stack: Vec<usize> = (0..q).filter(|&v| indegree[v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for v in 0..q {
+                if self.order_edges[u * q + v] > 0 {
+                    indegree[v] -= 1;
+                    if indegree[v] == 0 {
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        seen == q
+    }
+
+    fn accept_leaf(&mut self) {
+        // Full assignment below the incumbent: validate stages + routes.
+        let Some(plan) = materialize(self.tdg, self.net, self.candidates, &self.assign) else {
+            return;
+        };
+        if plan.end_to_end_latency_us() > self.eps.max_latency_us {
+            return;
+        }
+        let objective = plan.max_inter_switch_bytes(self.tdg);
+        if objective < self.best {
+            self.best = objective;
+            self.best_assign = Some(self.assign.clone());
+        }
+    }
+}
+
+/// Builds a full plan (stage placements + routes) from a switch-level
+/// assignment: `assign[node] = index into candidates` (`usize::MAX` =
+/// unplaced). Returns `None` when stage assignment or routing fails.
+///
+/// Shared by the exact solver, the MILP front end, and the baseline
+/// frameworks — every algorithm in the workspace goes through the same
+/// stage assigner and router, so plans differ only in their placement
+/// decisions.
+pub fn materialize(
+    tdg: &Tdg,
+    net: &Network,
+    candidates: &[SwitchId],
+    assign: &[usize],
+) -> Option<DeploymentPlan> {
+    let mut plan = DeploymentPlan::new();
+    for (c, &switch) in candidates.iter().enumerate() {
+        let nodes: BTreeSet<NodeId> = tdg
+            .node_ids()
+            .filter(|id| assign[id.index()] == c)
+            .collect();
+        if nodes.is_empty() {
+            continue;
+        }
+        let sw = net.switch(switch);
+        let placements = assign_stages(tdg, &nodes, switch, sw.stages, sw.stage_capacity).ok()?;
+        for p in placements {
+            plan.place(p);
+        }
+    }
+    // One route per dependent cross-switch pair.
+    let mut pairs: BTreeSet<(SwitchId, SwitchId)> = BTreeSet::new();
+    for e in tdg.edges() {
+        let (u, v) = (assign[e.from.index()], assign[e.to.index()]);
+        if u == usize::MAX || v == usize::MAX || u == v {
+            continue;
+        }
+        pairs.insert((candidates[u], candidates[v]));
+    }
+    for (u, v) in pairs {
+        let path = shortest_path(net, u, v)?;
+        plan.route(PlanRoute { from: u, to: v, path });
+    }
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::fields::Field;
+    use hermes_dataplane::mat::{Mat, MatchKind};
+    use hermes_dataplane::program::Program;
+    use hermes_net::Switch;
+    use hermes_tdg::AnalysisMode;
+
+    fn chain_tdg(bytes: &[u32], resource: f64) -> Tdg {
+        let n = bytes.len() + 1;
+        let mut b = Program::builder("p");
+        for i in 0..n {
+            let mut mat = Mat::builder(format!("t{i}")).resource(resource);
+            if i > 0 {
+                mat = mat
+                    .match_field(Field::metadata(format!("m{}", i - 1), bytes[i - 1]), MatchKind::Exact);
+            }
+            let writes = if i < bytes.len() {
+                vec![Field::metadata(format!("m{i}"), bytes[i])]
+            } else {
+                vec![]
+            };
+            mat = mat.action(Action::writing("w", writes));
+            b = b.table(mat.build().unwrap());
+        }
+        Tdg::from_program(&b.build().unwrap(), AnalysisMode::Intersection)
+    }
+
+    fn tiny_switches(n: usize, stages: usize, cap: f64) -> Network {
+        let mut net = Network::new();
+        let ids: Vec<SwitchId> = (0..n)
+            .map(|i| {
+                net.add_switch(Switch {
+                    name: format!("s{i}"),
+                    programmable: true,
+                    stages,
+                    stage_capacity: cap,
+                    latency_us: 1.0,
+                })
+            })
+            .collect();
+        for w in ids.windows(2) {
+            net.add_link(w[0], w[1], 10.0).unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn finds_figure1_optimum() {
+        // a -1-> b -4-> c, two switches of two MATs each: optimum cuts the
+        // 1-byte edge.
+        let tdg = chain_tdg(&[1, 4], 0.5);
+        let net = tiny_switches(2, 2, 0.5);
+        let out = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose()).unwrap();
+        assert!(out.proven_optimal);
+        assert_eq!(out.objective, 1);
+        assert_eq!(out.plan.max_inter_switch_bytes(&tdg), 1);
+    }
+
+    #[test]
+    fn zero_overhead_when_everything_fits() {
+        let tdg = chain_tdg(&[8, 8], 0.2);
+        let net = tiny_switches(2, 12, 1.0);
+        let out = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose()).unwrap();
+        assert_eq!(out.objective, 0);
+        assert!(out.proven_optimal);
+    }
+
+    #[test]
+    fn optimal_never_worse_than_heuristic() {
+        // Non-chain TDG where a greedy prefix split can be suboptimal.
+        let tdg = {
+            let m = |n: &str, s: u32| Field::metadata(format!("x.{n}"), s);
+            let a = Mat::builder("a")
+                .action(Action::writing("w", [m("ab", 9), m("ac", 2)]))
+                .resource(0.5)
+                .build()
+                .unwrap();
+            let b = Mat::builder("b")
+                .match_field(m("ab", 9), MatchKind::Exact)
+                .action(Action::writing("w", [m("bd", 3)]))
+                .resource(0.5)
+                .build()
+                .unwrap();
+            let c = Mat::builder("c")
+                .match_field(m("ac", 2), MatchKind::Exact)
+                .action(Action::writing("w", [m("cd", 7)]))
+                .resource(0.5)
+                .build()
+                .unwrap();
+            let d = Mat::builder("d")
+                .match_field(m("bd", 3), MatchKind::Exact)
+                .match_field(m("cd", 7), MatchKind::Exact)
+                .action(Action::new("noop"))
+                .resource(0.5)
+                .build()
+                .unwrap();
+            let p = Program::builder("p").table(a).table(b).table(c).table(d).build().unwrap();
+            Tdg::from_program(&p, AnalysisMode::Intersection)
+        };
+        let net = tiny_switches(3, 2, 0.5);
+        let eps = Epsilon::loose();
+        let heuristic =
+            GreedyHeuristic::new().deploy(&tdg, &net, &eps).unwrap().max_inter_switch_bytes(&tdg);
+        let out = OptimalSolver::default().solve(&tdg, &net, &eps).unwrap();
+        assert!(out.proven_optimal);
+        assert!(out.objective <= heuristic, "optimal {} > heuristic {heuristic}", out.objective);
+    }
+
+    #[test]
+    fn plan_verifies_clean() {
+        let tdg = chain_tdg(&[1, 4, 2, 8], 0.5);
+        let net = tiny_switches(3, 2, 0.5);
+        let eps = Epsilon::loose();
+        let out = OptimalSolver::default().solve(&tdg, &net, &eps).unwrap();
+        let violations = crate::verify::verify(&tdg, &net, &out.plan, &eps);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn respects_epsilon2() {
+        let tdg = chain_tdg(&[1, 1, 1], 0.5);
+        let net = tiny_switches(3, 2, 0.5);
+        let eps = Epsilon::new(f64::INFINITY, 2);
+        let out = OptimalSolver::default().solve(&tdg, &net, &eps).unwrap();
+        assert!(out.plan.occupied_switch_count() <= 2);
+    }
+
+    #[test]
+    fn time_limit_reports_unproven() {
+        // A larger instance with a 0 ms budget still returns the heuristic
+        // incumbent but cannot prove optimality. (Plenty of switches: the
+        // greedy splitter may oversegment a monotone chain.)
+        let tdg = chain_tdg(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11], 0.5);
+        let net = tiny_switches(12, 2, 0.5);
+        let solver = OptimalSolver::new(Duration::from_millis(0));
+        let out = solver.solve(&tdg, &net, &Epsilon::loose()).unwrap();
+        assert!(!out.proven_optimal);
+        assert!(out.plan.placements().len() > 0);
+    }
+
+    #[test]
+    fn no_programmable_switch_is_an_error() {
+        let mut net = Network::new();
+        net.add_switch(Switch::legacy("l"));
+        let tdg = chain_tdg(&[1], 0.5);
+        let err = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose()).unwrap_err();
+        assert_eq!(err, DeployError::NoProgrammableSwitch);
+    }
+
+    #[test]
+    fn empty_tdg_trivial() {
+        let tdg = Tdg::new(AnalysisMode::PaperLiteral);
+        let net = tiny_switches(2, 2, 0.5);
+        let out = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose()).unwrap();
+        assert_eq!(out.objective, 0);
+        assert!(out.proven_optimal);
+    }
+}

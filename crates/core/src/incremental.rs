@@ -1,0 +1,296 @@
+//! Incremental redeployment: admit new programs without disturbing what
+//! already runs.
+//!
+//! The paper deploys a fixed program set offline. Operationally,
+//! administrators add measurement tasks one at a time, and reshuffling
+//! every switch for each addition would churn rules network-wide. This
+//! extension keeps every MAT of the existing deployment where it is
+//! (matched by qualified name *and* structural signature), places only
+//! the new MATs into residual capacity — respecting dependencies, stage
+//! feasibility, and the established switch visit order — and falls back
+//! to a full redeploy only when the pinned placement is infeasible.
+
+use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute};
+use crate::heuristic::{placement_order, GreedyHeuristic};
+use crate::stage_assign::{assign_stages, stage_feasible};
+use hermes_net::{nearest_programmable, shortest_path, Network, SwitchId};
+use hermes_tdg::{NodeId, Tdg};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of an incremental redeploy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalOutcome {
+    /// The new plan covering the whole (new) merged TDG.
+    pub plan: DeploymentPlan,
+    /// MATs that kept their switch from the previous deployment.
+    pub reused: usize,
+    /// MATs that are new or had to move (0 moved unless full fallback).
+    pub placed: usize,
+    /// `true` when pinning failed and a full redeploy was performed.
+    pub full_redeploy: bool,
+}
+
+/// Incremental deployer wrapping the greedy heuristic.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalDeployer {
+    fallback: GreedyHeuristic,
+}
+
+impl IncrementalDeployer {
+    /// Creates a deployer with the default (paper) heuristic as fallback.
+    pub fn new() -> Self {
+        IncrementalDeployer::default()
+    }
+
+    /// Redeploys `new_tdg` given the previous `(old_tdg, old_plan)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] when neither pinned placement nor a full
+    /// redeploy is feasible.
+    pub fn redeploy(
+        &self,
+        old_tdg: &Tdg,
+        old_plan: &DeploymentPlan,
+        new_tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<IncrementalOutcome, DeployError> {
+        match self.try_pinned(old_tdg, old_plan, new_tdg, net, eps) {
+            Some(outcome) => Ok(outcome),
+            None => {
+                let plan = self.fallback.deploy(new_tdg, net, eps)?;
+                Ok(IncrementalOutcome {
+                    placed: new_tdg.node_count(),
+                    reused: 0,
+                    full_redeploy: true,
+                    plan,
+                })
+            }
+        }
+    }
+
+    fn try_pinned(
+        &self,
+        old_tdg: &Tdg,
+        old_plan: &DeploymentPlan,
+        new_tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Option<IncrementalOutcome> {
+        // Identify reusable nodes: same qualified name and signature.
+        let old_by_name: BTreeMap<&str, NodeId> =
+            old_tdg.node_ids().map(|id| (old_tdg.node(id).name.as_str(), id)).collect();
+        let mut pinned: BTreeMap<NodeId, SwitchId> = BTreeMap::new();
+        for id in new_tdg.node_ids() {
+            let node = new_tdg.node(id);
+            if let Some(&old_id) = old_by_name.get(node.name.as_str()) {
+                if old_tdg.node(old_id).mat.signature() == node.mat.signature() {
+                    if let Some(switch) = old_plan.switch_of(old_id) {
+                        pinned.insert(id, switch);
+                    }
+                }
+            }
+        }
+
+        // Establish a switch rank from the old plan's visit order; new
+        // switches are appended after it (nearest unused programmable).
+        let mut order: Vec<SwitchId> = old_visit_order(old_tdg, old_plan)?;
+        let anchor = *order.first()?;
+        for (s, _) in nearest_programmable(net, anchor, net.switch_count(), eps.max_latency_us) {
+            if !order.contains(&s) {
+                order.push(s);
+            }
+        }
+        let rank: BTreeMap<SwitchId, usize> =
+            order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+        // Pinned nodes on switches outside the order (shouldn't happen)
+        // abort the pinned attempt.
+        if pinned.values().any(|s| !rank.contains_key(s)) {
+            return None;
+        }
+
+        // Assign the remaining nodes in clustered topological order.
+        let mut assignment: BTreeMap<NodeId, SwitchId> = pinned.clone();
+        let mut per_switch: BTreeMap<SwitchId, BTreeSet<NodeId>> = BTreeMap::new();
+        for (&id, &s) in &assignment {
+            per_switch.entry(s).or_default().insert(id);
+        }
+        for id in placement_order(new_tdg) {
+            if assignment.contains_key(&id) {
+                continue;
+            }
+            // Dependencies force a minimum rank.
+            let min_rank = new_tdg
+                .in_edges(id)
+                .filter_map(|e| assignment.get(&e.from))
+                .map(|s| rank[s])
+                .max()
+                .unwrap_or(0);
+            let slot = order[min_rank..].iter().copied().find(|&s| {
+                let sw = net.switch(s);
+                let mut attempt = per_switch.get(&s).cloned().unwrap_or_default();
+                attempt.insert(id);
+                stage_feasible(new_tdg, &attempt, sw.stages, sw.stage_capacity)
+            })?;
+            assignment.insert(id, slot);
+            per_switch.entry(slot).or_default().insert(id);
+        }
+
+        // Materialize: stage assignment per switch, then routes per
+        // dependent pair.
+        let mut plan = DeploymentPlan::new();
+        for (&s, nodes) in &per_switch {
+            let sw = net.switch(s);
+            let placements = assign_stages(new_tdg, nodes, s, sw.stages, sw.stage_capacity).ok()?;
+            for p in placements {
+                plan.place(p);
+            }
+        }
+        let mut pairs: BTreeSet<(SwitchId, SwitchId)> = BTreeSet::new();
+        for e in new_tdg.edges() {
+            let (u, v) = (assignment.get(&e.from)?, assignment.get(&e.to)?);
+            if u != v {
+                // Dependencies must respect the established visit order,
+                // or the pinned deployment would need recirculation.
+                if rank[u] > rank[v] {
+                    return None;
+                }
+                pairs.insert((*u, *v));
+            }
+        }
+        let mut latency = 0.0;
+        for (u, v) in pairs {
+            let path = shortest_path(net, u, v)?;
+            latency += path.latency_us;
+            plan.route(PlanRoute { from: u, to: v, path });
+        }
+        if latency > eps.max_latency_us || plan.occupied_switch_count() > eps.max_switches {
+            return None;
+        }
+        let reused = pinned.len();
+        Some(IncrementalOutcome {
+            placed: new_tdg.node_count() - reused,
+            reused,
+            full_redeploy: false,
+            plan,
+        })
+    }
+}
+
+/// The old plan's switch visit order (topological over its cross-switch
+/// dependencies; ties broken by switch index).
+fn old_visit_order(tdg: &Tdg, plan: &DeploymentPlan) -> Option<Vec<SwitchId>> {
+    let occupied: Vec<SwitchId> = plan.occupied_switches().into_iter().collect();
+    let index: BTreeMap<SwitchId, usize> =
+        occupied.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let n = occupied.len();
+    let mut indegree = vec![0usize; n];
+    let mut adj: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for e in tdg.edges() {
+        let (Some(u), Some(v)) = (plan.switch_of(e.from), plan.switch_of(e.to)) else {
+            continue;
+        };
+        if u != v && adj[index[&u]].insert(index[&v]) {
+            indegree[index[&v]] += 1;
+        }
+    }
+    let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        order.push(occupied[i]);
+        for &j in adj[i].clone().iter() {
+            indegree[j] -= 1;
+            if indegree[j] == 0 {
+                ready.insert(j);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::ProgramAnalyzer;
+    use crate::verify::verify;
+    use hermes_dataplane::library;
+    use hermes_net::topology;
+
+    fn deploy_first_n(n: usize) -> (Tdg, DeploymentPlan, Network) {
+        let programs: Vec<_> = library::real_programs().into_iter().take(n).collect();
+        let tdg = ProgramAnalyzer::new().analyze(&programs);
+        let net = topology::linear(4, 10.0);
+        let plan = GreedyHeuristic::new().deploy(&tdg, &net, &Epsilon::loose()).unwrap();
+        (tdg, plan, net)
+    }
+
+    #[test]
+    fn adding_a_program_reuses_existing_placements() {
+        let (old_tdg, old_plan, net) = deploy_first_n(4);
+        let new_tdg = ProgramAnalyzer::new()
+            .analyze(&library::real_programs().into_iter().take(5).collect::<Vec<_>>());
+        let eps = Epsilon::loose();
+        let out = IncrementalDeployer::new()
+            .redeploy(&old_tdg, &old_plan, &new_tdg, &net, &eps)
+            .unwrap();
+        assert!(verify(&new_tdg, &net, &out.plan, &eps).is_empty());
+        if !out.full_redeploy {
+            assert_eq!(out.reused, old_tdg.node_count(), "every old MAT stays put");
+            // Reused MATs really kept their switches.
+            for old_id in old_tdg.node_ids() {
+                let name = &old_tdg.node(old_id).name;
+                let new_id = new_tdg.node_by_name(name).unwrap();
+                assert_eq!(old_plan.switch_of(old_id), out.plan.switch_of(new_id), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_workload_reuses_everything() {
+        let (old_tdg, old_plan, net) = deploy_first_n(4);
+        let out = IncrementalDeployer::new()
+            .redeploy(&old_tdg, &old_plan, &old_tdg, &net, &Epsilon::loose())
+            .unwrap();
+        assert!(!out.full_redeploy);
+        assert_eq!(out.reused, old_tdg.node_count());
+        assert_eq!(out.placed, 0);
+    }
+
+    #[test]
+    fn infeasible_pinning_falls_back_to_full_redeploy() {
+        // Deploy 2 programs on 4 switches, then ask for all 10 with an
+        // eps2 that the padded incremental layout cannot satisfy but a
+        // fresh deployment can.
+        let (old_tdg, old_plan, net) = deploy_first_n(2);
+        let new_tdg = ProgramAnalyzer::new().analyze(&library::real_programs());
+        let eps = Epsilon::loose();
+        let out = IncrementalDeployer::new()
+            .redeploy(&old_tdg, &old_plan, &new_tdg, &net, &eps)
+            .unwrap();
+        assert!(verify(&new_tdg, &net, &out.plan, &eps).is_empty());
+    }
+
+    #[test]
+    fn growing_workload_stays_verified_at_each_step() {
+        let net = topology::linear(4, 10.0);
+        let eps = Epsilon::loose();
+        let mut prev: Option<(Tdg, DeploymentPlan)> = None;
+        for n in 1..=6usize {
+            let programs: Vec<_> = library::real_programs().into_iter().take(n).collect();
+            let tdg = ProgramAnalyzer::new().analyze(&programs);
+            let plan = match &prev {
+                None => GreedyHeuristic::new().deploy(&tdg, &net, &eps).unwrap(),
+                Some((old_tdg, old_plan)) => {
+                    IncrementalDeployer::new()
+                        .redeploy(old_tdg, old_plan, &tdg, &net, &eps)
+                        .unwrap()
+                        .plan
+                }
+            };
+            assert!(verify(&tdg, &net, &plan, &eps).is_empty(), "step {n}");
+            prev = Some((tdg, plan));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Hermes: network-wide data plane program deployment that minimizes the
+//! per-packet byte overhead of inter-switch coordination.
+//!
+//! Reproduction of *"Toward Low-Overhead Inter-Switch Coordination in
+//! Network-Wide Data Plane Program Deployment"* (ICDCS 2022). The crate
+//! implements the paper's two components:
+//!
+//! - the **program analyzer** ([`analyzer`], Algorithm 1): programs →
+//!   per-program TDGs → SPEED-merged TDG with per-edge metadata amounts;
+//! - the **optimization framework**: the MILP formulation of problem P#1
+//!   ([`milp_formulation`]), an exact combinatorial solver playing the
+//!   Gurobi role ([`exact`]), and the paper's greedy heuristic
+//!   ([`heuristic`], Algorithm 2), all producing [`DeploymentPlan`]s whose
+//!   constraints are checked by a single verifier ([`verify()`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use hermes_core::{DeploymentAlgorithm, Epsilon, GreedyHeuristic, ProgramAnalyzer};
+//! use hermes_dataplane::library;
+//! use hermes_net::topology;
+//!
+//! // 1. Analyze ten real programs into a merged TDG.
+//! let tdg = ProgramAnalyzer::new().analyze(&library::real_programs());
+//! // 2. Deploy on a three-switch testbed with loose ε-bounds.
+//! let net = topology::linear(3, 10.0);
+//! let plan = GreedyHeuristic::new().deploy(&tdg, &net, &Epsilon::loose())?;
+//! // 3. Inspect the per-packet byte overhead the deployment costs.
+//! println!("A_max = {} bytes", plan.max_inter_switch_bytes(&tdg));
+//! # Ok::<(), hermes_core::DeployError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analyzer;
+pub mod deployment;
+pub mod exact;
+pub mod heuristic;
+pub mod incremental;
+pub mod milp_formulation;
+pub mod refine;
+pub mod report;
+pub mod stage_assign;
+pub mod verify;
+
+pub use analyzer::ProgramAnalyzer;
+pub use deployment::{
+    DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanMetrics, PlanRoute,
+    StagePlacement,
+};
+pub use exact::{materialize, OptimalOutcome, OptimalSolver};
+pub use heuristic::{placement_order, GreedyHeuristic, SplitStrategy};
+pub use incremental::{IncrementalDeployer, IncrementalOutcome};
+pub use milp_formulation::{build_p1, MilpHermes, P1Variables};
+pub use refine::refine;
+pub use report::{diff, explain, PlanDiff};
+pub use stage_assign::{assign_stages, fits_total_capacity, stage_feasible, StageAssignError};
+pub use verify::{verify, Violation};

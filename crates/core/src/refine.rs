@@ -1,0 +1,194 @@
+//! Local-search refinement of deployment plans.
+//!
+//! The splitting phase of Algorithm 2 restricts placements to contiguous
+//! ranges of one topological linearization. When capacity is tight that
+//! restriction leaves easy wins on the table: moving a single MAT across
+//! the worst switch pair often removes the pair's crossing metadata
+//! entirely. This pass hill-climbs on the exact objective — per move it
+//! requires strictly smaller `A_max` and full feasibility (per-switch
+//! stage assignment, switch-DAG acyclicity, ε-bounds) — so it terminates
+//! and can only improve a plan. It refines *any* plan, including the
+//! first-fit feasibility fallback.
+
+use crate::deployment::{DeploymentPlan, Epsilon};
+use crate::exact::materialize;
+use crate::stage_assign::stage_feasible;
+use hermes_net::{Network, SwitchId};
+use hermes_tdg::{NodeId, Tdg};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Refines `plan` by single-node moves between its occupied switches.
+/// Returns the improved plan, or the original when no strictly improving
+/// move exists (or the plan has unplaced nodes).
+pub fn refine(
+    tdg: &Tdg,
+    net: &Network,
+    plan: DeploymentPlan,
+    eps: &Epsilon,
+    max_moves: usize,
+) -> DeploymentPlan {
+    let candidates: Vec<SwitchId> = plan.occupied_switches().into_iter().collect();
+    if candidates.len() < 2 {
+        return plan;
+    }
+    let index: BTreeMap<SwitchId, usize> =
+        candidates.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut assign: Vec<usize> = Vec::with_capacity(tdg.node_count());
+    for id in tdg.node_ids() {
+        match plan.switch_of(id).and_then(|s| index.get(&s)) {
+            Some(&c) => assign.push(c),
+            None => return plan, // partial plans are not refined
+        }
+    }
+
+    let q = candidates.len();
+    let amax = |assign: &[usize]| -> u64 {
+        let mut pair = vec![0u64; q * q];
+        let mut best = 0;
+        for e in tdg.edges() {
+            let (u, v) = (assign[e.from.index()], assign[e.to.index()]);
+            if u != v {
+                let slot = &mut pair[u * q + v];
+                *slot += u64::from(e.bytes);
+                best = best.max(*slot);
+            }
+        }
+        best
+    };
+    let feasible_switch = |assign: &[usize], c: usize| -> bool {
+        let set: BTreeSet<NodeId> =
+            tdg.node_ids().filter(|id| assign[id.index()] == c).collect();
+        let sw = net.switch(candidates[c]);
+        stage_feasible(tdg, &set, sw.stages, sw.stage_capacity)
+    };
+    let acyclic = |assign: &[usize]| -> bool {
+        let mut indegree = vec![0usize; q];
+        let mut adj = vec![BTreeSet::new(); q];
+        for e in tdg.edges() {
+            let (u, v) = (assign[e.from.index()], assign[e.to.index()]);
+            if u != v && adj[u].insert(v) {
+                indegree[v] += 1;
+            }
+        }
+        let mut stack: Vec<usize> = (0..q).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = stack.pop() {
+            seen += 1;
+            for &v in &adj[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    stack.push(v);
+                }
+            }
+        }
+        seen == q
+    };
+
+    let mut current = amax(&assign);
+    let mut moves = 0usize;
+    while current > 0 && moves < max_moves {
+        // The worst pair and the nodes whose edges feed it.
+        let mut pair = vec![0u64; q * q];
+        for e in tdg.edges() {
+            let (u, v) = (assign[e.from.index()], assign[e.to.index()]);
+            if u != v {
+                pair[u * q + v] += u64::from(e.bytes);
+            }
+        }
+        let worst = (0..q * q).max_by_key(|&k| pair[k]).expect("q >= 2");
+        let (wu, wv) = (worst / q, worst % q);
+        // Candidate movers: endpoints of edges crossing (wu, wv).
+        let mut movers: BTreeSet<NodeId> = BTreeSet::new();
+        for e in tdg.edges() {
+            if assign[e.from.index()] == wu && assign[e.to.index()] == wv {
+                movers.insert(e.from);
+                movers.insert(e.to);
+            }
+        }
+        let mut improved = false;
+        'search: for &node in &movers {
+            let home = assign[node.index()];
+            for target in 0..q {
+                if target == home {
+                    continue;
+                }
+                let mut trial = assign.clone();
+                trial[node.index()] = target;
+                let gain = amax(&trial);
+                if gain >= current {
+                    continue;
+                }
+                if !feasible_switch(&trial, home)
+                    || !feasible_switch(&trial, target)
+                    || !acyclic(&trial)
+                {
+                    continue;
+                }
+                assign = trial;
+                current = gain;
+                improved = true;
+                moves += 1;
+                break 'search;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // Rebuild; if materialization or ε-bounds fail, keep the original.
+    match materialize(tdg, net, &candidates, &assign) {
+        Some(refined)
+            if refined.end_to_end_latency_us() <= eps.max_latency_us
+                && refined.occupied_switch_count() <= eps.max_switches
+                && refined.max_inter_switch_bytes(tdg) <= plan.max_inter_switch_bytes(tdg) =>
+        {
+            refined
+        }
+        _ => plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::DeploymentAlgorithm;
+    use crate::heuristic::GreedyHeuristic;
+    use crate::verify::verify;
+    use crate::analyzer::ProgramAnalyzer;
+    use hermes_dataplane::library;
+    use hermes_net::topology;
+
+    #[test]
+    fn refinement_never_worsens_and_verifies() {
+        let tdg = ProgramAnalyzer::new().analyze(&library::real_programs());
+        let net = topology::linear(3, 10.0);
+        let eps = Epsilon::loose();
+        let plan = GreedyHeuristic::new().deploy(&tdg, &net, &eps).unwrap();
+        let before = plan.max_inter_switch_bytes(&tdg);
+        let refined = refine(&tdg, &net, plan, &eps, 1_000);
+        assert!(refined.max_inter_switch_bytes(&tdg) <= before);
+        assert!(verify(&tdg, &net, &refined, &eps).is_empty());
+    }
+
+    #[test]
+    fn single_switch_plans_pass_through() {
+        let tdg = ProgramAnalyzer::new().analyze(&[library::l3_router()]);
+        let net = topology::linear(2, 10.0);
+        let eps = Epsilon::loose();
+        let plan = GreedyHeuristic::new().deploy(&tdg, &net, &eps).unwrap();
+        let refined = refine(&tdg, &net, plan.clone(), &eps, 100);
+        assert_eq!(refined, plan);
+    }
+
+    #[test]
+    fn zero_moves_budget_is_identity_quality() {
+        let tdg = ProgramAnalyzer::new().analyze(&library::real_programs());
+        let net = topology::linear(3, 10.0);
+        let eps = Epsilon::loose();
+        let plan = GreedyHeuristic::new().deploy(&tdg, &net, &eps).unwrap();
+        let before = plan.max_inter_switch_bytes(&tdg);
+        let refined = refine(&tdg, &net, plan, &eps, 0);
+        assert_eq!(refined.max_inter_switch_bytes(&tdg), before);
+    }
+}

@@ -1,0 +1,309 @@
+//! Dependency-respecting stage assignment within one switch.
+//!
+//! Once a set of MATs lands on a switch, each must occupy concrete pipeline
+//! stages such that (a) per-stage resource capacity is respected (Eq. 9)
+//! and (b) for every dependency `(a, b)` inside the switch, the last stage
+//! of `a` precedes the first stage of `b` (Eq. 8). Large MATs may be split
+//! across consecutive stages, mirroring the "(a portion of)" language of
+//! the paper. The algorithm is a dependency-levelled first fit — the same
+//! family as the FFL strategy of Jose et al. \[8\].
+
+use crate::deployment::StagePlacement;
+use hermes_net::SwitchId;
+use hermes_tdg::{NodeId, Tdg};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why stage assignment failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageAssignError {
+    /// The dependency chain among the given nodes is longer than the
+    /// pipeline: even infinitely wide stages could not order them.
+    ChainTooLong {
+        /// Stages available.
+        stages: usize,
+    },
+    /// Cumulative resources exceed what the remaining stages can hold.
+    OutOfStages {
+        /// Program-qualified name of the MAT that did not fit.
+        mat: String,
+    },
+    /// One slice of a MAT exceeds a whole stage (cannot happen with valid
+    /// capacities; kept for defense in depth).
+    SliceTooLarge {
+        /// Program-qualified name of the MAT.
+        mat: String,
+    },
+}
+
+impl fmt::Display for StageAssignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageAssignError::ChainTooLong { stages } => {
+                write!(f, "dependency chain exceeds the {stages}-stage pipeline")
+            }
+            StageAssignError::OutOfStages { mat } => {
+                write!(f, "ran out of stages while placing `{mat}`")
+            }
+            StageAssignError::SliceTooLarge { mat } => {
+                write!(f, "a slice of `{mat}` exceeds one stage's capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StageAssignError {}
+
+/// Assigns `nodes` (a subset of `tdg`) to the stages of `switch`, which
+/// offers `stages` stages of `stage_capacity` normalized units each.
+///
+/// Nodes are processed in topological order; each starts at the first
+/// stage after all its in-subset predecessors finish and greedily fills
+/// consecutive stages until its full `R(a)` is placed.
+///
+/// # Errors
+///
+/// Returns [`StageAssignError`] when the subset cannot fit.
+pub fn assign_stages(
+    tdg: &Tdg,
+    nodes: &BTreeSet<NodeId>,
+    switch: SwitchId,
+    stages: usize,
+    stage_capacity: f64,
+) -> Result<Vec<StagePlacement>, StageAssignError> {
+    let slices = assign_slices(tdg, nodes, stages, stage_capacity)?;
+    Ok(slices
+        .into_iter()
+        .map(|(node, stage, fraction)| StagePlacement { node, switch, stage, fraction })
+        .collect())
+}
+
+/// `true` iff `nodes` admits a dependency-respecting stage assignment on a
+/// pipeline of `stages` × `stage_capacity`. Used as the fit probe of the
+/// splitting recursion, where no concrete switch has been chosen yet.
+pub fn stage_feasible(tdg: &Tdg, nodes: &BTreeSet<NodeId>, stages: usize, stage_capacity: f64) -> bool {
+    assign_slices(tdg, nodes, stages, stage_capacity).is_ok()
+}
+
+/// Core first-fit: returns `(node, stage, fraction)` slices.
+fn assign_slices(
+    tdg: &Tdg,
+    nodes: &BTreeSet<NodeId>,
+    stages: usize,
+    stage_capacity: f64,
+) -> Result<Vec<(NodeId, usize, f64)>, StageAssignError> {
+    if nodes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let order: Vec<NodeId> = tdg
+        .topo_order()
+        .expect("TDGs are DAGs")
+        .into_iter()
+        .filter(|id| nodes.contains(id))
+        .collect();
+
+    let mut remaining = vec![stage_capacity; stages];
+    // end_stage[node index] = last stage occupied (for predecessor checks).
+    let mut end_stage: Vec<Option<usize>> = vec![None; tdg.node_count()];
+    let mut placements = Vec::new();
+
+    for &id in &order {
+        let mat = &tdg.node(id).mat;
+        let earliest = tdg
+            .in_edges(id)
+            .filter(|e| nodes.contains(&e.from))
+            .filter_map(|e| end_stage[e.from.index()])
+            .map(|s| s + 1)
+            .max()
+            .unwrap_or(0);
+        if earliest >= stages {
+            return Err(StageAssignError::ChainTooLong { stages });
+        }
+        let mut need = mat.resource();
+        let mut stage = earliest;
+        let mut last = earliest;
+        while need > 1e-12 {
+            if stage >= stages {
+                return Err(StageAssignError::OutOfStages { mat: tdg.node(id).name.clone() });
+            }
+            let take = need.min(remaining[stage]);
+            if take > 1e-12 {
+                if take > stage_capacity + 1e-9 {
+                    return Err(StageAssignError::SliceTooLarge { mat: tdg.node(id).name.clone() });
+                }
+                placements.push((id, stage, take));
+                remaining[stage] -= take;
+                need -= take;
+                last = stage;
+            }
+            if need > 1e-12 {
+                stage += 1;
+            }
+        }
+        end_stage[id.index()] = Some(last);
+    }
+    Ok(placements)
+}
+
+/// `true` iff `nodes` could plausibly fit the switch by total resource
+/// (the quick check of Algorithm 2 line 2: `Σ R(a) <= C_stage * C_res`).
+pub fn fits_total_capacity(
+    tdg: &Tdg,
+    nodes: &BTreeSet<NodeId>,
+    stages: usize,
+    stage_capacity: f64,
+) -> bool {
+    let total: f64 = nodes.iter().map(|&id| tdg.node(id).mat.resource()).sum();
+    total <= stages as f64 * stage_capacity + 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::fields::Field;
+    use hermes_dataplane::mat::{Mat, MatchKind};
+    use hermes_dataplane::program::Program;
+    use hermes_net::topology;
+    use hermes_tdg::AnalysisMode;
+
+    fn chain(resources: &[f64]) -> Tdg {
+        let mut b = Program::builder("p");
+        for (i, &r) in resources.iter().enumerate() {
+            let mut mat = Mat::builder(format!("t{i}")).resource(r);
+            if i > 0 {
+                mat = mat.match_field(Field::metadata(format!("m{}", i - 1), 4), MatchKind::Exact);
+            }
+            let writes = if i + 1 < resources.len() {
+                vec![Field::metadata(format!("m{i}"), 4)]
+            } else {
+                vec![]
+            };
+            mat = mat.action(Action::writing("w", writes));
+            b = b.table(mat.build().unwrap());
+        }
+        Tdg::from_program(&b.build().unwrap(), AnalysisMode::PaperLiteral)
+    }
+
+    fn independent(resources: &[f64]) -> Tdg {
+        let mut b = Program::builder("p");
+        for (i, &r) in resources.iter().enumerate() {
+            b = b.table(
+                Mat::builder(format!("t{i}"))
+                    .resource(r)
+                    .action(Action::new("noop"))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        Tdg::from_program(&b.build().unwrap(), AnalysisMode::PaperLiteral)
+    }
+
+    fn sw() -> SwitchId {
+        topology::linear(1, 1.0).switch_ids().next().unwrap()
+    }
+
+    fn all(tdg: &Tdg) -> BTreeSet<NodeId> {
+        tdg.node_ids().collect()
+    }
+
+    #[test]
+    fn chain_occupies_increasing_stages() {
+        let tdg = chain(&[0.5, 0.5, 0.5]);
+        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let span = |i: usize| {
+            let id = tdg.node_ids().nth(i).unwrap();
+            let stages: Vec<usize> =
+                p.iter().filter(|x| x.node == id).map(|x| x.stage).collect();
+            (*stages.iter().min().unwrap(), *stages.iter().max().unwrap())
+        };
+        assert!(span(0).1 < span(1).0);
+        assert!(span(1).1 < span(2).0);
+    }
+
+    #[test]
+    fn independent_nodes_share_a_stage() {
+        let tdg = independent(&[0.3, 0.3, 0.3]);
+        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        assert!(p.iter().all(|x| x.stage == 0), "all fit stage 0: {p:?}");
+    }
+
+    #[test]
+    fn capacity_forces_next_stage() {
+        let tdg = independent(&[0.7, 0.7]);
+        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let stages: BTreeSet<usize> = p.iter().map(|x| x.stage).collect();
+        assert_eq!(stages.len(), 2, "0.7 + 0.7 cannot share a unit stage");
+    }
+
+    #[test]
+    fn large_mat_splits_across_stages() {
+        let tdg = independent(&[2.5]);
+        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        assert_eq!(p.len(), 3, "2.5 units split over 3 stages: {p:?}");
+        let total: f64 = p.iter().map(|x| x.fraction).sum();
+        assert!((total - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_longer_than_pipeline_fails() {
+        let tdg = chain(&[0.1; 5]);
+        let err = assign_stages(&tdg, &all(&tdg), sw(), 4, 1.0).unwrap_err();
+        assert!(matches!(err, StageAssignError::ChainTooLong { stages: 4 }));
+    }
+
+    #[test]
+    fn resource_overflow_fails() {
+        let tdg = independent(&[1.0, 1.0, 1.0]);
+        let err = assign_stages(&tdg, &all(&tdg), sw(), 2, 1.0).unwrap_err();
+        assert!(matches!(err, StageAssignError::OutOfStages { .. }));
+    }
+
+    #[test]
+    fn per_stage_capacity_respected() {
+        let tdg = independent(&[0.6, 0.6, 0.6, 0.6]);
+        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let mut load = std::collections::BTreeMap::new();
+        for x in &p {
+            *load.entry(x.stage).or_insert(0.0) += x.fraction;
+        }
+        for (&stage, &l) in &load {
+            assert!(l <= 1.0 + 1e-9, "stage {stage} overloaded: {l}");
+        }
+    }
+
+    #[test]
+    fn subset_assignment_ignores_outside_predecessors() {
+        // Chain t0 -> t1; assign only t1: it may start at stage 0.
+        let tdg = chain(&[0.5, 0.5]);
+        let t1 = tdg.node_ids().nth(1).unwrap();
+        let p = assign_stages(&tdg, &BTreeSet::from([t1]), sw(), 12, 1.0).unwrap();
+        assert_eq!(p[0].stage, 0);
+    }
+
+    #[test]
+    fn empty_set_is_trivially_placed() {
+        let tdg = chain(&[0.5]);
+        let p = assign_stages(&tdg, &BTreeSet::new(), sw(), 12, 1.0).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn fits_total_capacity_quick_check() {
+        let tdg = independent(&[1.0, 1.0]);
+        assert!(fits_total_capacity(&tdg, &all(&tdg), 2, 1.0));
+        assert!(!fits_total_capacity(&tdg, &all(&tdg), 1, 1.0));
+    }
+
+    #[test]
+    fn split_mat_still_precedes_successor() {
+        // t0 (1.5 units) -> t1: t1 must start after t0's last slice.
+        let tdg = chain(&[1.5, 0.5]);
+        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let id0 = tdg.node_ids().next().unwrap();
+        let id1 = tdg.node_ids().nth(1).unwrap();
+        let end0 = p.iter().filter(|x| x.node == id0).map(|x| x.stage).max().unwrap();
+        let begin1 = p.iter().filter(|x| x.node == id1).map(|x| x.stage).min().unwrap();
+        assert!(end0 < begin1, "end0={end0} begin1={begin1}");
+    }
+}

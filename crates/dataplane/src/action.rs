@@ -1,0 +1,212 @@
+//! Actions executed by match-action tables.
+//!
+//! An action is a short straight-line sequence of primitive operations
+//! (the ALU vocabulary of a RMT/Tofino-style pipeline). For deployment
+//! purposes only two aspects matter: the set of fields the action *writes*
+//! (drives dependency typing and metadata sizing) and the set it *reads*
+//! (used together with match fields when estimating resource needs).
+
+use crate::fields::Field;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A primitive operation inside an action body.
+///
+/// The operands let callers express realistic actions; dependency analysis
+/// only consumes the derived read/write sets.
+#[allow(missing_docs)] // variant fields are self-describing operands
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PrimitiveOp {
+    /// `dst = const` — write an immediate value into a field.
+    SetConst { dst: Field },
+    /// `dst = src` — copy one field into another.
+    Copy { dst: Field, src: Field },
+    /// `dst = f(srcs...)` — arithmetic/boolean combination of fields.
+    Compute { dst: Field, srcs: Vec<Field> },
+    /// `dst = hash(srcs...)` — hash of a set of fields (e.g. a CRC index).
+    Hash { dst: Field, srcs: Vec<Field> },
+    /// Read-modify-write on a stateful register array addressed by `index`,
+    /// optionally exporting the old value into `out`.
+    RegisterOp { index: Field, out: Option<Field> },
+    /// Drop the packet. Reads/writes nothing.
+    Drop,
+    /// Send the packet to an output port held in `port`.
+    Forward { port: Field },
+}
+
+impl PrimitiveOp {
+    /// Fields written by this operation.
+    pub fn writes(&self) -> Vec<&Field> {
+        match self {
+            PrimitiveOp::SetConst { dst }
+            | PrimitiveOp::Copy { dst, .. }
+            | PrimitiveOp::Compute { dst, .. }
+            | PrimitiveOp::Hash { dst, .. } => vec![dst],
+            PrimitiveOp::RegisterOp { out, .. } => out.iter().collect(),
+            PrimitiveOp::Drop => Vec::new(),
+            PrimitiveOp::Forward { port } => vec![port],
+        }
+    }
+
+    /// Fields read by this operation.
+    pub fn reads(&self) -> Vec<&Field> {
+        match self {
+            PrimitiveOp::SetConst { .. } | PrimitiveOp::Drop => Vec::new(),
+            PrimitiveOp::Copy { src, .. } => vec![src],
+            PrimitiveOp::Compute { srcs, .. } | PrimitiveOp::Hash { srcs, .. } => {
+                srcs.iter().collect()
+            }
+            PrimitiveOp::RegisterOp { index, .. } => vec![index],
+            PrimitiveOp::Forward { port } => vec![port],
+        }
+    }
+
+    /// `true` for operations that touch stateful switch memory.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, PrimitiveOp::RegisterOp { .. })
+    }
+}
+
+/// A named action: the unit a matching rule invokes.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_dataplane::action::{Action, PrimitiveOp};
+/// use hermes_dataplane::fields::{Field, headers};
+///
+/// let idx = Field::metadata("meta.idx", 4);
+/// let act = Action::new("compute_index")
+///     .with_op(PrimitiveOp::Hash { dst: idx.clone(), srcs: vec![headers::ipv4_src()] });
+/// assert!(act.writes().contains(&idx));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Action {
+    name: String,
+    ops: Vec<PrimitiveOp>,
+}
+
+impl Action {
+    /// Creates an empty action with the given name (a no-op until ops are
+    /// added with [`Action::with_op`]).
+    pub fn new(name: impl Into<String>) -> Self {
+        Action { name: name.into(), ops: Vec::new() }
+    }
+
+    /// Appends a primitive operation, returning the extended action.
+    #[must_use]
+    pub fn with_op(mut self, op: PrimitiveOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Convenience: an action that writes each of `fields` with a computed
+    /// value (one `Compute` op per field, no reads).
+    pub fn writing<I>(name: impl Into<String>, fields: I) -> Self
+    where
+        I: IntoIterator<Item = Field>,
+    {
+        let mut action = Action::new(name);
+        for f in fields {
+            action.ops.push(PrimitiveOp::Compute { dst: f, srcs: Vec::new() });
+        }
+        action
+    }
+
+    /// The action's name, unique within its table.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primitive operations in execution order.
+    pub fn ops(&self) -> &[PrimitiveOp] {
+        &self.ops
+    }
+
+    /// The set of fields this action writes.
+    pub fn writes(&self) -> BTreeSet<Field> {
+        self.ops.iter().flat_map(|op| op.writes().into_iter().cloned()).collect()
+    }
+
+    /// The set of fields this action reads.
+    pub fn reads(&self) -> BTreeSet<Field> {
+        self.ops.iter().flat_map(|op| op.reads().into_iter().cloned()).collect()
+    }
+
+    /// Number of ALU-consuming operations (everything except `Drop`).
+    pub fn alu_ops(&self) -> usize {
+        self.ops.iter().filter(|op| !matches!(op, PrimitiveOp::Drop)).count()
+    }
+
+    /// `true` if any operation uses stateful register memory.
+    pub fn is_stateful(&self) -> bool {
+        self.ops.iter().any(PrimitiveOp::is_stateful)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} ops", self.name, self.ops.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::headers;
+
+    fn idx() -> Field {
+        Field::metadata("meta.idx", 4)
+    }
+
+    #[test]
+    fn hash_op_reads_srcs_writes_dst() {
+        let op = PrimitiveOp::Hash { dst: idx(), srcs: vec![headers::ipv4_src(), headers::ipv4_dst()] };
+        assert_eq!(op.writes(), vec![&idx()]);
+        assert_eq!(op.reads().len(), 2);
+    }
+
+    #[test]
+    fn register_op_is_stateful_and_optionally_writes() {
+        let without_out = PrimitiveOp::RegisterOp { index: idx(), out: None };
+        assert!(without_out.is_stateful());
+        assert!(without_out.writes().is_empty());
+
+        let out = Field::metadata("meta.count", 4);
+        let with_out = PrimitiveOp::RegisterOp { index: idx(), out: Some(out.clone()) };
+        assert_eq!(with_out.writes(), vec![&out]);
+        assert_eq!(with_out.reads(), vec![&idx()]);
+    }
+
+    #[test]
+    fn action_aggregates_reads_and_writes() {
+        let act = Action::new("a")
+            .with_op(PrimitiveOp::Hash { dst: idx(), srcs: vec![headers::ipv4_src()] })
+            .with_op(PrimitiveOp::RegisterOp { index: idx(), out: None });
+        assert!(act.writes().contains(&idx()));
+        assert!(act.reads().contains(&headers::ipv4_src()));
+        assert!(act.reads().contains(&idx()));
+        assert!(act.is_stateful());
+        assert_eq!(act.alu_ops(), 2);
+    }
+
+    #[test]
+    fn drop_consumes_no_alu() {
+        let act = Action::new("deny").with_op(PrimitiveOp::Drop);
+        assert_eq!(act.alu_ops(), 0);
+        assert!(act.writes().is_empty());
+        assert!(act.reads().is_empty());
+    }
+
+    #[test]
+    fn writing_constructor_writes_all_fields() {
+        let fields = [idx(), Field::metadata("meta.ts", 12)];
+        let act = Action::writing("w", fields.clone());
+        let w = act.writes();
+        for f in &fields {
+            assert!(w.contains(f));
+        }
+        assert!(act.reads().is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Packet field model.
+//!
+//! A data plane program reads and writes *fields*. A field is either a
+//! **header field** that already travels inside every packet (e.g. the IPv4
+//! source address) or a **metadata field** that exists only inside the switch
+//! pipeline (e.g. a computed hash index). When two interdependent MATs are
+//! placed on *different* switches, metadata produced by the upstream MAT must
+//! be piggybacked on the packet, which is exactly the per-packet byte
+//! overhead Hermes minimizes. Header fields never contribute to that
+//! overhead: they are already in the packet.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
+use std::fmt;
+
+/// Whether a field lives in the packet itself or only in switch-local state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FieldKind {
+    /// Part of the packet headers; carried for free between switches.
+    Header,
+    /// Pipeline-local metadata; must be piggybacked to cross a switch
+    /// boundary and therefore counts toward the per-packet byte overhead.
+    Metadata,
+}
+
+impl fmt::Display for FieldKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldKind::Header => f.write_str("header"),
+            FieldKind::Metadata => f.write_str("metadata"),
+        }
+    }
+}
+
+/// A named packet or metadata field with a fixed width in bytes.
+///
+/// Two fields are the same field iff their names are equal; the name is the
+/// identity used by dependency inference, so programs that share a field name
+/// genuinely share that field (e.g. every program reading `ipv4.dst`).
+///
+/// # Examples
+///
+/// ```
+/// use hermes_dataplane::fields::{Field, FieldKind};
+///
+/// let idx = Field::metadata("cm_sketch.index", 4);
+/// assert_eq!(idx.size_bytes(), 4);
+/// assert!(idx.is_metadata());
+/// assert_eq!(idx.overhead_bytes(), 4);
+///
+/// let dst = Field::header("ipv4.dst", 4);
+/// assert_eq!(dst.overhead_bytes(), 0); // headers ride for free
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Field {
+    name: Cow<'static, str>,
+    kind: FieldKind,
+    size_bytes: u32,
+}
+
+impl Field {
+    /// Creates a field of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is zero: a zero-width field can neither be
+    /// matched nor carried and always indicates a construction bug.
+    pub fn new(name: impl Into<Cow<'static, str>>, kind: FieldKind, size_bytes: u32) -> Self {
+        let name = name.into();
+        assert!(size_bytes > 0, "field `{name}` must have a nonzero width");
+        Field { name, kind, size_bytes }
+    }
+
+    /// Creates a header field (`FieldKind::Header`).
+    pub fn header(name: impl Into<Cow<'static, str>>, size_bytes: u32) -> Self {
+        Field::new(name, FieldKind::Header, size_bytes)
+    }
+
+    /// Creates a metadata field (`FieldKind::Metadata`).
+    pub fn metadata(name: impl Into<Cow<'static, str>>, size_bytes: u32) -> Self {
+        Field::new(name, FieldKind::Metadata, size_bytes)
+    }
+
+    /// The field's unique name, e.g. `"ipv4.src"` or `"meta.hash_index"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is a header or metadata field.
+    pub fn kind(&self) -> FieldKind {
+        self.kind
+    }
+
+    /// Width of the field in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.size_bytes
+    }
+
+    /// `true` iff the field is pipeline metadata.
+    pub fn is_metadata(&self) -> bool {
+        self.kind == FieldKind::Metadata
+    }
+
+    /// `true` iff the field is a packet header field.
+    pub fn is_header(&self) -> bool {
+        self.kind == FieldKind::Header
+    }
+
+    /// Bytes this field adds to a packet when it must cross a switch
+    /// boundary: its width for metadata, zero for header fields.
+    pub fn overhead_bytes(&self) -> u32 {
+        if self.is_metadata() {
+            self.size_bytes
+        } else {
+            0
+        }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {} B)", self.name, self.kind, self.size_bytes)
+    }
+}
+
+/// Widely used metadata kinds and their per-switch sizes (paper Table I).
+pub mod metadata {
+    use super::Field;
+
+    /// Switch identifier: 4 bytes. Used by path tracing and conformance.
+    pub const SWITCH_IDENTIFIER_BYTES: u32 = 4;
+    /// Queue lengths: 6 bytes. Used by congestion control.
+    pub const QUEUE_LENGTHS_BYTES: u32 = 6;
+    /// Timestamps: 12 bytes. Used by troubleshooting and anomaly detection.
+    pub const TIMESTAMPS_BYTES: u32 = 12;
+    /// Counter index: 4 bytes. Used by hash tables and sketches.
+    pub const COUNTER_INDEX_BYTES: u32 = 4;
+
+    /// A switch-identifier metadata field named `name`.
+    pub fn switch_identifier(name: impl Into<std::borrow::Cow<'static, str>>) -> Field {
+        Field::metadata(name, SWITCH_IDENTIFIER_BYTES)
+    }
+
+    /// A queue-lengths metadata field named `name`.
+    pub fn queue_lengths(name: impl Into<std::borrow::Cow<'static, str>>) -> Field {
+        Field::metadata(name, QUEUE_LENGTHS_BYTES)
+    }
+
+    /// A timestamps metadata field named `name`.
+    pub fn timestamps(name: impl Into<std::borrow::Cow<'static, str>>) -> Field {
+        Field::metadata(name, TIMESTAMPS_BYTES)
+    }
+
+    /// A counter-index metadata field named `name`.
+    pub fn counter_index(name: impl Into<std::borrow::Cow<'static, str>>) -> Field {
+        Field::metadata(name, COUNTER_INDEX_BYTES)
+    }
+}
+
+/// Standard packet header fields shared by the program library.
+pub mod headers {
+    use super::Field;
+
+    /// Ethernet source MAC address (6 bytes).
+    pub fn eth_src() -> Field {
+        Field::header("ethernet.src", 6)
+    }
+    /// Ethernet destination MAC address (6 bytes).
+    pub fn eth_dst() -> Field {
+        Field::header("ethernet.dst", 6)
+    }
+    /// Ethernet EtherType (2 bytes).
+    pub fn eth_type() -> Field {
+        Field::header("ethernet.ether_type", 2)
+    }
+    /// IPv4 source address (4 bytes).
+    pub fn ipv4_src() -> Field {
+        Field::header("ipv4.src", 4)
+    }
+    /// IPv4 destination address (4 bytes).
+    pub fn ipv4_dst() -> Field {
+        Field::header("ipv4.dst", 4)
+    }
+    /// IPv4 time-to-live (1 byte).
+    pub fn ipv4_ttl() -> Field {
+        Field::header("ipv4.ttl", 1)
+    }
+    /// IPv4 differentiated services code point (1 byte).
+    pub fn ipv4_dscp() -> Field {
+        Field::header("ipv4.dscp", 1)
+    }
+    /// IPv4 protocol number (1 byte).
+    pub fn ipv4_proto() -> Field {
+        Field::header("ipv4.proto", 1)
+    }
+    /// TCP/UDP source port (2 bytes).
+    pub fn l4_sport() -> Field {
+        Field::header("l4.sport", 2)
+    }
+    /// TCP/UDP destination port (2 bytes).
+    pub fn l4_dport() -> Field {
+        Field::header("l4.dport", 2)
+    }
+    /// TCP flags (1 byte).
+    pub fn tcp_flags() -> Field {
+        Field::header("tcp.flags", 1)
+    }
+    /// VLAN identifier (2 bytes).
+    pub fn vlan_id() -> Field {
+        Field::header("vlan.id", 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_field_has_zero_overhead() {
+        let f = headers::ipv4_dst();
+        assert!(f.is_header());
+        assert_eq!(f.overhead_bytes(), 0);
+        assert_eq!(f.size_bytes(), 4);
+    }
+
+    #[test]
+    fn metadata_field_overhead_equals_size() {
+        let f = Field::metadata("meta.x", 7);
+        assert!(f.is_metadata());
+        assert_eq!(f.overhead_bytes(), 7);
+    }
+
+    #[test]
+    fn table1_sizes_match_paper() {
+        assert_eq!(metadata::switch_identifier("m").size_bytes(), 4);
+        assert_eq!(metadata::queue_lengths("m").size_bytes(), 6);
+        assert_eq!(metadata::timestamps("m").size_bytes(), 12);
+        assert_eq!(metadata::counter_index("m").size_bytes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero width")]
+    fn zero_width_field_panics() {
+        let _ = Field::header("bad", 0);
+    }
+
+    #[test]
+    fn field_identity_is_structural() {
+        let a = Field::metadata("meta.idx", 4);
+        let b = Field::metadata("meta.idx", 4);
+        assert_eq!(a, b);
+        let c = Field::metadata("meta.idx2", 4);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn display_formats_name_kind_size() {
+        let f = Field::metadata("meta.idx", 4);
+        assert_eq!(f.to_string(), "meta.idx (metadata, 4 B)");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let f = Field::metadata("meta.idx", 4);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Field = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,308 @@
+//! Static well-formedness checks for data plane programs.
+//!
+//! The deployment pipeline happily places whatever it is given; these
+//! lints catch the program bugs that would otherwise surface as silent
+//! packet-processing errors after deployment — above all metadata that is
+//! matched before anything ever writes it (it reads as zero on hardware),
+//! and metadata that is produced but never consumed (pure pipeline
+//! waste, and a piggyback candidate that inflates `A(a,b)` for nothing).
+
+use crate::fields::Field;
+use crate::program::Program;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A table matches or reads a metadata field no earlier table writes.
+    MetadataReadBeforeWrite {
+        /// The consuming table.
+        table: String,
+        /// The field that reads as zero.
+        field: String,
+    },
+    /// A metadata field is written but no later table consumes it.
+    MetadataNeverConsumed {
+        /// The producing table.
+        table: String,
+        /// The wasted field.
+        field: String,
+    },
+    /// A table has no actions: packets hit it and nothing happens.
+    TableWithoutActions {
+        /// The inert table.
+        table: String,
+    },
+    /// A declared gate duplicates an existing data dependency.
+    RedundantGate {
+        /// Gating table.
+        from: String,
+        /// Gated table.
+        to: String,
+    },
+    /// A table's installed rules use less than 1 % of its capacity,
+    /// suggesting a mis-sized `C_a` (resources are billed by capacity).
+    OversizedCapacity {
+        /// The table in question.
+        table: String,
+        /// Declared capacity.
+        capacity: usize,
+        /// Installed rules.
+        rules: usize,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::MetadataReadBeforeWrite { table, field } => {
+                write!(f, "`{table}` consumes metadata `{field}` before any table writes it")
+            }
+            Lint::MetadataNeverConsumed { table, field } => {
+                write!(f, "`{table}` writes metadata `{field}` that nothing consumes")
+            }
+            Lint::TableWithoutActions { table } => write!(f, "`{table}` has no actions"),
+            Lint::RedundantGate { from, to } => {
+                write!(f, "gate `{from}` -> `{to}` duplicates a data dependency")
+            }
+            Lint::OversizedCapacity { table, capacity, rules } => {
+                write!(f, "`{table}` declares capacity {capacity} but installs {rules} rules")
+            }
+        }
+    }
+}
+
+/// Lints one program in isolation. Cross-program communication through
+/// shared fields is legitimate (see the TDG merge), so call
+/// [`lint_composition`] for whole-deployment checks instead when multiple
+/// programs cooperate.
+pub fn lint(program: &Program) -> Vec<Lint> {
+    lint_composition(std::slice::from_ref(program))
+}
+
+/// Lints a set of programs as the sequential composition the TDG merge
+/// produces: earlier programs' writes satisfy later programs' reads.
+pub fn lint_composition(programs: &[Program]) -> Vec<Lint> {
+    let mut findings = Vec::new();
+
+    // Global pass over (program order, table order).
+    let tables: Vec<(&Program, &crate::mat::Mat)> =
+        programs.iter().flat_map(|p| p.tables().iter().map(move |t| (p, t))).collect();
+
+    // Read-before-write over metadata.
+    let mut written: BTreeSet<Field> = BTreeSet::new();
+    for (_, t) in &tables {
+        let mut consumed: BTreeSet<Field> = t.match_fields();
+        consumed.extend(t.action_read_fields());
+        for f in consumed.into_iter().filter(Field::is_metadata) {
+            // Self-produced metadata within the same table (hash + use) is
+            // fine; check writes of *this* table too.
+            if !written.contains(&f) && !t.written_fields().contains(&f) {
+                findings.push(Lint::MetadataReadBeforeWrite {
+                    table: t.name().to_owned(),
+                    field: f.name().to_owned(),
+                });
+            }
+        }
+        written.extend(t.written_fields());
+    }
+
+    // Never-consumed metadata: collect all consumption, then check writes.
+    let mut all_consumed: BTreeSet<Field> = BTreeSet::new();
+    for (_, t) in &tables {
+        all_consumed.extend(t.match_fields());
+        all_consumed.extend(t.action_read_fields());
+    }
+    for (_, t) in &tables {
+        for f in t.written_metadata() {
+            if !all_consumed.contains(&f) {
+                findings.push(Lint::MetadataNeverConsumed {
+                    table: t.name().to_owned(),
+                    field: f.name().to_owned(),
+                });
+            }
+        }
+    }
+
+    // Per-table checks.
+    for (_, t) in &tables {
+        if t.actions().is_empty() {
+            findings.push(Lint::TableWithoutActions { table: t.name().to_owned() });
+        }
+        if t.capacity() >= 1_000 && !t.rules().is_empty() && t.rules().len() * 100 < t.capacity()
+        {
+            findings.push(Lint::OversizedCapacity {
+                table: t.name().to_owned(),
+                capacity: t.capacity(),
+                rules: t.rules().len(),
+            });
+        }
+    }
+
+    // Redundant gates (per program).
+    for p in programs {
+        for &(from, to) in p.gates() {
+            let a = &p.tables()[from];
+            let b = &p.tables()[to];
+            let wa = a.written_fields();
+            let mut consumed = b.match_fields();
+            consumed.extend(b.action_read_fields());
+            if wa.iter().any(|f| consumed.contains(f)) {
+                findings.push(Lint::RedundantGate {
+                    from: a.name().to_owned(),
+                    to: b.name().to_owned(),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::library;
+    use crate::mat::{Mat, MatchKind, Rule};
+
+    fn meta(name: &str, size: u32) -> Field {
+        Field::metadata(name.to_owned(), size)
+    }
+
+    #[test]
+    fn read_before_write_detected() {
+        let t = Mat::builder("t")
+            .match_field(meta("meta.ghost", 4), MatchKind::Exact)
+            .action(Action::new("a"))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p = Program::builder("p").table(t).build().unwrap();
+        let findings = lint(&p);
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::MetadataReadBeforeWrite { field, .. } if field == "meta.ghost")));
+    }
+
+    #[test]
+    fn self_produced_metadata_is_fine() {
+        // A table that hashes into meta.idx and immediately uses it as a
+        // register index is legitimate.
+        let idx = meta("meta.idx", 4);
+        let t = Mat::builder("t")
+            .action(
+                Action::new("a")
+                    .with_op(crate::action::PrimitiveOp::Hash {
+                        dst: idx.clone(),
+                        srcs: vec![],
+                    })
+                    .with_op(crate::action::PrimitiveOp::RegisterOp { index: idx, out: None }),
+            )
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p = Program::builder("p").table(t).build().unwrap();
+        assert!(!lint(&p)
+            .iter()
+            .any(|l| matches!(l, Lint::MetadataReadBeforeWrite { .. })));
+    }
+
+    #[test]
+    fn never_consumed_detected() {
+        let t = Mat::builder("t")
+            .action(Action::writing("w", [meta("meta.waste", 12)]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p = Program::builder("p").table(t).build().unwrap();
+        assert!(lint(&p)
+            .iter()
+            .any(|l| matches!(l, Lint::MetadataNeverConsumed { field, .. } if field == "meta.waste")));
+    }
+
+    #[test]
+    fn composition_satisfies_cross_program_reads() {
+        // Producer program then consumer program: no read-before-write.
+        let producer = Program::builder("a")
+            .table(
+                Mat::builder("w")
+                    .action(Action::writing("w", [meta("meta.shared", 4)]))
+                    .resource(0.1)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let consumer = Program::builder("b")
+            .table(
+                Mat::builder("r")
+                    .match_field(meta("meta.shared", 4), MatchKind::Exact)
+                    .action(Action::new("n"))
+                    .resource(0.1)
+                    .build()
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let findings = lint_composition(&[producer.clone(), consumer.clone()]);
+        assert!(!findings.iter().any(|l| matches!(l, Lint::MetadataReadBeforeWrite { .. })));
+        // Reverse order: the read happens first.
+        let findings = lint_composition(&[consumer, producer]);
+        assert!(findings.iter().any(|l| matches!(l, Lint::MetadataReadBeforeWrite { .. })));
+    }
+
+    #[test]
+    fn inert_table_detected() {
+        let t = Mat::builder("noop").resource(0.1).build().unwrap();
+        let p = Program::builder("p").table(t).build().unwrap();
+        assert!(lint(&p).iter().any(|l| matches!(l, Lint::TableWithoutActions { .. })));
+    }
+
+    #[test]
+    fn redundant_gate_detected() {
+        let f = meta("meta.x", 1);
+        let a = Mat::builder("a")
+            .action(Action::writing("w", [f.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let b = Mat::builder("b")
+            .match_field(f, MatchKind::Exact)
+            .action(Action::new("n"))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p = Program::builder("p").table(a).table(b).gate("a", "b").build().unwrap();
+        assert!(lint(&p).iter().any(|l| matches!(l, Lint::RedundantGate { .. })));
+    }
+
+    #[test]
+    fn oversized_capacity_detected() {
+        let t = Mat::builder("big")
+            .action(Action::new("a"))
+            .rule(Rule::new(Vec::<String>::new(), "a"))
+            .capacity(100_000)
+            .resource(0.5)
+            .build()
+            .unwrap();
+        let p = Program::builder("p").table(t).build().unwrap();
+        assert!(lint(&p).iter().any(|l| matches!(l, Lint::OversizedCapacity { .. })));
+    }
+
+    #[test]
+    fn library_programs_compose_cleanly_for_serious_lints() {
+        // The library is our reference workload: composed in order, no
+        // read-before-write and no inert tables. (Unconsumed terminal
+        // outputs like INT reports are expected and not asserted on.)
+        let findings = lint_composition(&library::real_programs());
+        assert!(
+            !findings.iter().any(|l| matches!(
+                l,
+                Lint::MetadataReadBeforeWrite { .. } | Lint::TableWithoutActions { .. }
+            )),
+            "{findings:?}"
+        );
+    }
+}

@@ -1,0 +1,512 @@
+//! Match-action tables (MATs): the unit of placement.
+//!
+//! A MAT carries exactly the five properties the paper ascribes to a TDG
+//! node: the match-field set `F^m`, the action set `A`, the written-field
+//! set `F^a` (derived from the actions), the rule set `R`, and the rule
+//! capacity `C`. It additionally carries a normalized resource requirement
+//! `R(a)` expressed as a fraction of one pipeline stage's capacity, which is
+//! what the placement constraints (Eq. 9) consume.
+
+use crate::action::Action;
+use crate::fields::Field;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How a match field is compared against a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Exact match (SRAM hash table).
+    Exact,
+    /// Longest-prefix match (TCAM or algorithmic LPM).
+    Lpm,
+    /// Ternary match with mask (TCAM).
+    Ternary,
+    /// Range match (TCAM range expansion).
+    Range,
+}
+
+impl fmt::Display for MatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MatchKind::Exact => "exact",
+            MatchKind::Lpm => "lpm",
+            MatchKind::Ternary => "ternary",
+            MatchKind::Range => "range",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One match key of a MAT: a field plus the way it is matched.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MatchSpec {
+    /// The field being matched.
+    pub field: Field,
+    /// The match discipline applied to it.
+    pub kind: MatchKind,
+}
+
+impl MatchSpec {
+    /// Creates a match spec.
+    pub fn new(field: Field, kind: MatchKind) -> Self {
+        MatchSpec { field, kind }
+    }
+}
+
+/// A user-installed rule: per-key patterns plus the action it invokes.
+///
+/// The pattern strings are opaque to deployment (placement never inspects
+/// rule values), but keeping them allows examples and tests to populate
+/// realistic tables.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    /// One pattern per match key, in `MatchSpec` order (e.g. `"10.0.0.0/8"`).
+    pub patterns: Vec<String>,
+    /// Name of the action in the table's action set to execute on a hit.
+    pub action: String,
+    /// Priority among overlapping rules; higher wins.
+    pub priority: u32,
+}
+
+impl Rule {
+    /// Creates a rule with priority 0.
+    pub fn new<I, S>(patterns: I, action: impl Into<String>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Rule {
+            patterns: patterns.into_iter().map(Into::into).collect(),
+            action: action.into(),
+            priority: 0,
+        }
+    }
+}
+
+/// Errors produced while building a [`Mat`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildMatError {
+    /// A rule names an action that is not in the table's action set.
+    UnknownAction {
+        /// The offending table.
+        table: String,
+        /// The action the rule referenced.
+        action: String,
+    },
+    /// More rules were installed than the declared capacity `C`.
+    CapacityExceeded {
+        /// The offending table.
+        table: String,
+        /// Declared capacity.
+        capacity: usize,
+        /// Number of rules installed.
+        rules: usize,
+    },
+    /// The declared resource requirement is not a positive finite number.
+    InvalidResource {
+        /// The offending table.
+        table: String,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for BuildMatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildMatError::UnknownAction { table, action } => {
+                write!(f, "table `{table}`: rule references unknown action `{action}`")
+            }
+            BuildMatError::CapacityExceeded { table, capacity, rules } => {
+                write!(f, "table `{table}`: {rules} rules exceed capacity {capacity}")
+            }
+            BuildMatError::InvalidResource { table, value } => {
+                write!(f, "table `{table}`: resource requirement {value} must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildMatError {}
+
+/// A match-action table.
+///
+/// Construct with [`Mat::builder`]. Equality is structural over all five
+/// properties plus the resource requirement; the SPEED merge step treats two
+/// structurally equal MATs in different programs as *redundant* and keeps
+/// only one copy.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_dataplane::mat::{Mat, MatchKind, Rule};
+/// use hermes_dataplane::action::Action;
+/// use hermes_dataplane::fields::{Field, headers};
+///
+/// let idx = Field::metadata("meta.idx", 4);
+/// let mat = Mat::builder("compute_index")
+///     .match_field(headers::ipv4_src(), MatchKind::Exact)
+///     .action(Action::writing("set_idx", [idx.clone()]))
+///     .rule(Rule::new(["*"], "set_idx"))
+///     .capacity(1024)
+///     .resource(0.25)
+///     .build()?;
+/// assert!(mat.written_fields().contains(&idx));
+/// # Ok::<(), hermes_dataplane::mat::BuildMatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    name: String,
+    match_specs: Vec<MatchSpec>,
+    actions: Vec<Action>,
+    rules: Vec<Rule>,
+    capacity: usize,
+    resource: f64,
+}
+
+impl Mat {
+    /// Starts building a table with the given name.
+    pub fn builder(name: impl Into<String>) -> MatBuilder {
+        MatBuilder {
+            name: name.into(),
+            match_specs: Vec::new(),
+            actions: Vec::new(),
+            rules: Vec::new(),
+            capacity: DEFAULT_CAPACITY,
+            resource: None,
+        }
+    }
+
+    /// The table's name, unique within its program.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The match keys (field + discipline) in declaration order.
+    pub fn match_specs(&self) -> &[MatchSpec] {
+        &self.match_specs
+    }
+
+    /// The set `F^m` of matched fields.
+    pub fn match_fields(&self) -> BTreeSet<Field> {
+        self.match_specs.iter().map(|m| m.field.clone()).collect()
+    }
+
+    /// The action set `A`.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// The set `F^a` of fields written by any action of this table.
+    pub fn written_fields(&self) -> BTreeSet<Field> {
+        self.actions.iter().flat_map(|a| a.writes()).collect()
+    }
+
+    /// Fields read by action bodies (excluding the match keys).
+    pub fn action_read_fields(&self) -> BTreeSet<Field> {
+        self.actions.iter().flat_map(|a| a.reads()).collect()
+    }
+
+    /// The installed rule set `R`.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Maximum number of rules `C` the table can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Normalized resource requirement `R(a)` as a fraction of one pipeline
+    /// stage (1.0 = a full stage). May exceed 1.0 for tables that must be
+    /// spread over several stages.
+    pub fn resource(&self) -> f64 {
+        self.resource
+    }
+
+    /// `true` if any action of the table manipulates stateful memory.
+    pub fn is_stateful(&self) -> bool {
+        self.actions.iter().any(Action::is_stateful)
+    }
+
+    /// Metadata fields among `F^a` — the fields whose values must travel
+    /// with the packet when a dependent table sits on another switch.
+    pub fn written_metadata(&self) -> BTreeSet<Field> {
+        self.written_fields().into_iter().filter(Field::is_metadata).collect()
+    }
+
+    /// Total bytes of metadata this table produces (sum of
+    /// [`Mat::written_metadata`] sizes).
+    pub fn written_metadata_bytes(&self) -> u32 {
+        self.written_metadata().iter().map(Field::size_bytes).sum()
+    }
+
+    /// A stable structural signature: two tables with equal signatures are
+    /// redundant in the SPEED sense and can be merged into one.
+    pub fn signature(&self) -> MatSignature {
+        MatSignature {
+            match_specs: self.match_specs.iter().cloned().collect(),
+            actions: self.actions.iter().cloned().collect(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} keys, {} actions, {}/{} rules, R={:.2}]",
+            self.name,
+            self.match_specs.len(),
+            self.actions.len(),
+            self.rules.len(),
+            self.capacity,
+            self.resource
+        )
+    }
+}
+
+/// Structural identity of a MAT used for redundancy elimination.
+///
+/// Deliberately excludes the table name (programs name shared functionality
+/// differently) and the installed rules (rule contents are control-plane
+/// state, and redundancy is decided on the data plane structure).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MatSignature {
+    match_specs: BTreeSet<MatchSpec>,
+    actions: BTreeSet<Action>,
+    capacity: usize,
+}
+
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// Rules-per-full-stage constant used by the default resource estimator.
+/// Roughly mirrors the exact-match table density of one Tofino stage.
+pub const RULES_PER_STAGE: f64 = 4096.0;
+
+/// Builder for [`Mat`]; see [`Mat::builder`].
+#[derive(Debug, Clone)]
+pub struct MatBuilder {
+    name: String,
+    match_specs: Vec<MatchSpec>,
+    actions: Vec<Action>,
+    rules: Vec<Rule>,
+    capacity: usize,
+    resource: Option<f64>,
+}
+
+impl MatBuilder {
+    /// Adds a match key.
+    #[must_use]
+    pub fn match_field(mut self, field: Field, kind: MatchKind) -> Self {
+        self.match_specs.push(MatchSpec::new(field, kind));
+        self
+    }
+
+    /// Adds an action to the action set.
+    #[must_use]
+    pub fn action(mut self, action: Action) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// Installs a rule.
+    #[must_use]
+    pub fn rule(mut self, rule: Rule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Sets the rule capacity `C` (default 1024).
+    #[must_use]
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the normalized resource requirement `R(a)` explicitly. When not
+    /// called, `R(a)` is estimated as `capacity / RULES_PER_STAGE` weighted
+    /// by match-kind cost (TCAM disciplines cost 2x) and clamped to
+    /// `[0.05, 4.0]`.
+    #[must_use]
+    pub fn resource(mut self, stage_fraction: f64) -> Self {
+        self.resource = Some(stage_fraction);
+        self
+    }
+
+    /// Finalizes the table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildMatError`] if a rule references an unknown action, the
+    /// rules exceed the capacity, or the resource requirement is invalid.
+    pub fn build(self) -> Result<Mat, BuildMatError> {
+        for rule in &self.rules {
+            if !self.actions.iter().any(|a| a.name() == rule.action) {
+                return Err(BuildMatError::UnknownAction {
+                    table: self.name,
+                    action: rule.action.clone(),
+                });
+            }
+        }
+        if self.rules.len() > self.capacity {
+            return Err(BuildMatError::CapacityExceeded {
+                table: self.name,
+                capacity: self.capacity,
+                rules: self.rules.len(),
+            });
+        }
+        let resource = match self.resource {
+            Some(r) => {
+                if !(r.is_finite() && r > 0.0) {
+                    return Err(BuildMatError::InvalidResource { table: self.name, value: r });
+                }
+                r
+            }
+            None => estimate_resource(&self.match_specs, self.capacity),
+        };
+        Ok(Mat {
+            name: self.name,
+            match_specs: self.match_specs,
+            actions: self.actions,
+            rules: self.rules,
+            capacity: self.capacity,
+            resource,
+        })
+    }
+}
+
+/// Default resource estimate from static table properties (capacity and
+/// match-kind cost), mirroring the static code analysis the paper cites
+/// ([8, 49]) for computing `R(a)`.
+fn estimate_resource(specs: &[MatchSpec], capacity: usize) -> f64 {
+    let tcam_weight = if specs
+        .iter()
+        .any(|s| matches!(s.kind, MatchKind::Ternary | MatchKind::Lpm | MatchKind::Range))
+    {
+        2.0
+    } else {
+        1.0
+    };
+    (capacity as f64 * tcam_weight / RULES_PER_STAGE).clamp(0.05, 4.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::{headers, Field};
+
+    fn table() -> Mat {
+        Mat::builder("t")
+            .match_field(headers::ipv4_dst(), MatchKind::Lpm)
+            .action(Action::writing("set", [Field::metadata("meta.idx", 4)]))
+            .rule(Rule::new(["10.0.0.0/8"], "set"))
+            .capacity(100)
+            .resource(0.3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_sets() {
+        let t = table();
+        assert_eq!(t.match_fields().len(), 1);
+        assert!(t.match_fields().contains(&headers::ipv4_dst()));
+        assert!(t.written_fields().contains(&Field::metadata("meta.idx", 4)));
+        assert_eq!(t.resource(), 0.3);
+    }
+
+    #[test]
+    fn unknown_action_rejected() {
+        let err = Mat::builder("t")
+            .action(Action::new("a"))
+            .rule(Rule::new(Vec::<String>::new(), "missing"))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildMatError::UnknownAction { .. }));
+    }
+
+    #[test]
+    fn capacity_overflow_rejected() {
+        let err = Mat::builder("t")
+            .action(Action::new("a"))
+            .rule(Rule::new(Vec::<String>::new(), "a"))
+            .rule(Rule::new(Vec::<String>::new(), "a"))
+            .capacity(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, BuildMatError::CapacityExceeded { capacity: 1, .. }));
+    }
+
+    #[test]
+    fn invalid_resource_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = Mat::builder("t").resource(bad).build().unwrap_err();
+            assert!(matches!(err, BuildMatError::InvalidResource { .. }), "{bad} accepted");
+        }
+    }
+
+    #[test]
+    fn default_resource_estimated_from_capacity_and_kind() {
+        let exact = Mat::builder("e")
+            .match_field(headers::ipv4_dst(), MatchKind::Exact)
+            .capacity(2048)
+            .build()
+            .unwrap();
+        let lpm = Mat::builder("l")
+            .match_field(headers::ipv4_dst(), MatchKind::Lpm)
+            .capacity(2048)
+            .build()
+            .unwrap();
+        assert!(lpm.resource() > exact.resource());
+        assert!((exact.resource() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn written_metadata_excludes_headers() {
+        let t = Mat::builder("t")
+            .action(
+                Action::writing("w", [Field::metadata("meta.a", 4)])
+                    .with_op(crate::action::PrimitiveOp::Compute {
+                        dst: headers::ipv4_ttl(),
+                        srcs: vec![headers::ipv4_ttl()],
+                    }),
+            )
+            .build()
+            .unwrap();
+        assert_eq!(t.written_metadata_bytes(), 4);
+        assert_eq!(t.written_fields().len(), 2);
+    }
+
+    #[test]
+    fn signature_ignores_name_and_rules() {
+        let a = Mat::builder("a")
+            .match_field(headers::ipv4_dst(), MatchKind::Lpm)
+            .action(Action::writing("set", [Field::metadata("meta.idx", 4)]))
+            .capacity(64)
+            .build()
+            .unwrap();
+        let b = Mat::builder("b")
+            .match_field(headers::ipv4_dst(), MatchKind::Lpm)
+            .action(Action::writing("set", [Field::metadata("meta.idx", 4)]))
+            .rule(Rule::new(["0.0.0.0/0"], "set"))
+            .capacity(64)
+            .build()
+            .unwrap();
+        assert_eq!(a.signature(), b.signature());
+    }
+
+    #[test]
+    fn signature_differs_on_structure() {
+        let a = table();
+        let b = Mat::builder("t")
+            .match_field(headers::ipv4_src(), MatchKind::Lpm)
+            .action(Action::writing("set", [Field::metadata("meta.idx", 4)]))
+            .capacity(100)
+            .build()
+            .unwrap();
+        assert_ne!(a.signature(), b.signature());
+    }
+}

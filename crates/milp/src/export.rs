@@ -1,0 +1,171 @@
+//! Model export in CPLEX LP format.
+//!
+//! Lets any model built against this crate be dumped and fed to an
+//! external solver (Gurobi, CBC, HiGHS) for cross-checking — the natural
+//! escape hatch for a from-scratch solver.
+
+use crate::model::{Direction, LinExpr, Model, Sense, VarKind};
+use std::fmt::Write as _;
+
+fn term_string(model: &Model, expr: &LinExpr) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for (v, c) in expr.terms() {
+        let name = &model.variables()[v.index()].name;
+        if first {
+            if c < 0.0 {
+                let _ = write!(out, "- {} {}", fmt_coeff(-c), name);
+            } else {
+                let _ = write!(out, "{} {}", fmt_coeff(c), name);
+            }
+            first = false;
+        } else if c < 0.0 {
+            let _ = write!(out, " - {} {}", fmt_coeff(-c), name);
+        } else {
+            let _ = write!(out, " + {} {}", fmt_coeff(c), name);
+        }
+    }
+    if first {
+        out.push('0');
+    }
+    out
+}
+
+fn fmt_coeff(c: f64) -> String {
+    if (c - c.round()).abs() < 1e-12 {
+        format!("{}", c.round() as i64)
+    } else {
+        format!("{c}")
+    }
+}
+
+/// Serializes the model in LP format.
+///
+/// The objective's constant term is dropped (LP format has no slot for
+/// it); everything else round-trips losslessly through external tools.
+pub fn write_lp(model: &Model) -> String {
+    let mut out = String::new();
+    let (direction, objective) =
+        model.objective().map(|(d, e)| (*d, e.clone())).unwrap_or((
+            Direction::Minimize,
+            LinExpr::new(),
+        ));
+    out.push_str(match direction {
+        Direction::Minimize => "Minimize\n",
+        Direction::Maximize => "Maximize\n",
+    });
+    let _ = writeln!(out, " obj: {}", term_string(model, &objective));
+
+    out.push_str("Subject To\n");
+    for (i, c) in model.constraints().iter().enumerate() {
+        let sense = match c.sense {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "=",
+        };
+        let rhs = c.rhs - c.expr.constant();
+        let _ = writeln!(out, " c{}: {} {} {}", i, term_string(model, &c.expr), sense, fmt_coeff(rhs));
+    }
+
+    out.push_str("Bounds\n");
+    for v in model.variables() {
+        match (v.lower, v.upper.is_finite()) {
+            (l, true) => {
+                let _ = writeln!(out, " {} <= {} <= {}", fmt_coeff(l), v.name, fmt_coeff(v.upper));
+            }
+            (l, false) => {
+                let _ = writeln!(out, " {} <= {}", fmt_coeff(l), v.name);
+            }
+        }
+    }
+
+    let binaries: Vec<&str> = model
+        .variables()
+        .iter()
+        .filter(|v| v.kind == VarKind::Binary)
+        .map(|v| v.name.as_str())
+        .collect();
+    if !binaries.is_empty() {
+        out.push_str("Binary\n");
+        for b in binaries {
+            let _ = writeln!(out, " {b}");
+        }
+    }
+    let integers: Vec<&str> = model
+        .variables()
+        .iter()
+        .filter(|v| v.kind == VarKind::Integer)
+        .map(|v| v.name.as_str())
+        .collect();
+    if !integers.is_empty() {
+        out.push_str("General\n");
+        for i in integers {
+            let _ = writeln!(out, " {i}");
+        }
+    }
+    out.push_str("End\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn sample() -> Model {
+        let mut m = Model::new("sample");
+        let x = m.binary("x");
+        let y = m.integer("y", 0.0, 7.0);
+        let z = m.continuous("z", 1.0, f64::INFINITY);
+        m.add_constraint(
+            "c",
+            LinExpr::from(x) * 3.0 + LinExpr::from(y) - LinExpr::from(z) * 0.5,
+            Sense::Le,
+            6.0,
+        );
+        m.set_objective(Direction::Maximize, LinExpr::from(x) * 10.0 + LinExpr::from(y));
+        m
+    }
+
+    #[test]
+    fn lp_sections_present() {
+        let lp = write_lp(&sample());
+        for section in ["Maximize", "Subject To", "Bounds", "Binary", "General", "End"] {
+            assert!(lp.contains(section), "missing {section} in:\n{lp}");
+        }
+        assert!(lp.contains("3 x + 1 y - 0.5 z <= 6"));
+        assert!(lp.contains("10 x + 1 y"));
+        assert!(lp.contains("0 <= y <= 7"));
+        assert!(lp.contains("1 <= z\n"));
+    }
+
+    #[test]
+    fn constraint_constant_folded_into_rhs() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        m.add_constraint("c", LinExpr::from(x) + 2.0, Sense::Le, 5.0);
+        m.set_objective(Direction::Minimize, LinExpr::from(x));
+        let lp = write_lp(&m);
+        assert!(lp.contains("1 x <= 3"), "{lp}");
+    }
+
+    #[test]
+    fn empty_expression_prints_zero() {
+        let mut m = Model::new("t");
+        let _ = m.binary("x");
+        m.add_constraint("c", LinExpr::new(), Sense::Le, 1.0);
+        m.set_objective(Direction::Minimize, LinExpr::new());
+        let lp = write_lp(&m);
+        assert!(lp.contains("obj: 0"));
+        assert!(lp.contains("c0: 0 <= 1"));
+    }
+
+    #[test]
+    fn leading_negative_coefficient() {
+        let mut m = Model::new("t");
+        let x = m.binary("x");
+        m.set_objective(Direction::Minimize, -LinExpr::from(x));
+        let lp = write_lp(&m);
+        assert!(lp.contains("obj: - 1 x"), "{lp}");
+    }
+}

@@ -1,0 +1,398 @@
+//! The substrate network: switches, links, and their properties.
+//!
+//! Matches the paper's network model (§V-A): an undirected graph
+//! `G = (V_G, E_G)` where each switch `u` has a programmability flag
+//! `P(u)`, a stage count `C_stage`, a per-stage resource capacity `C_res`,
+//! and a maximum transmission latency `t_s(u)`; each link has a
+//! transmission latency `t_l(u, v)`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Number of match-action pipeline stages of a Tofino-class switch.
+pub const TOFINO_STAGES: usize = 12;
+
+/// Identifier of a switch within one [`Network`]; a dense index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwitchId(pub(crate) usize);
+
+impl SwitchId {
+    /// The dense index of this switch.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One switch of the substrate network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Switch {
+    /// Human-readable name (unique within the network).
+    pub name: String,
+    /// `P(u)` — whether the switch is programmable (can host MATs).
+    pub programmable: bool,
+    /// `C_stage` — number of pipeline stages (only meaningful when
+    /// programmable).
+    pub stages: usize,
+    /// `C_res` — per-stage resource capacity in normalized units
+    /// (1.0 = the capacity one "full stage" MAT consumes).
+    pub stage_capacity: f64,
+    /// `t_s(u)` — maximum transmission latency through the switch, in
+    /// microseconds.
+    pub latency_us: f64,
+}
+
+impl Switch {
+    /// A Tofino-like programmable switch: 12 stages of unit capacity, 1 µs.
+    pub fn tofino(name: impl Into<String>) -> Self {
+        Switch {
+            name: name.into(),
+            programmable: true,
+            stages: TOFINO_STAGES,
+            stage_capacity: 1.0,
+            latency_us: 1.0,
+        }
+    }
+
+    /// A legacy (non-programmable) switch that only forwards, 1 µs.
+    pub fn legacy(name: impl Into<String>) -> Self {
+        Switch { name: name.into(), programmable: false, stages: 0, stage_capacity: 0.0, latency_us: 1.0 }
+    }
+
+    /// Total resource capacity across all stages (`C_stage * C_res`).
+    pub fn total_capacity(&self) -> f64 {
+        self.stages as f64 * self.stage_capacity
+    }
+}
+
+/// An undirected link with a transmission latency `t_l(u, v)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// One endpoint.
+    pub a: SwitchId,
+    /// The other endpoint.
+    pub b: SwitchId,
+    /// Transmission latency in microseconds.
+    pub latency_us: f64,
+}
+
+impl Link {
+    /// The endpoint opposite `s`, or `None` if `s` is not an endpoint.
+    pub fn other(&self, s: SwitchId) -> Option<SwitchId> {
+        if s == self.a {
+            Some(self.b)
+        } else if s == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// Errors from network construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A link endpoint referenced a switch id not in the network.
+    UnknownSwitch {
+        /// The invalid index.
+        index: usize,
+    },
+    /// A link connects a switch to itself.
+    SelfLoop {
+        /// The switch in question.
+        switch: usize,
+    },
+    /// The same unordered switch pair was linked twice.
+    DuplicateLink {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownSwitch { index } => write!(f, "unknown switch index {index}"),
+            NetworkError::SelfLoop { switch } => write!(f, "self-loop on switch {switch}"),
+            NetworkError::DuplicateLink { a, b } => write!(f, "duplicate link {a} <-> {b}"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// The substrate network `G = (V_G, E_G)`.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_net::{Network, Switch};
+///
+/// let mut net = Network::new();
+/// let a = net.add_switch(Switch::tofino("a"));
+/// let b = net.add_switch(Switch::tofino("b"));
+/// net.add_link(a, b, 1000.0)?;
+/// assert_eq!(net.switch_count(), 2);
+/// assert!(net.is_connected());
+/// # Ok::<(), hermes_net::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Network {
+    switches: Vec<Switch>,
+    links: Vec<Link>,
+    /// adjacency: per switch, indices into `links`.
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Adds a switch, returning its id.
+    pub fn add_switch(&mut self, switch: Switch) -> SwitchId {
+        self.switches.push(switch);
+        self.adjacency.push(Vec::new());
+        SwitchId(self.switches.len() - 1)
+    }
+
+    /// Adds an undirected link with the given latency (µs).
+    ///
+    /// # Errors
+    ///
+    /// Rejects self-loops, unknown endpoints, and duplicate links.
+    pub fn add_link(&mut self, a: SwitchId, b: SwitchId, latency_us: f64) -> Result<(), NetworkError> {
+        if a.0 >= self.switches.len() {
+            return Err(NetworkError::UnknownSwitch { index: a.0 });
+        }
+        if b.0 >= self.switches.len() {
+            return Err(NetworkError::UnknownSwitch { index: b.0 });
+        }
+        if a == b {
+            return Err(NetworkError::SelfLoop { switch: a.0 });
+        }
+        if self.link_between(a, b).is_some() {
+            return Err(NetworkError::DuplicateLink { a: a.0, b: b.0 });
+        }
+        self.links.push(Link { a, b, latency_us });
+        let idx = self.links.len() - 1;
+        self.adjacency[a.0].push(idx);
+        self.adjacency[b.0].push(idx);
+        Ok(())
+    }
+
+    /// Number of switches `Q = |V_G|`.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of links `N = |E_G|`.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// All switches, indexable by [`SwitchId::index`].
+    pub fn switches(&self) -> &[Switch] {
+        &self.switches
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The switch with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn switch(&self, id: SwitchId) -> &Switch {
+        &self.switches[id.0]
+    }
+
+    /// Mutable access to a switch (e.g. to toggle programmability in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this network.
+    pub fn switch_mut(&mut self, id: SwitchId) -> &mut Switch {
+        &mut self.switches[id.0]
+    }
+
+    /// Iterator over all switch ids in index order.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> + '_ {
+        (0..self.switches.len()).map(SwitchId)
+    }
+
+    /// Ids of the programmable switches.
+    pub fn programmable_switches(&self) -> Vec<SwitchId> {
+        self.switch_ids().filter(|&s| self.switch(s).programmable).collect()
+    }
+
+    /// The link between `a` and `b` if one exists.
+    pub fn link_between(&self, a: SwitchId, b: SwitchId) -> Option<&Link> {
+        self.adjacency.get(a.0)?.iter().map(|&i| &self.links[i]).find(|l| l.other(a) == Some(b))
+    }
+
+    /// Neighbors of `s` with the connecting link latency.
+    pub fn neighbors(&self, s: SwitchId) -> impl Iterator<Item = (SwitchId, f64)> + '_ {
+        self.adjacency[s.0].iter().filter_map(move |&i| {
+            let l = &self.links[i];
+            l.other(s).map(|o| (o, l.latency_us))
+        })
+    }
+
+    /// Looks a switch up by name.
+    pub fn switch_by_name(&self, name: &str) -> Option<SwitchId> {
+        self.switches.iter().position(|s| s.name == name).map(SwitchId)
+    }
+
+    /// The switches of the largest connected component (ties: the one
+    /// containing the smallest switch index). Deployment algorithms that
+    /// fill switches in index order restrict themselves to this set so a
+    /// disconnected WAN (e.g. Table III topology 5) stays deployable.
+    pub fn largest_component(&self) -> Vec<SwitchId> {
+        let n = self.switches.len();
+        let mut component = vec![usize::MAX; n];
+        let mut best: (usize, usize) = (0, usize::MAX); // (size, id)
+        let mut next = 0usize;
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let id = next;
+            next += 1;
+            let mut size = 0usize;
+            let mut stack = vec![start];
+            component[start] = id;
+            while let Some(u) = stack.pop() {
+                size += 1;
+                for (v, _) in self.neighbors(SwitchId(u)) {
+                    if component[v.0] == usize::MAX {
+                        component[v.0] = id;
+                        stack.push(v.0);
+                    }
+                }
+            }
+            if size > best.0 {
+                best = (size, id);
+            }
+        }
+        (0..n).filter(|&i| component[i] == best.1).map(SwitchId).collect()
+    }
+
+    /// `true` iff every switch can reach every other (or the network is
+    /// empty).
+    pub fn is_connected(&self) -> bool {
+        let n = self.switches.len();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = BTreeSet::from([0usize]);
+        let mut stack = vec![SwitchId(0)];
+        while let Some(u) = stack.pop() {
+            for (v, _) in self.neighbors(u) {
+                if seen.insert(v.0) {
+                    stack.push(v);
+                }
+            }
+        }
+        seen.len() == n
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Network({} switches / {} programmable, {} links)",
+            self.switch_count(),
+            self.programmable_switches().len(),
+            self.link_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Network, SwitchId, SwitchId, SwitchId) {
+        let mut net = Network::new();
+        let a = net.add_switch(Switch::tofino("a"));
+        let b = net.add_switch(Switch::tofino("b"));
+        let c = net.add_switch(Switch::legacy("c"));
+        net.add_link(a, b, 10.0).unwrap();
+        net.add_link(b, c, 20.0).unwrap();
+        net.add_link(a, c, 30.0).unwrap();
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let (net, a, b, c) = triangle();
+        assert_eq!(net.switch_count(), 3);
+        assert_eq!(net.link_count(), 3);
+        assert_eq!(net.switch_by_name("b"), Some(b));
+        assert_eq!(net.programmable_switches(), vec![a, b]);
+        assert!(net.switch(c).stages == 0);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut net = Network::new();
+        let a = net.add_switch(Switch::tofino("a"));
+        assert_eq!(net.add_link(a, a, 1.0), Err(NetworkError::SelfLoop { switch: 0 }));
+    }
+
+    #[test]
+    fn duplicate_link_rejected() {
+        let (mut net, a, b, _) = triangle();
+        assert_eq!(net.add_link(a, b, 5.0), Err(NetworkError::DuplicateLink { a: 0, b: 1 }));
+        assert_eq!(net.add_link(b, a, 5.0), Err(NetworkError::DuplicateLink { a: 1, b: 0 }));
+    }
+
+    #[test]
+    fn unknown_switch_rejected() {
+        let mut net = Network::new();
+        let a = net.add_switch(Switch::tofino("a"));
+        let ghost = SwitchId(7);
+        assert_eq!(net.add_link(a, ghost, 1.0), Err(NetworkError::UnknownSwitch { index: 7 }));
+    }
+
+    #[test]
+    fn neighbors_symmetric() {
+        let (net, a, b, _) = triangle();
+        let from_a: Vec<_> = net.neighbors(a).collect();
+        assert_eq!(from_a.len(), 2);
+        assert!(net.neighbors(b).any(|(n, lat)| n == a && lat == 10.0));
+    }
+
+    #[test]
+    fn connectivity() {
+        let (net, ..) = triangle();
+        assert!(net.is_connected());
+        let mut disconnected = Network::new();
+        disconnected.add_switch(Switch::tofino("x"));
+        disconnected.add_switch(Switch::tofino("y"));
+        assert!(!disconnected.is_connected());
+        assert!(Network::new().is_connected());
+    }
+
+    #[test]
+    fn tofino_defaults() {
+        let s = Switch::tofino("t");
+        assert_eq!(s.stages, TOFINO_STAGES);
+        assert_eq!(s.total_capacity(), 12.0);
+        assert!(s.programmable);
+    }
+}

@@ -1,0 +1,338 @@
+//! Path enumeration between switches.
+//!
+//! The MILP formulation needs the path sets `P(u, v)` and each path's
+//! latency `t_p(p)` (paper §V-A), while the greedy heuristic needs shortest
+//! paths and nearest-programmable-switch queries. Path latency follows the
+//! paper: the sum of `t_s` over every switch **on** the path (endpoints
+//! included) plus `t_l` over every link.
+
+use crate::graph::{Network, SwitchId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simple (loop-free) path: the switch sequence from source to target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Path {
+    /// Switches in traversal order; `hops[0]` is the source.
+    pub hops: Vec<SwitchId>,
+    /// `t_p(p)` — total latency in microseconds (switches + links).
+    pub latency_us: f64,
+}
+
+impl Path {
+    /// Number of links traversed.
+    pub fn link_count(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+
+    /// Source switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path, which [`shortest_path`] never produces.
+    pub fn source(&self) -> SwitchId {
+        self.hops[0]
+    }
+
+    /// Target switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty path, which [`shortest_path`] never produces.
+    pub fn target(&self) -> SwitchId {
+        *self.hops.last().expect("paths are non-empty")
+    }
+
+    /// `true` iff the given switch lies on the path (the `E(a, p)`
+    /// indicator of the paper).
+    pub fn contains(&self, s: SwitchId) -> bool {
+        self.hops.contains(&s)
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on dist; ties on node index for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Recomputes a path's latency from the network (switch + link latencies).
+///
+/// # Panics
+///
+/// Panics if consecutive hops are not linked in `net`.
+pub fn path_latency(net: &Network, hops: &[SwitchId]) -> f64 {
+    let switch_lat: f64 = hops.iter().map(|&s| net.switch(s).latency_us).sum();
+    let link_lat: f64 = hops
+        .windows(2)
+        .map(|w| {
+            net.link_between(w[0], w[1])
+                .unwrap_or_else(|| panic!("hops {} and {} are not linked", w[0], w[1]))
+                .latency_us
+        })
+        .sum();
+    switch_lat + link_lat
+}
+
+/// Dijkstra shortest path (by latency) from `src` to `dst`, or `None` if
+/// unreachable. `banned` switches are treated as absent (used by Yen's
+/// algorithm); `src` itself is never banned.
+pub fn shortest_path_avoiding(
+    net: &Network,
+    src: SwitchId,
+    dst: SwitchId,
+    banned: &[bool],
+) -> Option<Path> {
+    let n = net.switch_count();
+    if src.index() >= n || dst.index() >= n {
+        return None;
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    dist[src.index()] = net.switch(src).latency_us;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry { dist: dist[src.index()], node: src.index() });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == dst.index() {
+            break;
+        }
+        for (v, link_lat) in net.neighbors(SwitchId(u)) {
+            if banned.get(v.index()).copied().unwrap_or(false) {
+                continue;
+            }
+            let nd = d + link_lat + net.switch(v).latency_us;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                prev[v.index()] = u;
+                heap.push(HeapEntry { dist: nd, node: v.index() });
+            }
+        }
+    }
+    if dist[dst.index()].is_infinite() {
+        return None;
+    }
+    let mut hops = vec![dst];
+    let mut cur = dst.index();
+    while cur != src.index() {
+        cur = prev[cur];
+        if cur == usize::MAX {
+            return None; // src == dst handled below; broken chain otherwise
+        }
+        hops.push(SwitchId(cur));
+    }
+    hops.reverse();
+    Some(Path { hops, latency_us: dist[dst.index()] })
+}
+
+/// Dijkstra shortest path by latency, or `None` if unreachable.
+/// For `src == dst` the path is the single switch with latency `t_s(src)`.
+pub fn shortest_path(net: &Network, src: SwitchId, dst: SwitchId) -> Option<Path> {
+    let banned = vec![false; net.switch_count()];
+    shortest_path_avoiding(net, src, dst, &banned)
+}
+
+/// Yen's algorithm: up to `k` loop-free shortest paths from `src` to `dst`
+/// in non-decreasing latency order. This materializes the path set
+/// `P(u, v)` consumed by the MILP formulation.
+pub fn k_shortest_paths(net: &Network, src: SwitchId, dst: SwitchId, k: usize) -> Vec<Path> {
+    let Some(first) = shortest_path(net, src, dst) else {
+        return Vec::new();
+    };
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut paths = vec![first];
+    let mut candidates: Vec<Path> = Vec::new();
+    while paths.len() < k {
+        let last = paths.last().expect("non-empty").clone();
+        for i in 0..last.hops.len().saturating_sub(1) {
+            let spur = last.hops[i];
+            let root = &last.hops[..=i];
+            // Ban switches on the root (except the spur) to keep paths simple,
+            // and ban next-hops of paths sharing this root.
+            let mut banned = vec![false; net.switch_count()];
+            for &s in &root[..i] {
+                banned[s.index()] = true;
+            }
+            let mut banned_next: Vec<SwitchId> = Vec::new();
+            for p in paths.iter().chain(candidates.iter()) {
+                if p.hops.len() > i + 1 && p.hops[..=i] == *root {
+                    banned_next.push(p.hops[i + 1]);
+                }
+            }
+            for s in banned_next {
+                banned[s.index()] = true;
+            }
+            if let Some(spur_path) = shortest_path_avoiding(net, spur, dst, &banned) {
+                let mut hops = root[..i].to_vec();
+                hops.extend(spur_path.hops);
+                let latency = path_latency(net, &hops);
+                let candidate = Path { hops, latency_us: latency };
+                let duplicate = paths.iter().chain(candidates.iter()).any(|p| p.hops == candidate.hops);
+                if !duplicate {
+                    candidates.push(candidate);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // Extract the lowest-latency candidate (ties: lexicographic hops).
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.latency_us
+                    .partial_cmp(&b.latency_us)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| a.hops.cmp(&b.hops))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        paths.push(candidates.swap_remove(best));
+    }
+    paths
+}
+
+/// The programmable switches nearest to `origin` by shortest-path latency
+/// (excluding `origin` itself), capped at `count` and at `max_latency_us`.
+/// This is the `SELECT_SWITCHES` primitive of the greedy heuristic
+/// (Algorithm 2, line 23).
+pub fn nearest_programmable(
+    net: &Network,
+    origin: SwitchId,
+    count: usize,
+    max_latency_us: f64,
+) -> Vec<(SwitchId, f64)> {
+    let mut reachable: Vec<(SwitchId, f64)> = net
+        .programmable_switches()
+        .into_iter()
+        .filter(|&s| s != origin)
+        .filter_map(|s| shortest_path(net, origin, s).map(|p| (s, p.latency_us)))
+        .filter(|&(_, lat)| lat <= max_latency_us)
+        .collect();
+    reachable.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal).then_with(|| a.0.cmp(&b.0))
+    });
+    reachable.truncate(count);
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Network, Switch};
+
+    /// a -1- b -1- d, a -5- c -1- d : two a->d paths (3-hop cheap, detour).
+    fn diamond() -> (Network, [SwitchId; 4]) {
+        let mut net = Network::new();
+        let a = net.add_switch(Switch::tofino("a"));
+        let b = net.add_switch(Switch::tofino("b"));
+        let c = net.add_switch(Switch::tofino("c"));
+        let d = net.add_switch(Switch::tofino("d"));
+        net.add_link(a, b, 1.0).unwrap();
+        net.add_link(b, d, 1.0).unwrap();
+        net.add_link(a, c, 5.0).unwrap();
+        net.add_link(c, d, 1.0).unwrap();
+        (net, [a, b, c, d])
+    }
+
+    #[test]
+    fn shortest_path_picks_cheapest() {
+        let (net, [a, b, _, d]) = diamond();
+        let p = shortest_path(&net, a, d).unwrap();
+        assert_eq!(p.hops, vec![a, b, d]);
+        // 3 switches * 1us + links 1 + 1 = 5.
+        assert_eq!(p.latency_us, 5.0);
+    }
+
+    #[test]
+    fn path_to_self_is_single_switch() {
+        let (net, [a, ..]) = diamond();
+        let p = shortest_path(&net, a, a).unwrap();
+        assert_eq!(p.hops, vec![a]);
+        assert_eq!(p.latency_us, 1.0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut net = Network::new();
+        let a = net.add_switch(Switch::tofino("a"));
+        let b = net.add_switch(Switch::tofino("b"));
+        assert!(shortest_path(&net, a, b).is_none());
+    }
+
+    #[test]
+    fn k_shortest_enumerates_both_diamond_paths() {
+        let (net, [a, b, c, d]) = diamond();
+        let paths = k_shortest_paths(&net, a, d, 5);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].hops, vec![a, b, d]);
+        assert_eq!(paths[1].hops, vec![a, c, d]);
+        assert!(paths[0].latency_us <= paths[1].latency_us);
+    }
+
+    #[test]
+    fn k_limits_output() {
+        let (net, [a, _, _, d]) = diamond();
+        assert_eq!(k_shortest_paths(&net, a, d, 1).len(), 1);
+        assert!(k_shortest_paths(&net, a, d, 0).is_empty());
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        let (net, [a, _, _, d]) = diamond();
+        for p in k_shortest_paths(&net, a, d, 10) {
+            let mut hops = p.hops.clone();
+            hops.sort();
+            hops.dedup();
+            assert_eq!(hops.len(), p.hops.len(), "loop in {:?}", p.hops);
+        }
+    }
+
+    #[test]
+    fn path_latency_matches_paper_formula() {
+        let (net, [a, b, _, d]) = diamond();
+        assert_eq!(path_latency(&net, &[a, b, d]), 5.0);
+    }
+
+    #[test]
+    fn nearest_programmable_sorted_and_bounded() {
+        let (mut net, [a, b, c, d]) = diamond();
+        net.switch_mut(c).programmable = false;
+        let near = nearest_programmable(&net, a, 10, f64::INFINITY);
+        assert_eq!(near.first().map(|x| x.0), Some(b));
+        assert!(near.iter().all(|&(s, _)| s != c && s != a));
+        assert_eq!(near.len(), 2);
+        // Tight latency bound keeps only b (3us); d costs 5us.
+        let near = nearest_programmable(&net, a, 10, 3.0);
+        assert_eq!(near.iter().map(|x| x.0).collect::<Vec<_>>(), vec![b]);
+        // Count bound.
+        let near = nearest_programmable(&net, a, 1, f64::INFINITY);
+        assert_eq!(near.len(), 1);
+        let _ = d;
+    }
+}

@@ -1,0 +1,257 @@
+//! Dependency typing and metadata-size analysis (paper §IV, Algorithm 1).
+//!
+//! Given two MATs `a` (upstream in program order) and `b` (downstream), the
+//! dependency type is decided from their field read/write sets:
+//!
+//! | Type | Condition | Metadata `A(a,b)` |
+//! |---|---|---|
+//! | Match (𝕄) | `F^a_a ∩ F^m_b ≠ ∅` | metadata in `F^a_a` |
+//! | Action (𝔸) | `F^a_a ∩ F^a_b ≠ ∅` | metadata in `F^a_a ∪ F^a_b` |
+//! | Reverse match (ℝ) | `F^m_a ∩ F^a_b ≠ ∅` | 0 (ordering only) |
+//! | Successor (𝕊) | explicit control gate | metadata in `F^a_a` |
+//!
+//! Precedence follows Jose et al. \[8\]: 𝕄 > 𝔸 > 𝕊 > ℝ (a pair that
+//! qualifies for several types gets the strongest).
+//!
+//! The paper's Algorithm 1 sums the sizes of *all* metadata fields in the
+//! relevant set ([`AnalysisMode::PaperLiteral`]). A tighter variant only
+//! counts metadata actually consumed by the downstream MAT
+//! ([`AnalysisMode::Intersection`]); it is exposed for ablation studies.
+
+use hermes_dataplane::fields::Field;
+use hermes_dataplane::Mat;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The four MAT dependency types of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DependencyType {
+    /// 𝕄 — downstream matches a field the upstream modifies.
+    Match,
+    /// 𝔸 — both MATs modify a common field.
+    Action,
+    /// ℝ — downstream modifies a field the upstream matches; pure ordering.
+    ReverseMatch,
+    /// 𝕊 — upstream's result gates whether downstream executes.
+    Successor,
+}
+
+impl fmt::Display for DependencyType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DependencyType::Match => "match",
+            DependencyType::Action => "action",
+            DependencyType::ReverseMatch => "reverse-match",
+            DependencyType::Successor => "successor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How `A(a,b)` counts metadata fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnalysisMode {
+    /// Algorithm 1 as printed: every metadata field in the relevant
+    /// write-set counts, whether or not the downstream MAT consumes it.
+    #[default]
+    PaperLiteral,
+    /// Only metadata the downstream MAT actually reads/matches counts.
+    /// Tighter; used by the ablation benchmarks.
+    Intersection,
+}
+
+/// Infers the dependency type between `a` (upstream) and `b` (downstream),
+/// or `None` when the pair is independent.
+///
+/// `gated` reports whether the enclosing program declares a successor gate
+/// `a -> b`; gates cannot be derived from field sets.
+pub fn classify(a: &Mat, b: &Mat, gated: bool) -> Option<DependencyType> {
+    let wa = a.written_fields();
+    // Downstream *consumes* a field either by matching on it or by reading
+    // it inside an action body (e.g. a register index). Both are data
+    // dependencies in the Jose et al. sense, so both type as Match.
+    let mut mb = b.match_fields();
+    mb.extend(b.action_read_fields());
+    if wa.iter().any(|f| mb.contains(f)) {
+        return Some(DependencyType::Match);
+    }
+    let wb = b.written_fields();
+    if wa.iter().any(|f| wb.contains(f)) {
+        return Some(DependencyType::Action);
+    }
+    if gated {
+        return Some(DependencyType::Successor);
+    }
+    let ma = a.match_fields();
+    if wb.iter().any(|f| ma.contains(f)) {
+        return Some(DependencyType::ReverseMatch);
+    }
+    None
+}
+
+fn metadata_bytes(fields: impl IntoIterator<Item = Field>) -> u32 {
+    fields.into_iter().filter(Field::is_metadata).map(|f| f.size_bytes()).sum()
+}
+
+/// Computes `A(a,b)` — the bytes of metadata that must ride on every packet
+/// if `a` and `b` end up on different switches — for an edge of the given
+/// type (Algorithm 1, lines 10–18).
+pub fn metadata_amount(a: &Mat, b: &Mat, dep: DependencyType, mode: AnalysisMode) -> u32 {
+    let wa = a.written_fields();
+    match (dep, mode) {
+        (DependencyType::ReverseMatch, _) => 0,
+        (DependencyType::Match, AnalysisMode::PaperLiteral)
+        | (DependencyType::Successor, AnalysisMode::PaperLiteral) => metadata_bytes(wa),
+        (DependencyType::Match, AnalysisMode::Intersection) => {
+            let mut mb = b.match_fields();
+            mb.extend(b.action_read_fields());
+            metadata_bytes(wa.into_iter().filter(|f| mb.contains(f)))
+        }
+        (DependencyType::Successor, AnalysisMode::Intersection) => {
+            // The gate outcome must travel; approximate it by the metadata
+            // the downstream table consumes, falling back to 1 byte.
+            let consumed: BTreeSet<Field> =
+                b.match_fields().union(&b.action_read_fields()).cloned().collect();
+            let bytes = metadata_bytes(wa.into_iter().filter(|f| consumed.contains(f)));
+            bytes.max(1)
+        }
+        (DependencyType::Action, AnalysisMode::PaperLiteral) => {
+            let union: BTreeSet<Field> = wa.union(&b.written_fields()).cloned().collect();
+            metadata_bytes(union)
+        }
+        (DependencyType::Action, AnalysisMode::Intersection) => {
+            let wb = b.written_fields();
+            metadata_bytes(wa.into_iter().filter(|f| wb.contains(f)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::fields::headers;
+    use hermes_dataplane::mat::MatchKind;
+
+    fn writer(name: &str, fields: &[Field]) -> Mat {
+        Mat::builder(name.to_owned())
+            .action(Action::writing("w", fields.iter().cloned()))
+            .resource(0.1)
+            .build()
+            .unwrap()
+    }
+
+    fn matcher(name: &str, fields: &[Field]) -> Mat {
+        let mut b = Mat::builder(name.to_owned()).action(Action::new("noop")).resource(0.1);
+        for f in fields {
+            b = b.match_field(f.clone(), MatchKind::Exact);
+        }
+        b.build().unwrap()
+    }
+
+    fn meta(name: &str, size: u32) -> Field {
+        Field::metadata(name.to_owned(), size)
+    }
+
+    #[test]
+    fn match_dependency_detected() {
+        let f = meta("meta.x", 4);
+        let a = writer("a", &[f.clone()]);
+        let b = matcher("b", &[f]);
+        assert_eq!(classify(&a, &b, false), Some(DependencyType::Match));
+    }
+
+    #[test]
+    fn action_dependency_detected() {
+        let f = meta("meta.x", 4);
+        let a = writer("a", &[f.clone()]);
+        let b = writer("b", &[f]);
+        assert_eq!(classify(&a, &b, false), Some(DependencyType::Action));
+    }
+
+    #[test]
+    fn reverse_match_detected() {
+        let f = meta("meta.x", 4);
+        let a = matcher("a", &[f.clone()]);
+        let b = writer("b", &[f]);
+        assert_eq!(classify(&a, &b, false), Some(DependencyType::ReverseMatch));
+    }
+
+    #[test]
+    fn successor_requires_gate() {
+        let a = writer("a", &[meta("meta.x", 4)]);
+        let b = matcher("b", &[meta("meta.y", 2)]);
+        assert_eq!(classify(&a, &b, false), None);
+        assert_eq!(classify(&a, &b, true), Some(DependencyType::Successor));
+    }
+
+    #[test]
+    fn match_takes_precedence_over_action_and_gate() {
+        let f = meta("meta.x", 4);
+        let a = writer("a", &[f.clone()]);
+        let b = Mat::builder("b")
+            .match_field(f.clone(), MatchKind::Exact)
+            .action(Action::writing("w", [f]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        assert_eq!(classify(&a, &b, true), Some(DependencyType::Match));
+    }
+
+    #[test]
+    fn paper_literal_match_counts_all_written_metadata() {
+        let shared = meta("meta.x", 4);
+        let extra = meta("meta.z", 12);
+        let a = writer("a", &[shared.clone(), extra]);
+        let b = matcher("b", &[shared]);
+        assert_eq!(metadata_amount(&a, &b, DependencyType::Match, AnalysisMode::PaperLiteral), 16);
+    }
+
+    #[test]
+    fn intersection_match_counts_only_consumed_metadata() {
+        let shared = meta("meta.x", 4);
+        let extra = meta("meta.z", 12);
+        let a = writer("a", &[shared.clone(), extra]);
+        let b = matcher("b", &[shared]);
+        assert_eq!(metadata_amount(&a, &b, DependencyType::Match, AnalysisMode::Intersection), 4);
+    }
+
+    #[test]
+    fn header_fields_never_count() {
+        let a = writer("a", &[headers::ipv4_ttl()]);
+        let b = matcher("b", &[headers::ipv4_ttl()]);
+        assert_eq!(classify(&a, &b, false), Some(DependencyType::Match));
+        assert_eq!(metadata_amount(&a, &b, DependencyType::Match, AnalysisMode::PaperLiteral), 0);
+    }
+
+    #[test]
+    fn reverse_match_carries_no_metadata() {
+        let f = meta("meta.x", 4);
+        let a = matcher("a", &[f.clone()]);
+        let b = writer("b", &[f]);
+        for mode in [AnalysisMode::PaperLiteral, AnalysisMode::Intersection] {
+            assert_eq!(metadata_amount(&a, &b, DependencyType::ReverseMatch, mode), 0);
+        }
+    }
+
+    #[test]
+    fn action_dependency_unions_write_sets_in_paper_mode() {
+        let f = meta("meta.x", 4);
+        let g = meta("meta.g", 6);
+        let a = writer("a", &[f.clone()]);
+        let b = writer("b", &[f.clone(), g]);
+        assert_eq!(metadata_amount(&a, &b, DependencyType::Action, AnalysisMode::PaperLiteral), 10);
+        assert_eq!(metadata_amount(&a, &b, DependencyType::Action, AnalysisMode::Intersection), 4);
+    }
+
+    #[test]
+    fn successor_intersection_has_floor_of_one_byte() {
+        let a = writer("a", &[meta("meta.x", 4)]);
+        let b = matcher("b", &[meta("meta.unrelated", 2)]);
+        assert_eq!(
+            metadata_amount(&a, &b, DependencyType::Successor, AnalysisMode::Intersection),
+            1
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! The table dependency graph (TDG).
+//!
+//! Nodes are MATs; directed edges are typed MAT dependencies annotated with
+//! the metadata amount `A(a,b)` from Algorithm 1. A TDG is always a DAG:
+//! edges derived from a single program point forward in program order, and
+//! [`crate::merge`] refuses merges that would introduce cycles.
+
+use crate::analysis::{classify, metadata_amount, AnalysisMode, DependencyType};
+use hermes_dataplane::{Mat, Program};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a node within one [`Tdg`]. Ids are dense indices and are
+/// only meaningful relative to the graph that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A TDG node: one MAT plus provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TdgNode {
+    /// Program-qualified name, e.g. `"acl/acl_classify"`. After merging, a
+    /// shared node keeps the name of its first occurrence.
+    pub name: String,
+    /// The table itself.
+    pub mat: Mat,
+    /// Names of every program this node serves (grows during merging).
+    pub programs: BTreeSet<String>,
+}
+
+/// A typed dependency edge with its metadata amount.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdgEdge {
+    /// Upstream MAT.
+    pub from: NodeId,
+    /// Downstream MAT.
+    pub to: NodeId,
+    /// Dependency type (𝕄/𝔸/ℝ/𝕊).
+    pub dep: DependencyType,
+    /// `A(a,b)` — metadata bytes that must ride on each packet when the two
+    /// endpoints are deployed on different switches.
+    pub bytes: u32,
+}
+
+/// A table dependency graph.
+///
+/// # Examples
+///
+/// ```
+/// use hermes_dataplane::library;
+/// use hermes_tdg::{AnalysisMode, Tdg};
+///
+/// let tdg = Tdg::from_program(&library::l3_router(), AnalysisMode::PaperLiteral);
+/// assert_eq!(tdg.node_count(), 3);
+/// assert!(tdg.is_dag());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tdg {
+    nodes: Vec<TdgNode>,
+    edges: Vec<TdgEdge>,
+    mode: AnalysisMode,
+}
+
+impl Tdg {
+    /// Creates an empty TDG using the given analysis mode.
+    pub fn new(mode: AnalysisMode) -> Self {
+        Tdg { nodes: Vec::new(), edges: Vec::new(), mode }
+    }
+
+    /// Builds the TDG of a single program: one node per MAT, one typed edge
+    /// per dependent ordered pair, with `A(a,b)` precomputed.
+    pub fn from_program(program: &Program, mode: AnalysisMode) -> Self {
+        let mut tdg = Tdg::new(mode);
+        let tables = program.tables();
+        for t in tables {
+            tdg.push_node(TdgNode {
+                name: format!("{}/{}", program.name(), t.name()),
+                mat: t.clone(),
+                programs: BTreeSet::from([program.name().to_owned()]),
+            });
+        }
+        let gates: BTreeSet<(usize, usize)> = program.gates().iter().copied().collect();
+        for i in 0..tables.len() {
+            for j in (i + 1)..tables.len() {
+                let gated = gates.contains(&(i, j));
+                if let Some(dep) = classify(&tables[i], &tables[j], gated) {
+                    let bytes = metadata_amount(&tables[i], &tables[j], dep, mode);
+                    tdg.edges.push(TdgEdge { from: NodeId(i), to: NodeId(j), dep, bytes });
+                }
+            }
+        }
+        tdg
+    }
+
+    /// The analysis mode used for `A(a,b)`.
+    pub fn mode(&self) -> AnalysisMode {
+        self.mode
+    }
+
+    /// Number of nodes `|V_Tm|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `|E_Tm|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[TdgNode] {
+        &self.nodes
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[TdgEdge] {
+        &self.edges
+    }
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node(&self, id: NodeId) -> &TdgNode {
+        &self.nodes[id.0]
+    }
+
+    /// Iterator over all node ids in index order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Looks a node up by its program-qualified name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Edges leaving `id`.
+    pub fn out_edges(&self, id: NodeId) -> impl Iterator<Item = &TdgEdge> + '_ {
+        self.edges.iter().filter(move |e| e.from == id)
+    }
+
+    /// Edges entering `id`.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = &TdgEdge> + '_ {
+        self.edges.iter().filter(move |e| e.to == id)
+    }
+
+    /// Total normalized resource requirement `Σ R(a)` over all nodes.
+    pub fn total_resource(&self) -> f64 {
+        self.nodes.iter().map(|n| n.mat.resource()).sum()
+    }
+
+    /// Sum of `A(a,b)` over edges crossing from `left` into `right`.
+    /// This is the quantity Algorithm 2 minimizes when splitting.
+    pub fn cross_bytes(&self, left: &BTreeSet<NodeId>, right: &BTreeSet<NodeId>) -> u64 {
+        self.edges
+            .iter()
+            .filter(|e| left.contains(&e.from) && right.contains(&e.to))
+            .map(|e| u64::from(e.bytes))
+            .sum()
+    }
+
+    /// `true` iff the graph has no directed cycle.
+    pub fn is_dag(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Kahn topological order (stable: ties broken by node index), or
+    /// `None` if the graph contains a cycle.
+    pub fn topo_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            indegree[e.to.0] += 1;
+        }
+        let mut out_adj = vec![Vec::new(); n];
+        for e in &self.edges {
+            out_adj[e.from.0].push(e.to.0);
+        }
+        // BTreeSet gives deterministic smallest-index-first extraction.
+        let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(&u) = ready.iter().next() {
+            ready.remove(&u);
+            order.push(NodeId(u));
+            for &v in &out_adj[u] {
+                indegree[v] -= 1;
+                if indegree[v] == 0 {
+                    ready.insert(v);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// The subgraph induced by `keep`, with nodes re-indexed densely in the
+    /// iteration order of `keep`. Edges with either endpoint outside `keep`
+    /// are dropped.
+    pub fn induced(&self, keep: &BTreeSet<NodeId>) -> Tdg {
+        let mut mapping = vec![usize::MAX; self.nodes.len()];
+        let mut nodes = Vec::with_capacity(keep.len());
+        for (new_idx, old) in keep.iter().enumerate() {
+            mapping[old.0] = new_idx;
+            nodes.push(self.nodes[old.0].clone());
+        }
+        let edges = self
+            .edges
+            .iter()
+            .filter(|e| keep.contains(&e.from) && keep.contains(&e.to))
+            .map(|e| TdgEdge {
+                from: NodeId(mapping[e.from.0]),
+                to: NodeId(mapping[e.to.0]),
+                ..*e
+            })
+            .collect();
+        Tdg { nodes, edges, mode: self.mode }
+    }
+
+    /// Recomputes `A(a,b)` on every edge under a (possibly different)
+    /// analysis mode. Used after merging and by ablations.
+    pub fn reanalyze(&mut self, mode: AnalysisMode) {
+        self.mode = mode;
+        for e in &mut self.edges {
+            let a = &self.nodes[e.from.0].mat;
+            let b = &self.nodes[e.to.0].mat;
+            e.bytes = metadata_amount(a, b, e.dep, mode);
+        }
+    }
+
+    /// The largest single-edge metadata amount in the graph.
+    pub fn max_edge_bytes(&self) -> u32 {
+        self.edges.iter().map(|e| e.bytes).max().unwrap_or(0)
+    }
+
+    /// A copy of the graph in which every edge carries `bytes` of
+    /// metadata. This is the special case of the paper's Theorem 1
+    /// (`A(a,b) = 1` reduces P#1 to bin packing) and is used by
+    /// cut-count-minimizing baselines like Flightplan.
+    pub fn with_uniform_edge_bytes(&self, bytes: u32) -> Tdg {
+        let mut copy = self.clone();
+        for e in &mut copy.edges {
+            e.bytes = bytes;
+        }
+        copy
+    }
+
+    pub(crate) fn push_node(&mut self, node: TdgNode) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by in-crate tests
+    pub(crate) fn push_edge(&mut self, edge: TdgEdge) {
+        debug_assert!(edge.from.0 < self.nodes.len() && edge.to.0 < self.nodes.len());
+        self.edges.push(edge);
+    }
+
+    /// Direct construction from parts, used by merging and tests.
+    pub(crate) fn from_parts(nodes: Vec<TdgNode>, edges: Vec<TdgEdge>, mode: AnalysisMode) -> Self {
+        Tdg { nodes, edges, mode }
+    }
+
+    /// Builds a TDG directly from explicit MATs and typed edges, computing
+    /// `A(a,b)` for each. Mainly useful for tests and worked examples where
+    /// the dependency structure is given rather than inferred.
+    pub fn from_mats_and_edges(
+        mats: Vec<(String, Mat)>,
+        edges: Vec<(usize, usize, DependencyType)>,
+        mode: AnalysisMode,
+    ) -> Self {
+        let nodes: Vec<TdgNode> = mats
+            .into_iter()
+            .map(|(name, mat)| TdgNode { name, mat, programs: BTreeSet::new() })
+            .collect();
+        let edges = edges
+            .into_iter()
+            .map(|(from, to, dep)| {
+                let bytes = metadata_amount(&nodes[from].mat, &nodes[to].mat, dep, mode);
+                TdgEdge { from: NodeId(from), to: NodeId(to), dep, bytes }
+            })
+            .collect();
+        Tdg { nodes, edges, mode }
+    }
+}
+
+impl fmt::Display for Tdg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TDG({} nodes, {} edges, R={:.2}, max A={} B)",
+            self.node_count(),
+            self.edge_count(),
+            self.total_resource(),
+            self.max_edge_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::fields::Field;
+    use hermes_dataplane::library;
+    use hermes_dataplane::mat::MatchKind;
+
+    fn chain_program(n: usize, bytes: u32) -> Program {
+        // t0 -> t1 -> ... -> t{n-1}, each link carrying `bytes` of metadata.
+        let mut b = Program::builder("chain");
+        for i in 0..n {
+            let mut mat = Mat::builder(format!("t{i}")).resource(0.1);
+            if i > 0 {
+                mat = mat
+                    .match_field(Field::metadata(format!("meta.c{}", i - 1), bytes), MatchKind::Exact);
+            }
+            let writes = if i + 1 < n {
+                vec![Field::metadata(format!("meta.c{i}"), bytes)]
+            } else {
+                Vec::new()
+            };
+            mat = mat.action(Action::writing("w", writes));
+            b = b.table(mat.build().unwrap());
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_yields_chain_edges() {
+        let tdg = Tdg::from_program(&chain_program(4, 4), AnalysisMode::PaperLiteral);
+        assert_eq!(tdg.node_count(), 4);
+        assert_eq!(tdg.edge_count(), 3);
+        for e in tdg.edges() {
+            assert_eq!(e.dep, DependencyType::Match);
+            assert_eq!(e.bytes, 4);
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let tdg = Tdg::from_program(&library::ecmp_lb(), AnalysisMode::PaperLiteral);
+        let order = tdg.topo_order().expect("program TDGs are DAGs");
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; order.len()];
+            for (rank, id) in order.iter().enumerate() {
+                pos[id.index()] = rank;
+            }
+            pos
+        };
+        for e in tdg.edges() {
+            assert!(pos[e.from.index()] < pos[e.to.index()]);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let prog = chain_program(2, 4);
+        let mut tdg = Tdg::from_program(&prog, AnalysisMode::PaperLiteral);
+        tdg.push_edge(TdgEdge {
+            from: NodeId(1),
+            to: NodeId(0),
+            dep: DependencyType::Match,
+            bytes: 1,
+        });
+        assert!(!tdg.is_dag());
+        assert_eq!(tdg.topo_order(), None);
+    }
+
+    #[test]
+    fn cross_bytes_counts_only_left_to_right() {
+        let tdg = Tdg::from_program(&chain_program(4, 4), AnalysisMode::PaperLiteral);
+        let left: BTreeSet<NodeId> = [NodeId(0), NodeId(1)].into();
+        let right: BTreeSet<NodeId> = [NodeId(2), NodeId(3)].into();
+        assert_eq!(tdg.cross_bytes(&left, &right), 4);
+        assert_eq!(tdg.cross_bytes(&right, &left), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_reindexes() {
+        let tdg = Tdg::from_program(&chain_program(4, 4), AnalysisMode::PaperLiteral);
+        let keep: BTreeSet<NodeId> = [NodeId(1), NodeId(2)].into();
+        let sub = tdg.induced(&keep);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.edges()[0].from, NodeId(0));
+        assert_eq!(sub.edges()[0].to, NodeId(1));
+        assert_eq!(sub.nodes()[0].name, "chain/t1");
+    }
+
+    #[test]
+    fn reanalyze_switches_modes() {
+        // Upstream writes an extra metadata field nobody consumes.
+        let extra = Field::metadata("meta.extra", 12);
+        let key = Field::metadata("meta.key", 4);
+        let a = Mat::builder("a")
+            .action(Action::writing("w", [key.clone(), extra]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let b = Mat::builder("b")
+            .match_field(key, MatchKind::Exact)
+            .action(Action::new("noop"))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p = Program::builder("p").table(a).table(b).build().unwrap();
+        let mut tdg = Tdg::from_program(&p, AnalysisMode::PaperLiteral);
+        assert_eq!(tdg.edges()[0].bytes, 16);
+        tdg.reanalyze(AnalysisMode::Intersection);
+        assert_eq!(tdg.edges()[0].bytes, 4);
+    }
+
+    #[test]
+    fn total_resource_sums_nodes() {
+        let tdg = Tdg::from_program(&chain_program(5, 4), AnalysisMode::PaperLiteral);
+        assert!((tdg.total_resource() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn successor_gate_creates_edge_without_field_overlap() {
+        let p = library::int_telemetry();
+        let tdg = Tdg::from_program(&p, AnalysisMode::PaperLiteral);
+        let transit = tdg.node_by_name("int_telemetry/int_transit").unwrap();
+        let sink = tdg.node_by_name("int_telemetry/int_sink").unwrap();
+        let edge = tdg
+            .edges()
+            .iter()
+            .find(|e| e.from == transit && e.to == sink)
+            .expect("gate edge present");
+        // transit writes meta.int_report (1 B metadata) which the sink matches.
+        assert_eq!(edge.dep, DependencyType::Match);
+        assert_eq!(edge.bytes, 1);
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let tdg = Tdg::new(AnalysisMode::PaperLiteral);
+        assert!(tdg.is_dag());
+        assert_eq!(tdg.max_edge_bytes(), 0);
+        assert_eq!(tdg.total_resource(), 0.0);
+    }
+}

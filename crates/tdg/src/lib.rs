@@ -1,0 +1,38 @@
+//! Table dependency graphs (TDGs) for the Hermes deployment framework.
+//!
+//! Implements the program analyzer of the paper's §IV (Algorithm 1):
+//!
+//! - [`graph`] — the TDG itself: MAT nodes, typed dependency edges, DAG
+//!   utilities (topological order, induced subgraphs, cross-cut metadata).
+//! - [`analysis`] — dependency typing (match 𝕄 / action 𝔸 / reverse ℝ /
+//!   successor 𝕊) and the metadata amount `A(a,b)` each edge carries.
+//! - [`merge`] — SPEED-style merging of per-program TDGs into the merged
+//!   TDG `T_m`, eliminating structurally redundant MATs.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hermes_dataplane::library;
+//! use hermes_tdg::{merge_all, AnalysisMode, Tdg};
+//!
+//! let tdgs: Vec<Tdg> = library::real_programs()
+//!     .iter()
+//!     .map(|p| Tdg::from_program(p, AnalysisMode::PaperLiteral))
+//!     .collect();
+//! let merged = merge_all(tdgs);
+//! assert!(merged.is_dag());
+//! assert!(merged.max_edge_bytes() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod export;
+pub mod graph;
+pub mod merge;
+
+pub use analysis::{classify, metadata_amount, AnalysisMode, DependencyType};
+pub use export::{critical_path, stats, to_dot, TdgStats};
+pub use graph::{NodeId, Tdg, TdgEdge, TdgNode};
+pub use merge::{merge_all, merge_pair};

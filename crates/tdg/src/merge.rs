@@ -1,0 +1,360 @@
+//! SPEED-style TDG merging (paper §IV, Algorithm 1 lines 4–8).
+//!
+//! Different programs exhibit redundancy — the canonical example is every
+//! measurement sketch invoking the same 5-tuple hash. Merging unions the
+//! node and edge sets of two TDGs and then removes as many *redundant* MATs
+//! (structurally identical per [`Mat::signature`](hermes_dataplane::Mat::signature))
+//! as possible while (a) preserving every dependency edge and (b) never
+//! introducing a cycle. A merge candidate that would create a cycle is
+//! skipped, exactly the "remove as many ... while preserving the edges"
+//! behaviour the paper describes.
+
+use crate::analysis::{classify, metadata_amount};
+use crate::graph::{NodeId, Tdg, TdgEdge, TdgNode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Merges all TDGs into one (the `TDG_MERGING` loop of Algorithm 1).
+///
+/// Returns an empty TDG when `tdgs` is empty. The analysis mode of the
+/// first graph is used for the result; callers mixing modes should
+/// [`Tdg::reanalyze`] afterwards.
+pub fn merge_all(tdgs: Vec<Tdg>) -> Tdg {
+    let mut iter = tdgs.into_iter();
+    let Some(mut merged) = iter.next() else {
+        return Tdg::new(crate::analysis::AnalysisMode::PaperLiteral);
+    };
+    for next in iter {
+        merged = merge_pair(merged, next);
+    }
+    merged
+}
+
+/// Merges two TDGs, eliminating redundant MATs across them.
+pub fn merge_pair(t1: Tdg, t2: Tdg) -> Tdg {
+    let mode = t1.mode();
+    let offset = t1.node_count();
+
+    let mut nodes: Vec<TdgNode> = t1.nodes().to_vec();
+    nodes.extend(t2.nodes().iter().cloned());
+    let mut edges: Vec<TdgEdge> = t1.edges().to_vec();
+    edges.extend(t2.edges().iter().map(|e| TdgEdge {
+        from: NodeId(e.from.index() + offset),
+        to: NodeId(e.to.index() + offset),
+        ..*e
+    }));
+
+    // Group nodes by structural signature; node order keeps determinism.
+    let mut groups: BTreeMap<_, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        groups.entry(n.mat.signature()).or_default().push(i);
+    }
+
+    // rep[i] = the surviving node index i is folded into (itself initially).
+    let mut rep: Vec<usize> = (0..nodes.len()).collect();
+    for group in groups.values() {
+        let head = group[0];
+        for &dup in &group[1..] {
+            rep[dup] = head;
+            if has_cycle(nodes.len(), &edges, &rep) {
+                rep[dup] = dup; // undo: this elimination would break the DAG
+            }
+        }
+    }
+
+    // Compact surviving nodes and merge provenance of folded duplicates.
+    let mut new_index = vec![usize::MAX; nodes.len()];
+    let mut out_nodes: Vec<TdgNode> = Vec::new();
+    for i in 0..nodes.len() {
+        if rep[i] == i {
+            new_index[i] = out_nodes.len();
+            out_nodes.push(nodes[i].clone());
+        }
+    }
+    for i in 0..nodes.len() {
+        if rep[i] != i {
+            let programs = nodes[i].programs.clone();
+            out_nodes[new_index[rep[i]]].programs.extend(programs);
+        }
+    }
+
+    // Remap edges, drop self-loops, and deduplicate parallel edges keeping
+    // the largest metadata amount (endpoint signatures are equal, so the
+    // dependency types of folded parallels agree).
+    let mut dedup: BTreeMap<(usize, usize), TdgEdge> = BTreeMap::new();
+    for e in &edges {
+        let from = new_index[rep[e.from.index()]];
+        let to = new_index[rep[e.to.index()]];
+        if from == to {
+            continue;
+        }
+        let remapped = TdgEdge { from: NodeId(from), to: NodeId(to), ..*e };
+        dedup
+            .entry((from, to))
+            .and_modify(|existing| {
+                if remapped.bytes > existing.bytes {
+                    *existing = remapped;
+                }
+            })
+            .or_insert(remapped);
+    }
+
+    // Cross-program dependencies: merging composes the programs
+    // sequentially (`t1` upstream of `t2`), so two MATs touching the same
+    // fields across the program boundary are as interdependent as within
+    // one program — e.g. one program's counter table feeding another
+    // program's policer through a shared metadata field. Shared
+    // (deduplicated) nodes already carry both sides' edges, so inference
+    // runs only between t1-only and t2-only survivors; an edge that would
+    // close a cycle through a shared node is skipped, mirroring the
+    // fold-skipping rule above.
+    let shared: BTreeSet<usize> =
+        (offset..nodes.len()).filter(|&i| rep[i] < offset).map(|i| new_index[rep[i]]).collect();
+    let mut out_edges: Vec<TdgEdge> = dedup.into_values().collect();
+    for i in 0..offset {
+        if rep[i] != i || shared.contains(&new_index[i]) {
+            continue;
+        }
+        for j in offset..nodes.len() {
+            if rep[j] != j {
+                continue;
+            }
+            let (from, to) = (new_index[i], new_index[j]);
+            if out_edges.iter().any(|e| e.from.index() == from && e.to.index() == to) {
+                continue;
+            }
+            let (a, b) = (&nodes[i].mat, &nodes[j].mat);
+            if let Some(dep) = classify(a, b, false) {
+                let bytes = metadata_amount(a, b, dep, mode);
+                let edge = TdgEdge { from: NodeId(from), to: NodeId(to), dep, bytes };
+                out_edges.push(edge);
+                if !is_acyclic(out_nodes.len(), &out_edges) {
+                    out_edges.pop();
+                }
+            }
+        }
+    }
+
+    let merged = Tdg::from_parts(out_nodes, out_edges, mode);
+    debug_assert!(merged.is_dag(), "merge must preserve acyclicity");
+    merged
+}
+
+/// Plain Kahn acyclicity check on dense node indexes.
+fn is_acyclic(n: usize, edges: &[TdgEdge]) -> bool {
+    let mut indegree = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        adj[e.from.index()].push(e.to.index());
+        indegree[e.to.index()] += 1;
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(u) = stack.pop() {
+        seen += 1;
+        for &v in &adj[u] {
+            indegree[v] -= 1;
+            if indegree[v] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    seen == n
+}
+
+/// Cycle check on the graph obtained by contracting every node into its
+/// representative. O(V + E) Kahn.
+fn has_cycle(n: usize, edges: &[TdgEdge], rep: &[usize]) -> bool {
+    let mut indegree = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut m = 0usize;
+    for e in edges {
+        let (f, t) = (rep[e.from.index()], rep[e.to.index()]);
+        if f != t {
+            adj[f].push(t);
+            indegree[t] += 1;
+            m += 1;
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| rep[i] == i && indegree[i] == 0).collect();
+    let mut seen = 0usize;
+    let mut removed_edges = 0usize;
+    while let Some(u) = stack.pop() {
+        seen += 1;
+        for &v in &adj[u] {
+            removed_edges += 1;
+            indegree[v] -= 1;
+            if indegree[v] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    let live_nodes = (0..n).filter(|&i| rep[i] == i).count();
+    seen < live_nodes || removed_edges < m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{AnalysisMode, DependencyType};
+    use crate::graph::Tdg;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::fields::Field;
+    use hermes_dataplane::library;
+    use hermes_dataplane::mat::{Mat, MatchKind};
+    use hermes_dataplane::program::Program;
+
+    fn tdg(p: &Program) -> Tdg {
+        Tdg::from_program(p, AnalysisMode::PaperLiteral)
+    }
+
+    #[test]
+    fn merge_eliminates_shared_hash() {
+        let a = tdg(&library::ecmp_lb());
+        let b = tdg(&library::stateful_firewall());
+        let before = a.node_count() + b.node_count();
+        let merged = merge_pair(a, b);
+        assert_eq!(merged.node_count(), before - 1, "one redundant hash removed");
+        assert!(merged.is_dag());
+        // The shared node now serves both programs.
+        let hash = merged
+            .nodes()
+            .iter()
+            .find(|n| n.name.ends_with("hash_5tuple"))
+            .expect("hash survives");
+        assert!(hash.programs.contains("ecmp_lb"));
+        assert!(hash.programs.contains("stateful_firewall"));
+    }
+
+    #[test]
+    fn merge_all_sketches_shares_one_hash() {
+        let tdgs: Vec<Tdg> = library::sketches::all().iter().map(tdg).collect();
+        let total: usize = tdgs.iter().map(Tdg::node_count).sum();
+        let merged = merge_all(tdgs);
+        // Ten identical hash tables collapse to one: 9 nodes saved.
+        assert_eq!(merged.node_count(), total - 9);
+        assert!(merged.is_dag());
+    }
+
+    #[test]
+    fn merge_without_redundancy_is_disjoint_union() {
+        let a = tdg(&library::l3_router());
+        let b = tdg(&library::acl());
+        let (na, ea) = (a.node_count(), a.edge_count());
+        let (nb, eb) = (b.node_count(), b.edge_count());
+        let merged = merge_pair(a, b);
+        assert_eq!(merged.node_count(), na + nb);
+        assert_eq!(merged.edge_count(), ea + eb);
+    }
+
+    #[test]
+    fn merge_preserves_edges_of_folded_nodes() {
+        let a = tdg(&library::ecmp_lb());
+        let b = tdg(&library::stateful_firewall());
+        let merged = merge_pair(a, b);
+        let hash = merged.node_by_name("ecmp_lb/hash_5tuple").expect("kept first name");
+        // Hash must still feed both the ECMP group and the firewall state.
+        let downstream: Vec<&str> = merged
+            .out_edges(hash)
+            .map(|e| merged.node(e.to).name.as_str())
+            .collect();
+        assert!(downstream.iter().any(|n| n.ends_with("ecmp_group")));
+        assert!(downstream.iter().any(|n| n.ends_with("conn_state")));
+    }
+
+    #[test]
+    fn cycle_inducing_merge_is_skipped() {
+        // P1: x -> y ; P2: y' -> x' with x ≡ x' and y ≡ y'. Folding both
+        // pairs would create x -> y -> x; the merge must keep >= 3 nodes.
+        let f = Field::metadata("meta.f", 4);
+        let g = Field::metadata("meta.g", 4);
+        let x = Mat::builder("x")
+            .match_field(g.clone(), MatchKind::Exact)
+            .action(Action::writing("w", [f.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let y = Mat::builder("y")
+            .match_field(f, MatchKind::Exact)
+            .action(Action::writing("w", [g]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p1 = Program::builder("p1").table(x.clone()).table(y.clone()).build().unwrap();
+        let p2 = Program::builder("p2").table(y).table(x).build().unwrap();
+        let merged = merge_pair(tdg(&p1), tdg(&p2));
+        assert!(merged.is_dag());
+        assert!(merged.node_count() >= 3, "folding both pairs would cycle");
+    }
+
+    #[test]
+    fn parallel_edges_deduplicated_keeping_max_bytes() {
+        // Two identical programs fold completely onto each other.
+        let p = library::cm_sketch();
+        let merged = merge_pair(tdg(&p), tdg(&p));
+        let single = tdg(&p);
+        assert_eq!(merged.node_count(), single.node_count());
+        assert_eq!(merged.edge_count(), single.edge_count());
+        for (a, b) in merged.edges().iter().zip(single.edges()) {
+            assert_eq!(a.bytes, b.bytes);
+        }
+    }
+
+    #[test]
+    fn cross_program_dependency_inferred() {
+        // Program A writes meta.count; program B matches it. Merging must
+        // produce a dependency edge carrying the 4-byte field.
+        let count = Field::metadata("meta.count", 4);
+        let writer = Mat::builder("w")
+            .action(Action::writing("bump", [count.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let reader = Mat::builder("r")
+            .match_field(count, MatchKind::Exact)
+            .action(Action::new("noop"))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let pa = Program::builder("a").table(writer).build().unwrap();
+        let pb = Program::builder("b").table(reader).build().unwrap();
+        let merged = merge_pair(tdg(&pa), tdg(&pb));
+        assert_eq!(merged.edge_count(), 1);
+        let e = merged.edges()[0];
+        assert_eq!(e.dep, DependencyType::Match);
+        assert_eq!(e.bytes, 4);
+        assert_eq!(merged.node(e.from).name, "a/w");
+        assert_eq!(merged.node(e.to).name, "b/r");
+    }
+
+    #[test]
+    fn cross_program_inference_skips_shared_nodes() {
+        // Shared hash: the only edges from it should be the remapped
+        // intra-program ones, not duplicated cross inferences.
+        let a = tdg(&library::ecmp_lb());
+        let b = tdg(&library::stateful_firewall());
+        let merged = merge_pair(a, b);
+        let hash = merged.node_by_name("ecmp_lb/hash_5tuple").unwrap();
+        let to_conn = merged
+            .out_edges(hash)
+            .filter(|e| merged.node(e.to).name.ends_with("conn_state"))
+            .count();
+        assert_eq!(to_conn, 1, "exactly one edge to the firewall consumer");
+    }
+
+    #[test]
+    fn merge_all_of_nothing_is_empty() {
+        let merged = merge_all(Vec::new());
+        assert_eq!(merged.node_count(), 0);
+    }
+
+    #[test]
+    fn merge_all_real_programs_is_dag_and_smaller() {
+        let tdgs: Vec<Tdg> = library::real_programs().iter().map(tdg).collect();
+        let total: usize = tdgs.iter().map(Tdg::node_count).sum();
+        let merged = merge_all(tdgs);
+        assert!(merged.is_dag());
+        assert!(merged.node_count() < total, "library shares the 5-tuple hash");
+        // Edge types survive the merge.
+        assert!(merged.edges().iter().any(|e| e.dep == DependencyType::Match));
+    }
+}

@@ -1,0 +1,53 @@
+//! Property tests over the backend: for random workloads, the distributed
+//! deployment must process packets exactly like a single logical switch,
+//! and the generated configurations must be internally consistent.
+
+use hermes::backend::{config::generate, emulator};
+use hermes::core::{verify, DeploymentAlgorithm, Epsilon, GreedyHeuristic, ProgramAnalyzer};
+use hermes::dataplane::synthetic::{SyntheticConfig, SyntheticGenerator};
+use hermes::net::topology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn distributed_execution_equals_reference(seed in 0u64..3_000, programs in 1usize..5) {
+        let mut generator = SyntheticGenerator::new(seed, SyntheticConfig::default());
+        let tdg = ProgramAnalyzer::new().analyze(&generator.programs(programs));
+        let net = topology::linear(4, 10.0);
+        let eps = Epsilon::loose();
+        let Ok(plan) = GreedyHeuristic::new().deploy(&tdg, &net, &eps) else {
+            return Ok(()); // capacity-infeasible seeds are not the property
+        };
+        prop_assume!(verify(&tdg, &net, &plan, &eps).is_empty());
+        let artifacts = generate(&tdg, &net, &plan);
+
+        for packet_seed in [0u64, 1, 2] {
+            prop_assert!(
+                emulator::equivalent(&tdg, &plan, &artifacts, emulator::test_packet(packet_seed)),
+                "seed {seed}: distributed execution diverged"
+            );
+        }
+        // Wire accounting dominates the per-pair field unions. (Not the
+        // paper's per-edge sum, which double-counts fields shared by
+        // several crossing edges.)
+        let trace = emulator::run_distributed(&tdg, &plan, &artifacts, emulator::test_packet(0));
+        prop_assert!(
+            u64::from(trace.max_wire_bytes())
+                >= emulator::pairwise_field_bytes(&tdg, &plan)
+        );
+        // Configs stay mutually consistent: appended fields are parsed.
+        for config in artifacts.switches.values() {
+            for (next, fields) in &config.appends {
+                for f in fields {
+                    prop_assert!(
+                        artifacts.switches[next].parses.contains(f),
+                        "{} appended but not parsed downstream",
+                        f.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Property test: the MILP solver against exhaustive enumeration.
+//!
+//! Random small pure-binary programs are solved both by branch and bound
+//! and by brute force over all 2^n assignments; objective values must
+//! agree exactly (both are exact methods).
+
+use hermes::milp::{solve, Direction, LinExpr, Model, Sense, SolveStatus, SolverConfig, VarId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomMip {
+    n: usize,
+    costs: Vec<i32>,
+    // Each constraint: coefficients and rhs for `sum coeff*x <= rhs`.
+    constraints: Vec<(Vec<i32>, i32)>,
+    maximize: bool,
+}
+
+fn random_mip() -> impl Strategy<Value = RandomMip> {
+    (2usize..=6).prop_flat_map(|n| {
+        let costs = proptest::collection::vec(-9i32..=9, n);
+        let constraint = (proptest::collection::vec(-5i32..=5, n), -4i32..=12);
+        let constraints = proptest::collection::vec(constraint, 1..=3);
+        (costs, constraints, any::<bool>()).prop_map(move |(costs, constraints, maximize)| {
+            RandomMip { n, costs, constraints, maximize }
+        })
+    })
+}
+
+fn brute_force(mip: &RandomMip) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    for mask in 0u32..(1 << mip.n) {
+        let x = |i: usize| -> i64 { i64::from((mask >> i) & 1) };
+        let feasible = mip.constraints.iter().all(|(coeffs, rhs)| {
+            let lhs: i64 = coeffs.iter().enumerate().map(|(i, &c)| i64::from(c) * x(i)).sum();
+            lhs <= i64::from(*rhs)
+        });
+        if !feasible {
+            continue;
+        }
+        let obj: i64 = mip.costs.iter().enumerate().map(|(i, &c)| i64::from(c) * x(i)).sum();
+        best = Some(match best {
+            None => obj,
+            Some(b) if mip.maximize => b.max(obj),
+            Some(b) => b.min(obj),
+        });
+    }
+    best
+}
+
+fn build(mip: &RandomMip) -> (Model, Vec<VarId>) {
+    let mut model = Model::new("random");
+    let vars: Vec<VarId> = (0..mip.n).map(|i| model.binary(format!("x{i}"))).collect();
+    for (k, (coeffs, rhs)) in mip.constraints.iter().enumerate() {
+        model.add_constraint(
+            format!("c{k}"),
+            LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| (v, f64::from(coeffs[i])))),
+            Sense::Le,
+            f64::from(*rhs),
+        );
+    }
+    let obj = LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| (v, f64::from(mip.costs[i]))));
+    model.set_objective(
+        if mip.maximize { Direction::Maximize } else { Direction::Minimize },
+        obj,
+    );
+    (model, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn branch_and_bound_matches_brute_force(mip in random_mip()) {
+        let expected = brute_force(&mip);
+        let (model, vars) = build(&mip);
+        let solution = solve(&model, &SolverConfig::default()).expect("valid model");
+        match expected {
+            None => prop_assert_eq!(solution.status, SolveStatus::Infeasible),
+            Some(obj) => {
+                prop_assert_eq!(solution.status, SolveStatus::Optimal);
+                prop_assert!(
+                    (solution.objective - obj as f64).abs() < 1e-6,
+                    "solver {} vs brute force {}", solution.objective, obj
+                );
+                // The incumbent itself is feasible and achieves the value.
+                let achieved: f64 = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| solution.value(v) * f64::from(mip.costs[i]))
+                    .sum();
+                prop_assert!((achieved - obj as f64).abs() < 1e-6);
+                prop_assert!(model.is_feasible(&solution.values, 1e-6));
+            }
+        }
+    }
+}
