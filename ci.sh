@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline CI: formatting, lints, and the tier-1 gate.
+# No network access is required — all dependencies are vendored.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "CI OK"

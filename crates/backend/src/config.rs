@@ -176,12 +176,8 @@ pub fn generate(tdg: &Tdg, net: &Network, plan: &DeploymentPlan) -> DeploymentAr
         if u == v || e.bytes == 0 {
             continue;
         }
-        let carried: BTreeSet<Field> = tdg
-            .node(e.from)
-            .mat
-            .written_metadata()
-            .into_iter()
-            .collect();
+        let carried: BTreeSet<Field> =
+            tdg.node(e.from).mat.written_metadata().into_iter().collect();
         if let Some(config) = switches.get_mut(&u) {
             config.appends.entry(v).or_default().extend(carried.iter().cloned());
         }

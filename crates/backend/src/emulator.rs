@@ -177,9 +177,8 @@ pub fn run_distributed(
     artifacts: &DeploymentArtifacts,
     mut pkt: Packet,
 ) -> Trace {
-    let order = artifacts
-        .switch_visit_order(tdg, plan)
-        .expect("verified plans have an acyclic switch DAG");
+    let order =
+        artifacts.switch_visit_order(tdg, plan).expect("verified plans have an acyclic switch DAG");
     let mut regs = Registers::default();
     let mut visits = Vec::with_capacity(order.len());
     let mut wire_bytes = Vec::with_capacity(order.len());
@@ -272,7 +271,12 @@ pub fn run_reference(tdg: &Tdg, mut pkt: Packet) -> Packet {
 /// `true` iff the distributed execution ends with exactly the same field
 /// values as the reference execution — dependency preservation (Goal #2),
 /// observed rather than assumed.
-pub fn equivalent(tdg: &Tdg, plan: &DeploymentPlan, artifacts: &DeploymentArtifacts, pkt: Packet) -> bool {
+pub fn equivalent(
+    tdg: &Tdg,
+    plan: &DeploymentPlan,
+    artifacts: &DeploymentArtifacts,
+    pkt: Packet,
+) -> bool {
     let reference = run_reference(tdg, pkt.clone());
     let distributed = run_distributed(tdg, plan, artifacts, pkt);
     // Compare on header fields plus drop status: metadata is pipeline-
@@ -302,9 +306,7 @@ pub fn test_packet(seed: u64) -> Packet {
         h::tcp_flags(),
         h::vlan_id(),
     ];
-    Packet::with_headers(
-        fields.into_iter().enumerate().map(|(i, f)| (f, mix(seed, i as u64))),
-    )
+    Packet::with_headers(fields.into_iter().enumerate().map(|(i, f)| (f, mix(seed, i as u64))))
 }
 
 #[cfg(test)]
@@ -346,20 +348,21 @@ mod tests {
         use hermes_tdg::AnalysisMode;
 
         let idx = Field::metadata("meta.idx", 4);
-        let a = Mat::builder("a")
-            .action(Action::new("hash").with_op(PrimitiveOp::Hash {
-                dst: idx.clone(),
-                srcs: vec![headers::ipv4_src()],
-            }))
-            .resource(0.5)
-            .build()
-            .unwrap();
+        let a =
+            Mat::builder("a")
+                .action(Action::new("hash").with_op(PrimitiveOp::Hash {
+                    dst: idx.clone(),
+                    srcs: vec![headers::ipv4_src()],
+                }))
+                .resource(0.5)
+                .build()
+                .unwrap();
         let b = Mat::builder("b")
             .match_field(idx.clone(), MatchKind::Exact)
-            .action(Action::new("stamp").with_op(PrimitiveOp::Copy {
-                dst: headers::ipv4_dst(),
-                src: idx.clone(),
-            }))
+            .action(
+                Action::new("stamp")
+                    .with_op(PrimitiveOp::Copy { dst: headers::ipv4_dst(), src: idx.clone() }),
+            )
             .resource(0.5)
             .build()
             .unwrap();

@@ -40,6 +40,7 @@
 pub mod config;
 pub mod emulator;
 pub mod simulate;
+pub mod validate;
 
 pub use config::{generate, DeploymentArtifacts, RouteEntry, StageEntry, SwitchConfig};
 pub use emulator::{
@@ -47,3 +48,4 @@ pub use emulator::{
     Registers, Trace,
 };
 pub use simulate::{simulate_plan, PlanFlowConfig, PlanSimResult};
+pub use validate::{validate_plan, ValidationFailure, ValidationReport};

@@ -105,10 +105,14 @@ pub fn simulate_plan(
             let delay = if i == 0 || i + 2 == nodes.len() {
                 1.0
             } else {
-                net.link_between(traversed[i - 1], traversed[i])
-                    .map_or(1.0, |l| l.latency_us)
+                net.link_between(traversed[i - 1], traversed[i]).map_or(1.0, |l| l.latency_us)
             };
-            sim.add_link(SimLink { from: w[0], to: w[1], rate_gbps: config.rate_gbps, delay_us: delay });
+            sim.add_link(SimLink {
+                from: w[0],
+                to: w[1],
+                rate_gbps: config.rate_gbps,
+                delay_us: delay,
+            });
         }
         sim.add_flow(SimFlow::constant(
             nodes,

@@ -8,7 +8,7 @@
 //! behaviour Hermes improves on.
 
 use hermes_core::{
-    materialize, DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, stage_feasible,
+    materialize, stage_feasible, DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon,
 };
 use hermes_net::Network;
 use hermes_tdg::{NodeId, Tdg};
@@ -36,7 +36,12 @@ impl DeploymentAlgorithm for FirstFitByLevel {
         "FFL"
     }
 
-    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+    fn deploy(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError> {
         first_fit(tdg, net, eps, LevelOrder::ByLevel)
     }
 }
@@ -46,7 +51,12 @@ impl DeploymentAlgorithm for FirstFitByLevelAndSize {
         "FFLS"
     }
 
-    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+    fn deploy(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError> {
         first_fit(tdg, net, eps, LevelOrder::ByLevelAndSize)
     }
 }
@@ -73,11 +83,8 @@ fn first_fit(
     // Restrict to the largest component so routing between consecutive
     // fill switches always exists (Table III topology 5 is disconnected).
     let component = net.largest_component();
-    let candidates: Vec<_> = net
-        .programmable_switches()
-        .into_iter()
-        .filter(|s| component.contains(s))
-        .collect();
+    let candidates: Vec<_> =
+        net.programmable_switches().into_iter().filter(|s| component.contains(s)).collect();
     if candidates.is_empty() {
         return Err(DeployError::NoProgrammableSwitch);
     }
@@ -188,8 +195,7 @@ mod tests {
         let (tdg, net) = testbed_inputs();
         let eps = Epsilon::loose();
         let ffl = FirstFitByLevel.deploy(&tdg, &net, &eps).unwrap();
-        let hermes =
-            hermes_core::GreedyHeuristic::new().deploy(&tdg, &net, &eps).unwrap();
+        let hermes = hermes_core::GreedyHeuristic::new().deploy(&tdg, &net, &eps).unwrap();
         assert!(
             hermes.max_inter_switch_bytes(&tdg) <= ffl.max_inter_switch_bytes(&tdg),
             "hermes {} vs ffl {}",

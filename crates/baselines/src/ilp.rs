@@ -26,9 +26,7 @@ use hermes_core::{
     materialize, DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, GreedyHeuristic,
     SplitStrategy,
 };
-use hermes_milp::{
-    solve, Direction, LinExpr, Model, Sense, SolveStatus, SolverConfig, VarId,
-};
+use hermes_milp::{solve, Direction, LinExpr, Model, Sense, SolveStatus, SolverConfig, VarId};
 use hermes_net::{shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
 use std::time::Duration;
@@ -123,13 +121,15 @@ impl DeploymentAlgorithm for IlpBaseline {
         true
     }
 
-    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+    fn deploy(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError> {
         let component = net.largest_component();
-        let candidates: Vec<SwitchId> = net
-            .programmable_switches()
-            .into_iter()
-            .filter(|s| component.contains(s))
-            .collect();
+        let candidates: Vec<SwitchId> =
+            net.programmable_switches().into_iter().filter(|s| component.contains(s)).collect();
         if candidates.is_empty() {
             return Err(DeployError::NoProgrammableSwitch);
         }
@@ -155,7 +155,12 @@ impl DeploymentAlgorithm for IlpBaseline {
 impl IlpBaseline {
     /// Greedy fallback used beyond the size guard or when the ILP returns
     /// nothing within budget. Each surrogate mimics the objective's shape.
-    fn surrogate(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+    fn surrogate(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError> {
         match self.objective {
             IlpObjective::PackLeft => FirstFitByLevel.deploy(tdg, net, eps),
             IlpObjective::MinLatency | IlpObjective::LatencyAndRuleBalance => {
@@ -176,6 +181,7 @@ impl IlpBaseline {
 
 /// Builds and solves the assignment model, returning `assign[node] ->
 /// candidate index` or `None` when no incumbent was found in budget.
+#[allow(clippy::needless_range_loop)] // candidate-column index `c` is semantic in the encoding
 fn solve_assignment(
     tdg: &Tdg,
     net: &Network,
@@ -202,8 +208,7 @@ fn solve_assignment(
     }
     for (c, &sw) in candidates.iter().enumerate() {
         let cap = net.switch(sw).total_capacity();
-        let load =
-            LinExpr::sum((0..n).map(|a| (z[a][c], tdg.node(nodes[a]).mat.resource())));
+        let load = LinExpr::sum((0..n).map(|a| (z[a][c], tdg.node(nodes[a]).mat.resource())));
         model.add_constraint(format!("cap_{c}"), load, Sense::Le, cap);
     }
 
@@ -254,9 +259,8 @@ fn solve_assignment(
     match objective {
         IlpObjective::PackLeft => {
             let obj = LinExpr::sum(
-                z.iter().flat_map(|vars| {
-                    vars.iter().enumerate().map(|(c, &v)| (v, (c + 1) as f64))
-                }),
+                z.iter()
+                    .flat_map(|vars| vars.iter().enumerate().map(|(c, &v)| (v, (c + 1) as f64))),
             );
             model.set_objective(Direction::Minimize, obj);
         }
@@ -325,26 +329,20 @@ fn solve_assignment(
         IlpObjective::BalanceLoad => {
             let l = model.continuous("load_max", 0.0, f64::INFINITY);
             for c in 0..q {
-                let load = LinExpr::sum(
-                    (0..n).map(|a| (z[a][c], tdg.node(nodes[a]).mat.resource())),
-                );
+                let load =
+                    LinExpr::sum((0..n).map(|a| (z[a][c], tdg.node(nodes[a]).mat.resource())));
                 model.add_constraint(format!("bal_{c}"), LinExpr::from(l) - load, Sense::Ge, 0.0);
             }
             model.set_objective(Direction::Minimize, LinExpr::from(l));
         }
     }
 
-    let solution =
-        solve(&model, &SolverConfig::with_time_limit(config.time_limit)).ok()?;
+    let solution = solve(&model, &SolverConfig::with_time_limit(config.time_limit)).ok()?;
     match solution.status {
         SolveStatus::Optimal | SolveStatus::Feasible => {}
         _ => return None,
     }
-    Some(
-        (0..n)
-            .map(|a| (0..q).find(|&c| solution.value(z[a][c]) > 0.5).expect("placed"))
-            .collect(),
-    )
+    Some((0..n).map(|a| (0..q).find(|&c| solution.value(z[a][c]) > 0.5).expect("placed")).collect())
 }
 
 /// Sonata \[4\]: deploys programs one at a time, each through its own small
@@ -376,13 +374,15 @@ impl DeploymentAlgorithm for Sonata {
         true
     }
 
-    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+    fn deploy(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError> {
         let component = net.largest_component();
-        let candidates: Vec<SwitchId> = net
-            .programmable_switches()
-            .into_iter()
-            .filter(|s| component.contains(s))
-            .collect();
+        let candidates: Vec<SwitchId> =
+            net.programmable_switches().into_iter().filter(|s| component.contains(s)).collect();
         if candidates.is_empty() {
             return Err(DeployError::NoProgrammableSwitch);
         }
@@ -491,8 +491,11 @@ mod tests {
 
     fn small_inputs() -> (Tdg, Network) {
         // Three programs keep the ILPs tiny enough for exact solves.
-        let tdg = ProgramAnalyzer::new()
-            .analyze(&[library::l3_router(), library::acl(), library::cm_sketch()]);
+        let tdg = ProgramAnalyzer::new().analyze(&[
+            library::l3_router(),
+            library::acl(),
+            library::cm_sketch(),
+        ]);
         let net = topology::linear(3, 10.0);
         (tdg, net)
     }

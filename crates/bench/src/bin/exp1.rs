@@ -47,10 +47,7 @@ fn main() {
     let panel = |title: &str, cell: &dyn Fn(&Measurement) -> String| {
         let mut t = Table::new(header.clone());
         for (i, name) in algos.iter().enumerate() {
-            t.row(
-                std::iter::once(name.clone())
-                    .chain(points.iter().map(|p| cell(&p.results[i]))),
-            );
+            t.row(std::iter::once(name.clone()).chain(points.iter().map(|p| cell(&p.results[i]))));
         }
         println!("({title})\n{}", t.render());
     };
@@ -68,11 +65,11 @@ fn main() {
 
     // Headline: Hermes vs the worst baseline at 10 programs.
     let last = &points.last().expect("non-empty").results;
-    let hermes = last
-        .iter()
-        .find(|m| m.algorithm == "Hermes")
-        .and_then(|m| m.overhead_bytes)
-        .unwrap_or(0);
+    let hermes =
+        last.iter().find(|m| m.algorithm == "Hermes").and_then(|m| m.overhead_bytes).unwrap_or(0);
     let worst = last.iter().filter_map(|m| m.overhead_bytes).max().unwrap_or(0);
-    println!("headline: at 10 programs Hermes saves {} bytes vs the worst framework", worst - hermes);
+    println!(
+        "headline: at 10 programs Hermes saves {} bytes vs the worst framework",
+        worst - hermes
+    );
 }

@@ -46,9 +46,13 @@ fn main() {
             .chain(points.iter().map(|p| format!("T{}", p.topology))),
     );
     for (i, name) in algos.iter().enumerate() {
-        t.row(std::iter::once(name.clone()).chain(points.iter().map(|p| {
-            p.results[i].overhead_bytes.map_or("-".into(), |b| b.to_string())
-        })));
+        t.row(
+            std::iter::once(name.clone()).chain(
+                points
+                    .iter()
+                    .map(|p| p.results[i].overhead_bytes.map_or("-".into(), |b| b.to_string())),
+            ),
+        );
     }
     println!("{}", t.render());
 
@@ -63,11 +67,8 @@ fn main() {
         vals.iter().sum::<u64>() as f64 / vals.len().max(1) as f64
     };
     let hermes = avg("Hermes");
-    let others: Vec<f64> = algos
-        .iter()
-        .filter(|a| *a != "Hermes" && *a != "Optimal")
-        .map(|a| avg(a))
-        .collect();
+    let others: Vec<f64> =
+        algos.iter().filter(|a| *a != "Hermes" && *a != "Optimal").map(|a| avg(a)).collect();
     let mean_other = others.iter().sum::<f64>() / others.len().max(1) as f64;
     if mean_other > 0.0 {
         println!(

@@ -43,9 +43,11 @@ fn main() {
             .chain(points.iter().map(|p| format!("T{}", p.topology))),
     );
     for (i, name) in algos.iter().enumerate() {
-        t.row(std::iter::once(name.clone()).chain(
-            points.iter().map(|p| fmt_ms(p.results[i].reported_ms, p.results[i].capped)),
-        ));
+        t.row(
+            std::iter::once(name.clone()).chain(
+                points.iter().map(|p| fmt_ms(p.results[i].reported_ms, p.results[i].capped)),
+            ),
+        );
     }
     println!("{}", t.render());
 

@@ -44,12 +44,16 @@ fn main() {
     let mut fct = Table::new(header.clone());
     let mut goodput = Table::new(header);
     for (i, name) in algos.iter().enumerate() {
-        fct.row(std::iter::once(name.clone()).chain(points.iter().map(|p| {
-            p.results[i].fct_ratio.map_or("-".into(), |f| format!("{f:.3}"))
-        })));
-        goodput.row(std::iter::once(name.clone()).chain(points.iter().map(|p| {
-            p.results[i].goodput_ratio.map_or("-".into(), |g| format!("{g:.3}"))
-        })));
+        fct.row(std::iter::once(name.clone()).chain(
+            points.iter().map(|p| p.results[i].fct_ratio.map_or("-".into(), |f| format!("{f:.3}"))),
+        ));
+        goodput.row(
+            std::iter::once(name.clone()).chain(
+                points
+                    .iter()
+                    .map(|p| p.results[i].goodput_ratio.map_or("-".into(), |g| format!("{g:.3}"))),
+            ),
+        );
     }
     println!("(a) normalized FCT\n{}", fct.render());
     println!("(b) normalized goodput\n{}", goodput.render());

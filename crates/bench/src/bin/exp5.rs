@@ -36,8 +36,8 @@ fn main() {
 
     println!("Exp#5 (Figure 9) — scalability on topology 10, 10..50 programs\n");
     let algos: Vec<String> = points[0].results.iter().map(|r| r.algorithm.clone()).collect();
-    let header = std::iter::once("algorithm".to_owned())
-        .chain(counts.iter().map(|n| format!("{n} progs")));
+    let header =
+        std::iter::once("algorithm".to_owned()).chain(counts.iter().map(|n| format!("{n} progs")));
 
     let panel = |title: &str, cell: &dyn Fn(&Measurement) -> String| {
         let mut t = Table::new(header.clone());
@@ -52,9 +52,7 @@ fn main() {
     });
     panel("b) execution time, ms", &|m| fmt_ms(m.reported_ms, m.capped));
     panel("c) normalized FCT", &|m| m.fct_ratio.map_or("-".into(), |f| format!("{f:.3}")));
-    panel("d) normalized goodput", &|m| {
-        m.goodput_ratio.map_or("-".into(), |g| format!("{g:.3}"))
-    });
+    panel("d) normalized goodput", &|m| m.goodput_ratio.map_or("-".into(), |g| format!("{g:.3}")));
 
     // Headline: Hermes execution time grows with the program count but
     // stays in milliseconds.

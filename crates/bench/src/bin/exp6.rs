@@ -39,9 +39,10 @@ fn main() {
         plan.placements().iter().map(|p| p.fraction).sum()
     };
     let hermes_plan = GreedyHeuristic::new().deploy(&tdg, &net, &eps).expect("sketches deploy");
-    let speed_plan = IlpBaseline::speed(IlpConfig { time_limit: ilp_budget(5), ..Default::default() })
-        .deploy(&tdg, &net, &eps)
-        .expect("sketches deploy");
+    let speed_plan =
+        IlpBaseline::speed(IlpConfig { time_limit: ilp_budget(5), ..Default::default() })
+            .deploy(&tdg, &net, &eps)
+            .expect("sketches deploy");
 
     // Clamp float dust: a deployment cannot consume negative extras.
     let extra = |deployed: f64| -> f64 {

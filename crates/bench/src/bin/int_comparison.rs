@@ -7,9 +7,7 @@
 //! a DCN-style multi-flow workload.
 
 use hermes_bench::report::{maybe_json, Table};
-use hermes_sim::workload::{
-    aggregate, run_workload, FlowSizes, OverheadModel, WorkloadConfig,
-};
+use hermes_sim::workload::{aggregate, run_workload, FlowSizes, OverheadModel, WorkloadConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -58,7 +56,8 @@ fn main() {
 
     println!("Constant coordination metadata vs. INT-style per-hop accumulation");
     println!("(40 flows of 100-400 kB, 1024 B packets, 100 Gbps links)\n");
-    let mut t = Table::new(["hops", "overhead model", "mean FCT (us)", "p99 FCT (us)", "goodput (Gbps)"]);
+    let mut t =
+        Table::new(["hops", "overhead model", "mean FCT (us)", "p99 FCT (us)", "goodput (Gbps)"]);
     for r in &rows {
         t.row([
             r.hops.to_string(),

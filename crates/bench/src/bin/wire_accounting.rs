@@ -6,7 +6,11 @@
 //! *understates* the on-wire load whenever metadata produced on switch 1
 //! is consumed on switch 3 — it must also transit switch 2.
 
-use hermes_backend::{config::generate, emulator, simulate::{simulate_plan, PlanFlowConfig}};
+use hermes_backend::{
+    config::generate,
+    emulator,
+    simulate::{simulate_plan, PlanFlowConfig},
+};
 use hermes_baselines::standard_suite;
 use hermes_bench::report::{maybe_json, Table};
 use hermes_bench::{analyze, ilp_budget, workload};

@@ -140,15 +140,13 @@ pub fn run_suite(
                 total += start.elapsed();
                 plan = result.ok();
             }
-            let measured_ms =
-                total.as_secs_f64() * 1000.0 / config.timing_runs.max(1) as f64;
-            let capped = algo.is_exhaustive()
-                && (binaries > ILP_SIZE_GUARD || rank_cells > ILP_RANK_GUARD);
+            let measured_ms = total.as_secs_f64() * 1000.0 / config.timing_runs.max(1) as f64;
+            let capped =
+                algo.is_exhaustive() && (binaries > ILP_SIZE_GUARD || rank_cells > ILP_RANK_GUARD);
             let reported_ms = if capped { CAPPED_TIME_MS } else { measured_ms };
             let overhead = plan.as_ref().map(|p| p.max_inter_switch_bytes(tdg));
-            let perf: Option<NormalizedPerf> = overhead.map(|bytes| {
-                normalized_impact(&config.sim, config.packet_size, bytes as u32)
-            });
+            let perf: Option<NormalizedPerf> = overhead
+                .map(|bytes| normalized_impact(&config.sim, config.packet_size, bytes as u32));
             Measurement {
                 algorithm: algo.name().to_owned(),
                 overhead_bytes: overhead,
@@ -212,9 +210,8 @@ mod tests {
             assert!(!r.capped, "tiny instance should not cap");
         }
         // Hermes never worse than the overhead-oblivious baselines.
-        let get = |name: &str| {
-            rows.iter().find(|r| r.algorithm == name).unwrap().overhead_bytes.unwrap()
-        };
+        let get =
+            |name: &str| rows.iter().find(|r| r.algorithm == name).unwrap().overhead_bytes.unwrap();
         assert!(get("Hermes") <= get("FFL"));
         assert!(get("Hermes") <= get("MS"));
         assert!(get("Optimal") <= get("Hermes"));

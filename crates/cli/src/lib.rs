@@ -1,8 +1,8 @@
 //! Library backing the `hermes` command-line tool.
 //!
 //! Everything testable lives here: argument parsing, topology-spec
-//! parsing, algorithm lookup, and the three commands (`analyze`,
-//! `deploy`, `simulate`). `main.rs` is a thin shell around [`run`].
+//! parsing, algorithm lookup, and the four commands (`analyze`, `deploy`,
+//! `simulate`, `chaos`). `main.rs` is a thin shell around [`run`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -11,13 +11,15 @@ use hermes_backend::config::generate;
 use hermes_backend::simulate::{simulate_plan, PlanFlowConfig};
 use hermes_baselines::{FirstFitByLevel, FirstFitByLevelAndSize, IlpBaseline, IlpConfig, Sonata};
 use hermes_core::{
-    explain, verify, DeploymentAlgorithm, Epsilon, GreedyHeuristic, OptimalSolver,
-    ProgramAnalyzer,
+    explain, verify, DeploymentAlgorithm, Epsilon, GreedyHeuristic, OptimalSolver, ProgramAnalyzer,
 };
 use hermes_dataplane::lint::lint_composition;
 use hermes_dataplane::parser::parse_programs;
 use hermes_net::topology::{self, WanConfig};
 use hermes_net::Network;
+use hermes_runtime::{
+    DeploymentRuntime, Event, FaultInjector, FaultProfile, RetryPolicy, RolloutOutcome,
+};
 use std::fmt;
 use std::time::Duration;
 
@@ -44,9 +46,9 @@ fn err(msg: impl Into<String>) -> CliError {
 ///
 /// Returns [`CliError`] on malformed specs.
 pub fn parse_topology(spec: &str) -> Result<Network, CliError> {
-    let (kind, args) = spec.split_once(':').ok_or_else(|| {
-        err(format!("topology `{spec}` must look like `linear:3` or `wan:10`"))
-    })?;
+    let (kind, args) = spec
+        .split_once(':')
+        .ok_or_else(|| err(format!("topology `{spec}` must look like `linear:3` or `wan:10`")))?;
     let int = |s: &str| -> Result<usize, CliError> {
         s.parse().map_err(|_| err(format!("`{s}` is not a number in `{spec}`")))
     };
@@ -73,8 +75,7 @@ pub fn parse_topology(spec: &str) -> Result<Network, CliError> {
                 return Err(err("waxman spec is `waxman:N,ALPHA,BETA,SEED`"));
             }
             let n = int(parts[0])?;
-            let alpha: f64 =
-                parts[1].parse().map_err(|_| err("bad alpha"))?;
+            let alpha: f64 = parts[1].parse().map_err(|_| err("bad alpha"))?;
             let beta: f64 = parts[2].parse().map_err(|_| err("bad beta"))?;
             let seed: u64 = parts[3].parse().map_err(|_| err("bad seed"))?;
             if !(alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0) {
@@ -115,7 +116,7 @@ pub fn algorithm(name: &str, budget: Duration) -> Result<Box<dyn DeploymentAlgor
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
-    /// Subcommand: analyze | deploy | simulate.
+    /// Subcommand: analyze | deploy | simulate | chaos.
     pub command: String,
     /// Program source files.
     pub files: Vec<String>,
@@ -131,8 +132,10 @@ pub struct Options {
     pub budget_secs: u64,
     /// Emit Graphviz dot (analyze).
     pub dot: bool,
-    /// Emit JSON artifacts (deploy).
+    /// Emit JSON artifacts (deploy) or the event log (chaos).
     pub json: bool,
+    /// Fault-injection seed (chaos).
+    pub seed: u64,
 }
 
 impl Default for Options {
@@ -147,6 +150,7 @@ impl Default for Options {
             budget_secs: 10,
             dot: false,
             json: false,
+            seed: 0,
         }
     }
 }
@@ -160,6 +164,8 @@ USAGE:
   hermes deploy   <files…> [--topology SPEC] [--algorithm NAME]
                   [--eps1 US] [--eps2 N] [--budget SECS] [--json]
   hermes simulate <files…> [--topology SPEC] [--algorithm NAME]
+  hermes chaos    <files…> [--topology SPEC] [--seed N]
+                  [--eps1 US] [--eps2 N] [--json]
 
 TOPOLOGY SPECS:  linear:N  star:N  fattree:K  wan:1..10  waxman:N,A,B,SEED
 ALGORITHMS:      hermes optimal ffl ffls ms sonata speed mtp fp p4all
@@ -173,11 +179,9 @@ ALGORITHMS:      hermes optimal ffl ffls ms sonata speed mtp fp p4all
 pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut options = Options::default();
     let mut iter = args.iter().peekable();
-    options.command = iter
-        .next()
-        .ok_or_else(|| err(format!("missing command\n\n{USAGE}")))?
-        .clone();
-    if !matches!(options.command.as_str(), "analyze" | "deploy" | "simulate") {
+    options.command =
+        iter.next().ok_or_else(|| err(format!("missing command\n\n{USAGE}")))?.clone();
+    if !matches!(options.command.as_str(), "analyze" | "deploy" | "simulate" | "chaos") {
         return Err(err(format!("unknown command `{}`\n\n{USAGE}", options.command)));
     }
     while let Some(arg) = iter.next() {
@@ -199,6 +203,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 options.budget_secs =
                     value(&mut iter)?.parse().map_err(|_| err("--budget needs seconds"))?
             }
+            "--seed" => {
+                options.seed =
+                    value(&mut iter)?.parse().map_err(|_| err("--seed needs an integer"))?
+            }
             "--dot" => options.dot = true,
             "--json" => options.json = true,
             flag if flag.starts_with("--") => {
@@ -216,8 +224,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
 fn load_programs(options: &Options) -> Result<Vec<hermes_dataplane::Program>, CliError> {
     let mut sources = String::new();
     for file in &options.files {
-        let text = std::fs::read_to_string(file)
-            .map_err(|e| err(format!("cannot read `{file}`: {e}")))?;
+        let text =
+            std::fs::read_to_string(file).map_err(|e| err(format!("cannot read `{file}`: {e}")))?;
         sources.push_str(&text);
         sources.push('\n');
     }
@@ -297,6 +305,44 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             )
             .map_err(io)?;
         }
+        "chaos" => {
+            let net = parse_topology(&options.topology)?;
+            let eps = Epsilon::new(options.eps1, options.eps2);
+            let plan = GreedyHeuristic::new()
+                .deploy(&tdg, &net, &eps)
+                .map_err(|e| err(format!("Hermes failed: {e}")))?;
+            let injector = FaultInjector::new(options.seed, FaultProfile::chaos());
+            let mut runtime = DeploymentRuntime::new(net, eps, injector, RetryPolicy::default());
+            let outcome = runtime.rollout(&tdg, plan);
+            writeln!(out, "seed {}: {}", options.seed, outcome).map_err(io)?;
+            let log = runtime.log();
+            writeln!(
+                out,
+                "events: {} ({} faults, {} retries, {} rollbacks)",
+                log.len(),
+                log.count(|e| matches!(e, Event::FaultInjected { .. })),
+                log.count(|e| matches!(e, Event::RetryScheduled { .. })),
+                log.count(|e| matches!(e, Event::RolledBack { .. })),
+            )
+            .map_err(io)?;
+            if let RolloutOutcome::Committed { healed: true, .. } = outcome {
+                for e in &log.events {
+                    if let Event::RecoveryCompleted {
+                        recovery_us, a_max_before, a_max_after, ..
+                    } = e
+                    {
+                        writeln!(
+                            out,
+                            "recovery: {recovery_us} us, A_max {a_max_before} -> {a_max_after} B"
+                        )
+                        .map_err(io)?;
+                    }
+                }
+            }
+            if options.json {
+                writeln!(out, "{}", log.to_json()).map_err(io)?;
+            }
+        }
         _ => unreachable!("validated in parse_args"),
     }
     Ok(())
@@ -313,7 +359,14 @@ mod tests {
     #[test]
     fn parses_deploy_flags() {
         let options = parse_args(&args(&[
-            "deploy", "a.p4dsl", "--topology", "wan:3", "--algorithm", "ffl", "--eps2", "4",
+            "deploy",
+            "a.p4dsl",
+            "--topology",
+            "wan:3",
+            "--algorithm",
+            "ffl",
+            "--eps2",
+            "4",
             "--json",
         ]))
         .unwrap();
@@ -347,8 +400,40 @@ mod tests {
     }
 
     #[test]
+    fn topology_error_messages_name_the_problem() {
+        let msg = |spec: &str| parse_topology(spec).unwrap_err().0;
+        assert!(msg("linear").contains("must look like `linear:3`"), "{}", msg("linear"));
+        assert!(msg("linear:x").contains("`x` is not a number"), "{}", msg("linear:x"));
+        assert!(
+            msg("linear:x").contains("linear:x"),
+            "error should quote the full spec: {}",
+            msg("linear:x")
+        );
+        assert!(msg("fattree:3").contains("even"), "{}", msg("fattree:3"));
+        assert!(msg("wan:11").contains("1..=10"), "{}", msg("wan:11"));
+        assert!(msg("waxman:5").contains("waxman:N,ALPHA,BETA,SEED"), "{}", msg("waxman:5"));
+        assert!(msg("waxman:5,2.0,0.4,7").contains("(0, 1]"), "{}", msg("waxman:5,2.0,0.4,7"));
+        assert!(msg("blob:2").contains("unknown topology kind `blob`"), "{}", msg("blob:2"));
+    }
+
+    #[test]
+    fn chaos_flags_parse() {
+        let options =
+            parse_args(&args(&["chaos", "a.p4dsl", "--seed", "42", "--topology", "linear:4"]))
+                .unwrap();
+        assert_eq!(options.command, "chaos");
+        assert_eq!(options.seed, 42);
+        assert_eq!(options.topology, "linear:4");
+        assert!(parse_args(&args(&["chaos", "a.p4dsl", "--seed", "banana"])).is_err());
+        // Default seed is 0 when the flag is absent.
+        assert_eq!(parse_args(&args(&["chaos", "a.p4dsl"])).unwrap().seed, 0);
+    }
+
+    #[test]
     fn algorithm_lookup() {
-        for name in ["hermes", "optimal", "ffl", "ffls", "ms", "sonata", "speed", "mtp", "fp", "p4all"] {
+        for name in
+            ["hermes", "optimal", "ffl", "ffls", "ms", "sonata", "speed", "mtp", "fp", "p4all"]
+        {
             assert!(algorithm(name, Duration::from_secs(1)).is_ok(), "{name}");
         }
         assert!(algorithm("gurobi", Duration::from_secs(1)).is_err());
@@ -375,21 +460,16 @@ mod tests {
             "#,
         )
         .unwrap();
-        let options = parse_args(&args(&[
-            "deploy",
-            file.to_str().unwrap(),
-            "--topology",
-            "linear:2",
-        ]))
-        .unwrap();
+        let options =
+            parse_args(&args(&["deploy", file.to_str().unwrap(), "--topology", "linear:2"]))
+                .unwrap();
         let mut out = Vec::new();
         run(&options, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("deployment: A_max="), "{text}");
 
         // analyze over the same file reports the TDG.
-        let options =
-            parse_args(&args(&["analyze", file.to_str().unwrap(), "--dot"])).unwrap();
+        let options = parse_args(&args(&["analyze", file.to_str().unwrap(), "--dot"])).unwrap();
         let mut out = Vec::new();
         run(&options, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -397,23 +477,38 @@ mod tests {
         assert!(text.contains("digraph"), "{text}");
 
         // simulate reports the end-to-end impact.
+        let options =
+            parse_args(&args(&["simulate", file.to_str().unwrap(), "--topology", "linear:2"]))
+                .unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("impact:"), "{text}");
+
+        // chaos runs a seeded fault-injected rollout and reports it.
         let options = parse_args(&args(&[
-            "simulate",
+            "chaos",
             file.to_str().unwrap(),
             "--topology",
-            "linear:2",
+            "linear:3",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         let mut out = Vec::new();
         run(&options, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("impact:"), "{text}");
+        assert!(text.contains("seed 7:"), "{text}");
+        assert!(text.contains("events:"), "{text}");
+        // The same seed reports the same thing.
+        let mut again = Vec::new();
+        run(&options, &mut again).unwrap();
+        assert_eq!(text, String::from_utf8(again).unwrap());
     }
 
     #[test]
     fn missing_file_is_a_clean_error() {
-        let options =
-            parse_args(&args(&["analyze", "/nonexistent/path.p4dsl"])).unwrap();
+        let options = parse_args(&args(&["analyze", "/nonexistent/path.p4dsl"])).unwrap();
         let mut out = Vec::new();
         let e = run(&options, &mut out).unwrap_err();
         assert!(e.0.contains("cannot read"), "{e}");

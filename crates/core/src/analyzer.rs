@@ -44,8 +44,7 @@ impl ProgramAnalyzer {
     /// Algorithm 1: convert → merge → analyze. Returns the merged TDG
     /// `T_m` with `A(a, b)` recorded on every edge.
     pub fn analyze(&self, programs: &[Program]) -> Tdg {
-        let tdgs: Vec<Tdg> =
-            programs.iter().map(|p| Tdg::from_program(p, self.mode)).collect();
+        let tdgs: Vec<Tdg> = programs.iter().map(|p| Tdg::from_program(p, self.mode)).collect();
         merge_all(tdgs)
     }
 }

@@ -213,7 +213,7 @@ impl Default for Epsilon {
 }
 
 /// Errors shared by every deployment algorithm.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DeployError {
     /// A single MAT exceeds the total capacity of every candidate switch.
     MatTooLarge {
@@ -259,7 +259,12 @@ pub trait DeploymentAlgorithm {
     /// # Errors
     ///
     /// Returns [`DeployError`] when no feasible deployment exists.
-    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError>;
+    fn deploy(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError>;
 
     /// `true` for solver-backed frameworks whose running time explodes
     /// with instance size (ILP solvers, exhaustive search). Experiment
@@ -286,8 +291,10 @@ mod tests {
         for i in 0..n {
             let mut mat = Mat::builder(format!("t{i}")).resource(0.2);
             if i > 0 {
-                mat = mat
-                    .match_field(Field::metadata(format!("m{}", i - 1), bytes[i - 1]), MatchKind::Exact);
+                mat = mat.match_field(
+                    Field::metadata(format!("m{}", i - 1), bytes[i - 1]),
+                    MatchKind::Exact,
+                );
             }
             let writes = if i < bytes.len() {
                 vec![Field::metadata(format!("m{i}"), bytes[i])]

@@ -19,9 +19,7 @@
 //! optimality was proven, which the execution-time experiment (Exp#3) uses
 //! to flag timed-out ILP-style runs.
 
-use crate::deployment::{
-    DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute,
-};
+use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute};
 use crate::heuristic::GreedyHeuristic;
 use crate::stage_assign::assign_stages;
 use hermes_net::{shortest_path, Network, SwitchId};
@@ -68,7 +66,12 @@ impl OptimalSolver {
     ///
     /// Returns [`DeployError`] when not even the heuristic incumbent nor
     /// any exhaustive assignment is feasible.
-    pub fn solve(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<OptimalOutcome, DeployError> {
+    pub fn solve(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<OptimalOutcome, DeployError> {
         let candidates = net.programmable_switches();
         if candidates.is_empty() {
             return Err(DeployError::NoProgrammableSwitch);
@@ -85,10 +88,8 @@ impl OptimalSolver {
         // Seed with the heuristic.
         let seed = GreedyHeuristic::new().deploy(tdg, net, eps).ok();
         let mut best_plan = seed.clone();
-        let mut best: u64 = seed
-            .as_ref()
-            .map(|p| p.max_inter_switch_bytes(tdg))
-            .unwrap_or(u64::MAX);
+        let mut best: u64 =
+            seed.as_ref().map(|p| p.max_inter_switch_bytes(tdg)).unwrap_or(u64::MAX);
         // A zero-overhead incumbent is already optimal.
         if best == 0 {
             return Ok(OptimalOutcome {
@@ -154,7 +155,12 @@ impl DeploymentAlgorithm for OptimalSolver {
         "Optimal"
     }
 
-    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+    fn deploy(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError> {
         self.solve(tdg, net, eps).map(|o| o.plan)
     }
 
@@ -205,11 +211,7 @@ impl Search<'_> {
 
         // Symmetry breaking: only the first unused switch may be opened.
         let used_switches: usize = if self.symmetric {
-            self.assign[..]
-                .iter()
-                .filter(|&&a| a != usize::MAX)
-                .collect::<BTreeSet<_>>()
-                .len()
+            self.assign[..].iter().filter(|&&a| a != usize::MAX).collect::<BTreeSet<_>>().len()
         } else {
             0
         };
@@ -279,6 +281,7 @@ impl Search<'_> {
 
     /// Kahn acyclicity check over the switch-level order edges. `q` is
     /// tiny (bounded by the programmable switch count), so O(q²) is fine.
+    #[allow(clippy::needless_range_loop)] // `v` indexes both `indegree` and the flat edge matrix
     fn switch_dag_acyclic(&self) -> bool {
         let q = self.candidates.len();
         let mut indegree = vec![0u32; q];
@@ -337,10 +340,7 @@ pub fn materialize(
 ) -> Option<DeploymentPlan> {
     let mut plan = DeploymentPlan::new();
     for (c, &switch) in candidates.iter().enumerate() {
-        let nodes: BTreeSet<NodeId> = tdg
-            .node_ids()
-            .filter(|id| assign[id.index()] == c)
-            .collect();
+        let nodes: BTreeSet<NodeId> = tdg.node_ids().filter(|id| assign[id.index()] == c).collect();
         if nodes.is_empty() {
             continue;
         }
@@ -382,8 +382,10 @@ mod tests {
         for i in 0..n {
             let mut mat = Mat::builder(format!("t{i}")).resource(resource);
             if i > 0 {
-                mat = mat
-                    .match_field(Field::metadata(format!("m{}", i - 1), bytes[i - 1]), MatchKind::Exact);
+                mat = mat.match_field(
+                    Field::metadata(format!("m{}", i - 1), bytes[i - 1]),
+                    MatchKind::Exact,
+                );
             }
             let writes = if i < bytes.len() {
                 vec![Field::metadata(format!("m{i}"), bytes[i])]
@@ -506,7 +508,7 @@ mod tests {
         let solver = OptimalSolver::new(Duration::from_millis(0));
         let out = solver.solve(&tdg, &net, &Epsilon::loose()).unwrap();
         assert!(!out.proven_optimal);
-        assert!(out.plan.placements().len() > 0);
+        assert!(!out.plan.placements().is_empty());
     }
 
     #[test]

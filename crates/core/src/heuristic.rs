@@ -12,9 +12,7 @@
 //!    when enough candidates exist, map the `i`-th segment to the `i`-th
 //!    candidate and wire consecutive segments with latency-shortest paths.
 
-use crate::deployment::{
-    DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute,
-};
+use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute};
 use crate::stage_assign::{assign_stages, fits_total_capacity, stage_feasible};
 use hermes_net::{nearest_programmable, shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
@@ -262,6 +260,7 @@ impl GreedyHeuristic {
     /// Returns [`DeployError::NoFeasiblePlacement`] when not even ignoring
     /// boundary costs yields `<= max_segments` feasible segments, and
     /// [`DeployError::MatTooLarge`] when one MAT alone overflows a switch.
+    #[allow(clippy::needless_range_loop)] // `b` is a boundary position, not a `cost` iterator
     pub fn split_bounded(
         &self,
         tdg: &Tdg,
@@ -356,10 +355,7 @@ impl GreedyHeuristic {
             }
         }
         let (_, ranges) = best.expect("checked above");
-        Ok(ranges
-            .into_iter()
-            .map(|(from, to)| order[from..to].iter().copied().collect())
-            .collect())
+        Ok(ranges.into_iter().map(|(from, to)| order[from..to].iter().copied().collect()).collect())
     }
 }
 
@@ -403,7 +399,12 @@ impl DeploymentAlgorithm for GreedyHeuristic {
         }
     }
 
-    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+    fn deploy(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError> {
         let programmable = net.programmable_switches();
         if programmable.is_empty() {
             return Err(DeployError::NoProgrammableSwitch);
@@ -489,7 +490,12 @@ impl GreedyHeuristic {
     /// Level-ordered first-fit packing (never returns to an earlier
     /// switch), used only when both splitters fail. Produces the same
     /// placements an overhead-oblivious baseline would.
-    fn first_fit_fallback(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Option<DeploymentPlan> {
+    fn first_fit_fallback(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Option<DeploymentPlan> {
         // Dependency levels: a level sort is a topological sort.
         let order = tdg.topo_order().expect("TDGs are DAGs");
         let mut level = vec![0usize; tdg.node_count()];
@@ -597,7 +603,11 @@ mod tests {
     /// at most two MATs each.
     fn figure4_tdg() -> Tdg {
         let m = |n: &str, s: u32| Field::metadata(format!("meta.{n}"), s);
-        let a = Mat::builder("a").action(Action::writing("w", [m("ab", 4)])).resource(0.5).build().unwrap();
+        let a = Mat::builder("a")
+            .action(Action::writing("w", [m("ab", 4)]))
+            .resource(0.5)
+            .build()
+            .unwrap();
         let b = Mat::builder("b")
             .match_field(m("ab", 4), MatchKind::Exact)
             .action(Action::writing("w", [m("bc", 4)]))
@@ -623,14 +633,8 @@ mod tests {
             .resource(0.5)
             .build()
             .unwrap();
-        let p = Program::builder("fig4")
-            .table(a)
-            .table(b)
-            .table(c)
-            .table(d)
-            .table(e)
-            .build()
-            .unwrap();
+        let p =
+            Program::builder("fig4").table(a).table(b).table(c).table(d).table(e).build().unwrap();
         // Intersection mode so each edge carries exactly its own field.
         Tdg::from_program(&p, AnalysisMode::Intersection)
     }
@@ -790,9 +794,7 @@ mod tests {
         let random = GreedyHeuristic::with_strategy(SplitStrategy::Random(3))
             .deploy(&tdg, &net, &Epsilon::loose())
             .unwrap();
-        assert!(
-            paper.max_inter_switch_bytes(&tdg) <= random.max_inter_switch_bytes(&tdg)
-        );
+        assert!(paper.max_inter_switch_bytes(&tdg) <= random.max_inter_switch_bytes(&tdg));
     }
 
     #[test]

@@ -15,10 +15,12 @@ use crate::heuristic::{placement_order, GreedyHeuristic};
 use crate::stage_assign::{assign_stages, stage_feasible};
 use hermes_net::{nearest_programmable, shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 /// Result of an incremental redeploy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IncrementalOutcome {
     /// The new plan covering the whole (new) merged TDG.
     pub plan: DeploymentPlan,
@@ -28,6 +30,41 @@ pub struct IncrementalOutcome {
     pub placed: usize,
     /// `true` when pinning failed and a full redeploy was performed.
     pub full_redeploy: bool,
+}
+
+impl fmt::Display for IncrementalOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reused + {} placed{} ({})",
+            self.reused,
+            self.placed,
+            if self.full_redeploy { " via full redeploy" } else { "" },
+            self.plan
+        )
+    }
+}
+
+/// Options controlling an incremental redeploy.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RedeployOptions {
+    /// Switches that must not host any MAT in the new plan (typically
+    /// failed or draining switches). Pinned placements on these switches
+    /// are dropped and their MATs re-homed into residual capacity
+    /// elsewhere; the full-redeploy fallback also avoids them.
+    pub exclude: BTreeSet<SwitchId>,
+}
+
+impl RedeployOptions {
+    /// Options for healing after the given switches failed.
+    pub fn excluding(switches: impl IntoIterator<Item = SwitchId>) -> Self {
+        RedeployOptions { exclude: switches.into_iter().collect() }
+    }
+
+    /// `true` iff `s` may host MATs under these options and is up in `net`.
+    fn usable(&self, net: &Network, s: SwitchId) -> bool {
+        !self.exclude.contains(&s) && net.is_switch_up(s)
+    }
 }
 
 /// Incremental deployer wrapping the greedy heuristic.
@@ -56,10 +93,43 @@ impl IncrementalDeployer {
         net: &Network,
         eps: &Epsilon,
     ) -> Result<IncrementalOutcome, DeployError> {
-        match self.try_pinned(old_tdg, old_plan, new_tdg, net, eps) {
+        self.redeploy_with(old_tdg, old_plan, new_tdg, net, eps, &RedeployOptions::default())
+    }
+
+    /// Like [`IncrementalDeployer::redeploy`], but honoring
+    /// [`RedeployOptions`]: placements on excluded (or down) switches are
+    /// not pinned, and neither the pinned attempt nor the full-redeploy
+    /// fallback places MATs there. This is the healing entry point after a
+    /// switch failure: exclude the failed switches and the surviving
+    /// placements stay put while only the lost MATs are re-homed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] when neither pinned placement nor a full
+    /// redeploy is feasible under the options.
+    pub fn redeploy_with(
+        &self,
+        old_tdg: &Tdg,
+        old_plan: &DeploymentPlan,
+        new_tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        opts: &RedeployOptions,
+    ) -> Result<IncrementalOutcome, DeployError> {
+        match self.try_pinned(old_tdg, old_plan, new_tdg, net, eps, opts) {
             Some(outcome) => Ok(outcome),
             None => {
-                let plan = self.fallback.deploy(new_tdg, net, eps)?;
+                // The greedy fallback only knows programmability, so mask
+                // excluded switches out of a scratch copy of the network.
+                let plan = if opts.exclude.is_empty() {
+                    self.fallback.deploy(new_tdg, net, eps)?
+                } else {
+                    let mut masked = net.clone();
+                    for &s in &opts.exclude {
+                        masked.switch_mut(s).programmable = false;
+                    }
+                    self.fallback.deploy(new_tdg, &masked, eps)?
+                };
                 Ok(IncrementalOutcome {
                     placed: new_tdg.node_count(),
                     reused: 0,
@@ -77,8 +147,10 @@ impl IncrementalDeployer {
         new_tdg: &Tdg,
         net: &Network,
         eps: &Epsilon,
+        opts: &RedeployOptions,
     ) -> Option<IncrementalOutcome> {
-        // Identify reusable nodes: same qualified name and signature.
+        // Identify reusable nodes: same qualified name and signature, on a
+        // switch that is still usable.
         let old_by_name: BTreeMap<&str, NodeId> =
             old_tdg.node_ids().map(|id| (old_tdg.node(id).name.as_str(), id)).collect();
         let mut pinned: BTreeMap<NodeId, SwitchId> = BTreeMap::new();
@@ -87,18 +159,28 @@ impl IncrementalDeployer {
             if let Some(&old_id) = old_by_name.get(node.name.as_str()) {
                 if old_tdg.node(old_id).mat.signature() == node.mat.signature() {
                     if let Some(switch) = old_plan.switch_of(old_id) {
-                        pinned.insert(id, switch);
+                        if opts.usable(net, switch) {
+                            pinned.insert(id, switch);
+                        }
                     }
                 }
             }
         }
 
-        // Establish a switch rank from the old plan's visit order; new
-        // switches are appended after it (nearest unused programmable).
+        // Establish a switch rank from the old plan's visit order (minus
+        // unusable switches); new switches are appended after it (nearest
+        // unused programmable).
         let mut order: Vec<SwitchId> = old_visit_order(old_tdg, old_plan)?;
-        let anchor = *order.first()?;
+        order.retain(|&s| opts.usable(net, s));
+        let anchor = order
+            .first()
+            .copied()
+            .or_else(|| net.programmable_switches().into_iter().find(|&s| opts.usable(net, s)))?;
+        if !order.contains(&anchor) {
+            order.push(anchor);
+        }
         for (s, _) in nearest_programmable(net, anchor, net.switch_count(), eps.max_latency_us) {
-            if !order.contains(&s) {
+            if opts.usable(net, s) && !order.contains(&s) {
                 order.push(s);
             }
         }
@@ -232,9 +314,8 @@ mod tests {
         let new_tdg = ProgramAnalyzer::new()
             .analyze(&library::real_programs().into_iter().take(5).collect::<Vec<_>>());
         let eps = Epsilon::loose();
-        let out = IncrementalDeployer::new()
-            .redeploy(&old_tdg, &old_plan, &new_tdg, &net, &eps)
-            .unwrap();
+        let out =
+            IncrementalDeployer::new().redeploy(&old_tdg, &old_plan, &new_tdg, &net, &eps).unwrap();
         assert!(verify(&new_tdg, &net, &out.plan, &eps).is_empty());
         if !out.full_redeploy {
             assert_eq!(out.reused, old_tdg.node_count(), "every old MAT stays put");
@@ -266,10 +347,53 @@ mod tests {
         let (old_tdg, old_plan, net) = deploy_first_n(2);
         let new_tdg = ProgramAnalyzer::new().analyze(&library::real_programs());
         let eps = Epsilon::loose();
-        let out = IncrementalDeployer::new()
-            .redeploy(&old_tdg, &old_plan, &new_tdg, &net, &eps)
-            .unwrap();
+        let out =
+            IncrementalDeployer::new().redeploy(&old_tdg, &old_plan, &new_tdg, &net, &eps).unwrap();
         assert!(verify(&new_tdg, &net, &out.plan, &eps).is_empty());
+    }
+
+    #[test]
+    fn healing_rehomes_only_lost_mats() {
+        let (tdg, plan, mut net) = deploy_first_n(4);
+        let eps = Epsilon::loose();
+        // Fail one occupied switch and heal with it excluded.
+        let dead = *plan.occupied_switches().iter().next().expect("plan occupies switches");
+        let lost = plan.nodes_on(dead).len();
+        assert!(lost > 0);
+        net.fail_switch(dead);
+        let opts = RedeployOptions::excluding([dead]);
+        let out =
+            IncrementalDeployer::new().redeploy_with(&tdg, &plan, &tdg, &net, &eps, &opts).unwrap();
+        assert!(verify(&tdg, &net, &out.plan, &eps).is_empty());
+        assert!(!out.plan.occupied_switches().contains(&dead), "no MAT on the dead switch");
+        if !out.full_redeploy {
+            assert_eq!(out.reused, tdg.node_count() - lost);
+            assert_eq!(out.placed, lost);
+            // Survivors really kept their switches.
+            for id in tdg.node_ids() {
+                if plan.switch_of(id) != Some(dead) {
+                    assert_eq!(plan.switch_of(id), out.plan.switch_of(id));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excluding_an_up_switch_keeps_it_empty_even_on_fallback() {
+        let (tdg, plan, net) = deploy_first_n(2);
+        let eps = Epsilon::loose();
+        for s in net.switch_ids() {
+            if !net.switch(s).programmable {
+                continue;
+            }
+            let opts = RedeployOptions::excluding([s]);
+            let Ok(out) =
+                IncrementalDeployer::new().redeploy_with(&tdg, &plan, &tdg, &net, &eps, &opts)
+            else {
+                continue; // capacity may not allow healing around s
+            };
+            assert!(!out.plan.occupied_switches().contains(&s), "excluded {s} must stay empty");
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub use deployment::{
 };
 pub use exact::{materialize, OptimalOutcome, OptimalSolver};
 pub use heuristic::{placement_order, GreedyHeuristic, SplitStrategy};
-pub use incremental::{IncrementalDeployer, IncrementalOutcome};
+pub use incremental::{IncrementalDeployer, IncrementalOutcome, RedeployOptions};
 pub use milp_formulation::{build_p1, MilpHermes, P1Variables};
 pub use refine::refine;
 pub use report::{diff, explain, PlanDiff};

@@ -51,9 +51,8 @@ pub fn build_p1(tdg: &Tdg, net: &Network, eps: &Epsilon) -> (Model, P1Variables)
     let mut model = Model::new("hermes-p1");
 
     // z(a, u) — Eq. 6 output variables at switch granularity.
-    let placement: Vec<Vec<VarId>> = (0..n)
-        .map(|a| (0..q).map(|c| model.binary(format!("z_{a}_{c}"))).collect())
-        .collect();
+    let placement: Vec<Vec<VarId>> =
+        (0..n).map(|a| (0..q).map(|c| model.binary(format!("z_{a}_{c}"))).collect()).collect();
     let a_max = model.continuous("A_max", 0.0, f64::INFINITY);
 
     // Eq. 6: every MAT on exactly one switch.
@@ -120,7 +119,8 @@ pub fn build_p1(tdg: &Tdg, net: &Network, eps: &Epsilon) -> (Model, P1Variables)
 
     // Chainability (Eq. 7): ranks keep the switch dependency graph acyclic.
     let big_m = (q + 1) as f64;
-    let ranks: Vec<VarId> = (0..q).map(|c| model.continuous(format!("r_{c}"), 0.0, q as f64)).collect();
+    let ranks: Vec<VarId> =
+        (0..q).map(|c| model.continuous(format!("r_{c}"), 0.0, q as f64)).collect();
     for (ei, e) in edges.iter().enumerate() {
         for u in 0..q {
             for v in 0..q {
@@ -220,7 +220,12 @@ impl DeploymentAlgorithm for MilpHermes {
         true
     }
 
-    fn deploy(&self, tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<DeploymentPlan, DeployError> {
+    fn deploy(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+    ) -> Result<DeploymentPlan, DeployError> {
         if net.programmable_switches().is_empty() {
             return Err(DeployError::NoProgrammableSwitch);
         }
@@ -228,9 +233,8 @@ impl DeploymentAlgorithm for MilpHermes {
             return Ok(DeploymentPlan::new());
         }
         let (model, vars) = build_p1(tdg, net, eps);
-        let solution = solve(&model, &self.config).map_err(|e| DeployError::NoFeasiblePlacement {
-            reason: format!("milp error: {e}"),
-        })?;
+        let solution = solve(&model, &self.config)
+            .map_err(|e| DeployError::NoFeasiblePlacement { reason: format!("milp error: {e}") })?;
         match solution.status {
             SolveStatus::Optimal | SolveStatus::Feasible => {}
             other => {
@@ -271,8 +275,10 @@ mod tests {
         for i in 0..n {
             let mut mat = Mat::builder(format!("t{i}")).resource(resource);
             if i > 0 {
-                mat = mat
-                    .match_field(Field::metadata(format!("m{}", i - 1), bytes[i - 1]), MatchKind::Exact);
+                mat = mat.match_field(
+                    Field::metadata(format!("m{}", i - 1), bytes[i - 1]),
+                    MatchKind::Exact,
+                );
             }
             let writes = if i < bytes.len() {
                 vec![Field::metadata(format!("m{i}"), bytes[i])]

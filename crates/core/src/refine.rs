@@ -56,8 +56,7 @@ pub fn refine(
         best
     };
     let feasible_switch = |assign: &[usize], c: usize| -> bool {
-        let set: BTreeSet<NodeId> =
-            tdg.node_ids().filter(|id| assign[id.index()] == c).collect();
+        let set: BTreeSet<NodeId> = tdg.node_ids().filter(|id| assign[id.index()] == c).collect();
         let sw = net.switch(candidates[c]);
         stage_feasible(tdg, &set, sw.stages, sw.stage_capacity)
     };
@@ -152,10 +151,10 @@ pub fn refine(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analyzer::ProgramAnalyzer;
     use crate::deployment::DeploymentAlgorithm;
     use crate::heuristic::GreedyHeuristic;
     use crate::verify::verify;
-    use crate::analyzer::ProgramAnalyzer;
     use hermes_dataplane::library;
     use hermes_net::topology;
 

@@ -21,12 +21,8 @@ pub fn explain(tdg: &Tdg, net: &Network, plan: &DeploymentPlan) -> String {
     for switch in plan.occupied_switches() {
         let sw = net.switch(switch);
         let nodes = plan.nodes_on(switch);
-        let load: f64 = plan
-            .placements()
-            .iter()
-            .filter(|p| p.switch == switch)
-            .map(|p| p.fraction)
-            .sum();
+        let load: f64 =
+            plan.placements().iter().filter(|p| p.switch == switch).map(|p| p.fraction).sum();
         let _ = writeln!(
             out,
             "  {} — {} MATs, {:.1}/{:.1} units",
@@ -170,9 +166,8 @@ mod tests {
 
         let new_programs: Vec<_> = library::real_programs().into_iter().take(5).collect();
         let new_tdg = ProgramAnalyzer::new().analyze(&new_programs);
-        let out = IncrementalDeployer::new()
-            .redeploy(&old_tdg, &old_plan, &new_tdg, &net, &eps)
-            .unwrap();
+        let out =
+            IncrementalDeployer::new().redeploy(&old_tdg, &old_plan, &new_tdg, &net, &eps).unwrap();
         let d = diff(&old_tdg, &old_plan, &new_tdg, &out.plan);
         if !out.full_redeploy {
             assert!(d.moved.is_empty(), "pinned MATs must not move: {:?}", d.moved);

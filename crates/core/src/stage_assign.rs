@@ -81,7 +81,12 @@ pub fn assign_stages(
 /// `true` iff `nodes` admits a dependency-respecting stage assignment on a
 /// pipeline of `stages` × `stage_capacity`. Used as the fit probe of the
 /// splitting recursion, where no concrete switch has been chosen yet.
-pub fn stage_feasible(tdg: &Tdg, nodes: &BTreeSet<NodeId>, stages: usize, stage_capacity: f64) -> bool {
+pub fn stage_feasible(
+    tdg: &Tdg,
+    nodes: &BTreeSet<NodeId>,
+    stages: usize,
+    stage_capacity: f64,
+) -> bool {
     assign_slices(tdg, nodes, stages, stage_capacity).is_ok()
 }
 
@@ -213,8 +218,7 @@ mod tests {
         let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
         let span = |i: usize| {
             let id = tdg.node_ids().nth(i).unwrap();
-            let stages: Vec<usize> =
-                p.iter().filter(|x| x.node == id).map(|x| x.stage).collect();
+            let stages: Vec<usize> = p.iter().filter(|x| x.node == id).map(|x| x.stage).collect();
             (*stages.iter().min().unwrap(), *stages.iter().max().unwrap())
         };
         assert!(span(0).1 < span(1).0);

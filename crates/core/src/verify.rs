@@ -33,6 +33,13 @@ pub enum Violation {
         /// The offending switch name.
         switch: String,
     },
+    /// A MAT was placed on a failed (down) switch.
+    DownHost {
+        /// Program-qualified MAT name.
+        node: String,
+        /// The offending switch name.
+        switch: String,
+    },
     /// A placement references a stage outside the switch's pipeline.
     StageOutOfRange {
         /// Program-qualified MAT name.
@@ -110,6 +117,9 @@ impl fmt::Display for Violation {
             Violation::NonProgrammableHost { node, switch } => {
                 write!(f, "node `{node}` on non-programmable `{switch}`")
             }
+            Violation::DownHost { node, switch } => {
+                write!(f, "node `{node}` on failed switch `{switch}`")
+            }
             Violation::StageOutOfRange { node, stage, stages } => {
                 write!(f, "node `{node}` on stage {stage} of a {stages}-stage switch")
             }
@@ -124,7 +134,10 @@ impl fmt::Display for Violation {
                 write!(f, "`{upstream}` must finish before `{downstream}` begins (Eq. 8)")
             }
             Violation::StageOverload { switch, stage, load, capacity } => {
-                write!(f, "stage {stage} of `{switch}` overloaded: {load:.3} > {capacity:.3} (Eq. 9)")
+                write!(
+                    f,
+                    "stage {stage} of `{switch}` overloaded: {load:.3} > {capacity:.3} (Eq. 9)"
+                )
             }
             Violation::LatencyBound { latency_us, bound_us } => {
                 write!(f, "latency {latency_us:.1} us exceeds eps1 = {bound_us:.1} us (Eq. 4)")
@@ -167,7 +180,13 @@ pub fn verify(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) ->
         let host = hosts[0];
         let sw = net.switch(host);
         if !sw.programmable {
-            out.push(Violation::NonProgrammableHost { node: name.clone(), switch: sw.name.clone() });
+            out.push(Violation::NonProgrammableHost {
+                node: name.clone(),
+                switch: sw.name.clone(),
+            });
+        }
+        if !net.is_switch_up(host) {
+            out.push(Violation::DownHost { node: name.clone(), switch: sw.name.clone() });
         }
         let mut placed = 0.0;
         for p in plan.placements().iter().filter(|p| p.node == id) {
@@ -199,10 +218,8 @@ pub fn verify(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) ->
                 }),
                 Some(route) => {
                     let hops = &route.path.hops;
-                    let endpoints_ok =
-                        hops.first() == Some(&u) && hops.last() == Some(&v);
-                    let links_ok =
-                        hops.windows(2).all(|w| net.link_between(w[0], w[1]).is_some());
+                    let endpoints_ok = hops.first() == Some(&u) && hops.last() == Some(&v);
+                    let links_ok = hops.windows(2).all(|w| net.link_between(w[0], w[1]).is_some());
                     if !endpoints_ok || !links_ok {
                         out.push(Violation::BrokenRoute {
                             from: net.switch(u).name.clone(),
@@ -342,12 +359,7 @@ mod tests {
         // Dump everything on stage 0 regardless of capacity (ACL classify
         // is 0.5 + stats 0.1 <= 1.0, so inflate by duplicating fractions).
         for id in tdg.node_ids() {
-            plan.place(StagePlacement {
-                node: id,
-                switch: s,
-                stage: 0,
-                fraction: 0.8,
-            });
+            plan.place(StagePlacement { node: id, switch: s, stage: 0, fraction: 0.8 });
         }
         let violations = verify(&tdg, &net, &plan, &Epsilon::loose());
         assert!(violations.iter().any(|v| matches!(v, Violation::StageOverload { .. })));

@@ -162,7 +162,8 @@ mod tests {
 
     #[test]
     fn hash_op_reads_srcs_writes_dst() {
-        let op = PrimitiveOp::Hash { dst: idx(), srcs: vec![headers::ipv4_src(), headers::ipv4_dst()] };
+        let op =
+            PrimitiveOp::Hash { dst: idx(), srcs: vec![headers::ipv4_src(), headers::ipv4_dst()] };
         assert_eq!(op.writes(), vec![&idx()]);
         assert_eq!(op.reads().len(), 2);
     }

@@ -65,10 +65,7 @@ pub fn l3_router() -> Program {
             .match_field(nexthop, MatchKind::Exact)
             .action(
                 Action::new("rewrite")
-                    .with_op(PrimitiveOp::Compute {
-                        dst: headers::eth_dst(),
-                        srcs: vec![],
-                    })
+                    .with_op(PrimitiveOp::Compute { dst: headers::eth_dst(), srcs: vec![] })
                     .with_op(PrimitiveOp::Compute {
                         dst: headers::ipv4_ttl(),
                         srcs: vec![headers::ipv4_ttl()],
@@ -132,10 +129,10 @@ pub fn nat() -> Program {
     let rewrite = expect(
         Mat::builder("nat_rewrite")
             .match_field(hit, MatchKind::Exact)
-            .action(Action::new("apply").with_op(PrimitiveOp::Copy {
-                dst: headers::ipv4_src(),
-                src: new_src,
-            }))
+            .action(
+                Action::new("apply")
+                    .with_op(PrimitiveOp::Copy { dst: headers::ipv4_src(), src: new_src }),
+            )
             .capacity(2)
             .resource(0.60),
     );
@@ -164,10 +161,10 @@ pub fn tunnel() -> Program {
     let encap = expect(
         Mat::builder("tunnel_encap")
             .match_field(tid, MatchKind::Exact)
-            .action(Action::new("encap").with_op(PrimitiveOp::Compute {
-                dst: headers::ipv4_dst(),
-                srcs: vec![],
-            }))
+            .action(
+                Action::new("encap")
+                    .with_op(PrimitiveOp::Compute { dst: headers::ipv4_dst(), srcs: vec![] }),
+            )
             .capacity(4096)
             .resource(2.10),
     );
@@ -202,9 +199,10 @@ pub fn ecmp_lb() -> Program {
     let forward = expect(
         Mat::builder("ecmp_forward")
             .match_field(nexthop, MatchKind::Exact)
-            .action(Action::new("fw").with_op(PrimitiveOp::Forward {
-                port: Field::metadata("meta.egress_port", 2),
-            }))
+            .action(
+                Action::new("fw")
+                    .with_op(PrimitiveOp::Forward { port: Field::metadata("meta.egress_port", 2) }),
+            )
             .capacity(256)
             .resource(0.90),
     );
@@ -236,22 +234,20 @@ pub fn int_telemetry() -> Program {
     let transit = expect(
         Mat::builder("int_transit")
             .match_field(swid.clone(), MatchKind::Exact)
-            .action(
-                Action::new("aggregate")
-                    .with_op(PrimitiveOp::Compute {
-                        dst: report.clone(),
-                        srcs: vec![ts.clone(), qlen.clone()],
-                    }),
-            )
+            .action(Action::new("aggregate").with_op(PrimitiveOp::Compute {
+                dst: report.clone(),
+                srcs: vec![ts.clone(), qlen.clone()],
+            }))
             .capacity(64)
             .resource(1.50),
     );
     let sink = expect(
         Mat::builder("int_sink")
             .match_field(report.clone(), MatchKind::Exact)
-            .action(Action::new("emit").with_op(PrimitiveOp::Forward {
-                port: Field::metadata("meta.mirror_port", 2),
-            }))
+            .action(
+                Action::new("emit")
+                    .with_op(PrimitiveOp::Forward { port: Field::metadata("meta.mirror_port", 2) }),
+            )
             .capacity(8)
             .resource(0.60),
     );
@@ -396,10 +392,10 @@ pub mod sketches {
             let update = expect(
                 Mat::builder(format!("{name}_update{r}"))
                     .match_field(idx.clone(), MatchKind::Exact)
-                    .action(Action::new(format!("bump_{name}")).with_op(PrimitiveOp::RegisterOp {
-                        index: idx,
-                        out: None,
-                    }))
+                    .action(
+                        Action::new(format!("bump_{name}"))
+                            .with_op(PrimitiveOp::RegisterOp { index: idx, out: None }),
+                    )
                     .capacity(4)
                     .resource(per_row_resource),
             );

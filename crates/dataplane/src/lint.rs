@@ -130,8 +130,7 @@ pub fn lint_composition(programs: &[Program]) -> Vec<Lint> {
         if t.actions().is_empty() {
             findings.push(Lint::TableWithoutActions { table: t.name().to_owned() });
         }
-        if t.capacity() >= 1_000 && !t.rules().is_empty() && t.rules().len() * 100 < t.capacity()
-        {
+        if t.capacity() >= 1_000 && !t.rules().is_empty() && t.rules().len() * 100 < t.capacity() {
             findings.push(Lint::OversizedCapacity {
                 table: t.name().to_owned(),
                 capacity: t.capacity(),
@@ -181,9 +180,9 @@ mod tests {
             .unwrap();
         let p = Program::builder("p").table(t).build().unwrap();
         let findings = lint(&p);
-        assert!(findings
-            .iter()
-            .any(|l| matches!(l, Lint::MetadataReadBeforeWrite { field, .. } if field == "meta.ghost")));
+        assert!(findings.iter().any(
+            |l| matches!(l, Lint::MetadataReadBeforeWrite { field, .. } if field == "meta.ghost")
+        ));
     }
 
     #[test]
@@ -194,19 +193,14 @@ mod tests {
         let t = Mat::builder("t")
             .action(
                 Action::new("a")
-                    .with_op(crate::action::PrimitiveOp::Hash {
-                        dst: idx.clone(),
-                        srcs: vec![],
-                    })
+                    .with_op(crate::action::PrimitiveOp::Hash { dst: idx.clone(), srcs: vec![] })
                     .with_op(crate::action::PrimitiveOp::RegisterOp { index: idx, out: None }),
             )
             .resource(0.1)
             .build()
             .unwrap();
         let p = Program::builder("p").table(t).build().unwrap();
-        assert!(!lint(&p)
-            .iter()
-            .any(|l| matches!(l, Lint::MetadataReadBeforeWrite { .. })));
+        assert!(!lint(&p).iter().any(|l| matches!(l, Lint::MetadataReadBeforeWrite { .. })));
     }
 
     #[test]
@@ -217,9 +211,9 @@ mod tests {
             .build()
             .unwrap();
         let p = Program::builder("p").table(t).build().unwrap();
-        assert!(lint(&p)
-            .iter()
-            .any(|l| matches!(l, Lint::MetadataNeverConsumed { field, .. } if field == "meta.waste")));
+        assert!(lint(&p).iter().any(
+            |l| matches!(l, Lint::MetadataNeverConsumed { field, .. } if field == "meta.waste")
+        ));
     }
 
     #[test]

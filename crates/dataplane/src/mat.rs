@@ -122,7 +122,10 @@ impl fmt::Display for BuildMatError {
                 write!(f, "table `{table}`: {rules} rules exceed capacity {capacity}")
             }
             BuildMatError::InvalidResource { table, value } => {
-                write!(f, "table `{table}`: resource requirement {value} must be positive and finite")
+                write!(
+                    f,
+                    "table `{table}`: resource requirement {value} must be positive and finite"
+                )
             }
         }
     }
@@ -467,13 +470,12 @@ mod tests {
     #[test]
     fn written_metadata_excludes_headers() {
         let t = Mat::builder("t")
-            .action(
-                Action::writing("w", [Field::metadata("meta.a", 4)])
-                    .with_op(crate::action::PrimitiveOp::Compute {
-                        dst: headers::ipv4_ttl(),
-                        srcs: vec![headers::ipv4_ttl()],
-                    }),
-            )
+            .action(Action::writing("w", [Field::metadata("meta.a", 4)]).with_op(
+                crate::action::PrimitiveOp::Compute {
+                    dst: headers::ipv4_ttl(),
+                    srcs: vec![headers::ipv4_ttl()],
+                },
+            ))
             .build()
             .unwrap();
         assert_eq!(t.written_metadata_bytes(), 4);

@@ -306,11 +306,9 @@ impl Parser {
             }
             _ => {
                 // Assignment form: first is the destination field.
-                let dst = self
-                    .fields
-                    .get(&first)
-                    .cloned()
-                    .ok_or_else(|| self.error(format!("field `{first}` used before declaration")))?;
+                let dst = self.fields.get(&first).cloned().ok_or_else(|| {
+                    self.error(format!("field `{first}` used before declaration"))
+                })?;
                 self.expect(Token::Equals)?;
                 let func = self.ident("a function (const/copy/compute/hash/register)")?;
                 self.expect(Token::LParen)?;
@@ -339,9 +337,7 @@ impl Parser {
                         out: Some(dst),
                     },
                     (f, n) => {
-                        return Err(
-                            self.error(format!("bad call `{f}` with {n} argument(s)"))
-                        )
+                        return Err(self.error(format!("bad call `{f}` with {n} argument(s)")))
                     }
                 };
                 Ok(op)
@@ -403,9 +399,10 @@ impl Parser {
                         resource = Some(r);
                     }
                     other => {
-                        return Err(self.error(format!(
+                        let msg = format!(
                             "unknown table section `{other}` (expected key/actions/capacity/resource)"
-                        )))
+                        );
+                        return Err(self.error(msg));
                     }
                 },
                 other => return Err(self.error(format!("unexpected {other} in table `{name}`"))),
@@ -586,10 +583,8 @@ mod tests {
 
     #[test]
     fn bad_match_kind_is_an_error() {
-        let err = parse_program(
-            "program p { header x: 4; table t { key { x: fuzzy; } } }",
-        )
-        .unwrap_err();
+        let err =
+            parse_program("program p { header x: 4; table t { key { x: fuzzy; } } }").unwrap_err();
         assert!(err.message.contains("unknown match kind"), "{err}");
     }
 
@@ -619,16 +614,12 @@ mod tests {
         let programs = parse_programs(src).unwrap();
         assert_eq!(programs.len(), 2);
         // Program b's key resolves against the shared declaration.
-        assert_eq!(
-            programs[1].tables()[0].match_fields().iter().next().unwrap().size_bytes(),
-            4
-        );
+        assert_eq!(programs[1].tables()[0].match_fields().iter().next().unwrap().size_bytes(), 4);
     }
 
     #[test]
     fn gate_to_missing_table_is_an_error() {
-        let err =
-            parse_program("program p { header x: 4; gate a -> b; }").unwrap_err();
+        let err = parse_program("program p { header x: 4; gate a -> b; }").unwrap_err();
         assert!(err.message.contains("unknown table"), "{err}");
     }
 
@@ -657,10 +648,10 @@ mod tests {
             let src4 = Field::header("ipv4.src", 4);
             let idx = Field::metadata("meta.idx", 4);
             let hash = Mat::builder("h")
-                .action(Action::new("go").with_op(PrimitiveOp::Hash {
-                    dst: idx.clone(),
-                    srcs: vec![src4.clone()],
-                }))
+                .action(
+                    Action::new("go")
+                        .with_op(PrimitiveOp::Hash { dst: idx.clone(), srcs: vec![src4.clone()] }),
+                )
                 .resource(0.1)
                 .build()
                 .unwrap();

@@ -239,8 +239,7 @@ mod tests {
 
     #[test]
     fn gate_must_reference_known_tables() {
-        let err =
-            Program::builder("p").table(mat("a")).gate("a", "nope").build().unwrap_err();
+        let err = Program::builder("p").table(mat("a")).gate("a", "nope").build().unwrap_err();
         assert!(matches!(err, BuildProgramError::UnknownTable { .. }));
     }
 

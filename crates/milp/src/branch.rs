@@ -370,12 +370,7 @@ mod tests {
     fn time_limit_respected() {
         let mut m = Model::new("timed");
         let vars: Vec<VarId> = (0..20).map(|i| m.binary(format!("x{i}"))).collect();
-        m.add_constraint(
-            "w",
-            LinExpr::sum(vars.iter().map(|&v| (v, 1.0))),
-            Sense::Le,
-            10.0,
-        );
+        m.add_constraint("w", LinExpr::sum(vars.iter().map(|&v| (v, 1.0))), Sense::Le, 10.0);
         m.set_objective(Direction::Maximize, LinExpr::sum(vars.iter().map(|&v| (v, 1.0))));
         let config = SolverConfig::with_time_limit(Duration::from_millis(50));
         let s = solve(&m, &config).unwrap();

@@ -45,11 +45,10 @@ fn fmt_coeff(c: f64) -> String {
 /// it); everything else round-trips losslessly through external tools.
 pub fn write_lp(model: &Model) -> String {
     let mut out = String::new();
-    let (direction, objective) =
-        model.objective().map(|(d, e)| (*d, e.clone())).unwrap_or((
-            Direction::Minimize,
-            LinExpr::new(),
-        ));
+    let (direction, objective) = model
+        .objective()
+        .map(|(d, e)| (*d, e.clone()))
+        .unwrap_or((Direction::Minimize, LinExpr::new()));
     out.push_str(match direction {
         Direction::Minimize => "Minimize\n",
         Direction::Maximize => "Maximize\n",
@@ -64,7 +63,8 @@ pub fn write_lp(model: &Model) -> String {
             Sense::Eq => "=",
         };
         let rhs = c.rhs - c.expr.constant();
-        let _ = writeln!(out, " c{}: {} {} {}", i, term_string(model, &c.expr), sense, fmt_coeff(rhs));
+        let _ =
+            writeln!(out, " c{}: {} {} {}", i, term_string(model, &c.expr), sense, fmt_coeff(rhs));
     }
 
     out.push_str("Bounds\n");

@@ -39,5 +39,7 @@ pub mod simplex;
 
 pub use branch::{solve, MipSolution, SolveStatus, SolverConfig};
 pub use export::write_lp;
-pub use model::{Constraint, Direction, LinExpr, Model, ModelError, Sense, VarId, VarKind, Variable};
+pub use model::{
+    Constraint, Direction, LinExpr, Model, ModelError, Sense, VarId, VarKind, Variable,
+};
 pub use simplex::{solve_lp, solve_relaxation, LpResult, LpStatus};

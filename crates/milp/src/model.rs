@@ -267,7 +267,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::BadBounds { variable } => {
-                write!(f, "variable `{variable}` has invalid bounds (lower must be finite and <= upper)")
+                write!(
+                    f,
+                    "variable `{variable}` has invalid bounds (lower must be finite and <= upper)"
+                )
             }
             ModelError::NonFinite { location } => write!(f, "non-finite number in {location}"),
             ModelError::NoObjective => f.write_str("model has no objective"),
@@ -301,7 +304,13 @@ impl Model {
     }
 
     /// Adds a variable with explicit kind and bounds.
-    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lower: f64, upper: f64) -> VarId {
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+    ) -> VarId {
         self.variables.push(Variable { name: name.into(), kind, lower, upper });
         VarId(self.variables.len() - 1)
     }

@@ -46,7 +46,11 @@ const MAX_TABLEAU_CELLS: usize = 128 * 1024 * 1024;
 ///
 /// Returns [`ModelError`] if the model fails validation or an overridden
 /// lower bound is not finite.
-pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> Result<LpResult, ModelError> {
+pub fn solve_relaxation(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+) -> Result<LpResult, ModelError> {
     model.validate()?;
     let n = model.variables().len();
     assert_eq!(lower.len(), n, "bound override length mismatch");
@@ -58,7 +62,11 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> Result<L
         }
         if lower[i] > upper[i] + EPS {
             // Branching produced an empty box: trivially infeasible.
-            return Ok(LpResult { status: LpStatus::Infeasible, objective: 0.0, values: Vec::new() });
+            return Ok(LpResult {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: Vec::new(),
+            });
         }
     }
 
@@ -177,7 +185,11 @@ pub fn solve_relaxation(model: &Model, lower: &[f64], upper: &[f64]) -> Result<L
         let feasible = run_simplex(&mut tab, &mut basis, &phase1, used_cols, total_cols);
         let phase1_obj = current_objective(&tab, &basis, &phase1, total_cols);
         if !feasible || phase1_obj > 1e-6 {
-            return Ok(LpResult { status: LpStatus::Infeasible, objective: 0.0, values: Vec::new() });
+            return Ok(LpResult {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: Vec::new(),
+            });
         }
         // Pivot any residual artificial out of the basis (degenerate rows).
         for i in 0..m {
@@ -280,6 +292,7 @@ fn run_simplex(
     true
 }
 
+#[allow(clippy::needless_range_loop)] // dense-tableau row ops read and write `tab` by column index
 fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, rhs_col: usize) {
     let m = tab.len();
     let p = tab[row][col];

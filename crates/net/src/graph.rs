@@ -62,7 +62,13 @@ impl Switch {
 
     /// A legacy (non-programmable) switch that only forwards, 1 µs.
     pub fn legacy(name: impl Into<String>) -> Self {
-        Switch { name: name.into(), programmable: false, stages: 0, stage_capacity: 0.0, latency_us: 1.0 }
+        Switch {
+            name: name.into(),
+            programmable: false,
+            stages: 0,
+            stage_capacity: 0.0,
+            latency_us: 1.0,
+        }
     }
 
     /// Total resource capacity across all stages (`C_stage * C_res`).
@@ -150,6 +156,12 @@ pub struct Network {
     links: Vec<Link>,
     /// adjacency: per switch, indices into `links`.
     adjacency: Vec<Vec<usize>>,
+    /// Failed switches (indices). Down switches keep their id (the id space
+    /// stays dense) but disappear from `neighbors`, `programmable_switches`,
+    /// `link_between`, and connectivity queries.
+    down_switches: BTreeSet<usize>,
+    /// Failed links (indices into `links`).
+    down_links: BTreeSet<usize>,
 }
 
 impl Network {
@@ -170,7 +182,12 @@ impl Network {
     /// # Errors
     ///
     /// Rejects self-loops, unknown endpoints, and duplicate links.
-    pub fn add_link(&mut self, a: SwitchId, b: SwitchId, latency_us: f64) -> Result<(), NetworkError> {
+    pub fn add_link(
+        &mut self,
+        a: SwitchId,
+        b: SwitchId,
+        latency_us: f64,
+    ) -> Result<(), NetworkError> {
         if a.0 >= self.switches.len() {
             return Err(NetworkError::UnknownSwitch { index: a.0 });
         }
@@ -180,7 +197,7 @@ impl Network {
         if a == b {
             return Err(NetworkError::SelfLoop { switch: a.0 });
         }
-        if self.link_between(a, b).is_some() {
+        if self.link_slot_between(a, b).is_some() {
             return Err(NetworkError::DuplicateLink { a: a.0, b: b.0 });
         }
         self.links.push(Link { a, b, latency_us });
@@ -233,22 +250,104 @@ impl Network {
         (0..self.switches.len()).map(SwitchId)
     }
 
-    /// Ids of the programmable switches.
+    /// Ids of the programmable switches that are up.
     pub fn programmable_switches(&self) -> Vec<SwitchId> {
-        self.switch_ids().filter(|&s| self.switch(s).programmable).collect()
+        self.switch_ids().filter(|&s| self.is_switch_up(s) && self.switch(s).programmable).collect()
     }
 
-    /// The link between `a` and `b` if one exists.
+    /// Index of the link slot between `a` and `b`, ignoring down states
+    /// (construction-time duplicate detection must see failed links too).
+    fn link_slot_between(&self, a: SwitchId, b: SwitchId) -> Option<usize> {
+        self.adjacency.get(a.0)?.iter().copied().find(|&i| self.links[i].other(a) == Some(b))
+    }
+
+    /// The *usable* link between `a` and `b`: `None` if no such link exists,
+    /// if the link is down, or if either endpoint is down.
     pub fn link_between(&self, a: SwitchId, b: SwitchId) -> Option<&Link> {
-        self.adjacency.get(a.0)?.iter().map(|&i| &self.links[i]).find(|l| l.other(a) == Some(b))
+        if !self.is_switch_up(a) || !self.is_switch_up(b) {
+            return None;
+        }
+        let idx = self.link_slot_between(a, b)?;
+        if self.down_links.contains(&idx) {
+            return None;
+        }
+        Some(&self.links[idx])
     }
 
-    /// Neighbors of `s` with the connecting link latency.
+    /// Neighbors of `s` reachable over up links, with the connecting link
+    /// latency. Empty if `s` itself is down.
     pub fn neighbors(&self, s: SwitchId) -> impl Iterator<Item = (SwitchId, f64)> + '_ {
-        self.adjacency[s.0].iter().filter_map(move |&i| {
-            let l = &self.links[i];
-            l.other(s).map(|o| (o, l.latency_us))
-        })
+        let s_up = self.is_switch_up(s);
+        self.adjacency[s.0]
+            .iter()
+            .filter(move |_| s_up)
+            .filter(|&&i| !self.down_links.contains(&i))
+            .filter_map(move |&i| {
+                let l = &self.links[i];
+                l.other(s).filter(|&o| self.is_switch_up(o)).map(|o| (o, l.latency_us))
+            })
+    }
+
+    /// Marks a switch as failed. Idempotent. All its links become unusable;
+    /// the switch disappears from [`Network::programmable_switches`],
+    /// [`Network::neighbors`], and connectivity queries but keeps its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this network.
+    pub fn fail_switch(&mut self, s: SwitchId) {
+        assert!(s.0 < self.switches.len(), "unknown switch {s}");
+        self.down_switches.insert(s.0);
+    }
+
+    /// Brings a failed switch back up. Idempotent.
+    pub fn restore_switch(&mut self, s: SwitchId) {
+        self.down_switches.remove(&s.0);
+    }
+
+    /// `true` iff the switch exists and is not failed.
+    pub fn is_switch_up(&self, s: SwitchId) -> bool {
+        s.0 < self.switches.len() && !self.down_switches.contains(&s.0)
+    }
+
+    /// Marks the link between `a` and `b` as failed. Returns `false` (and
+    /// changes nothing) if no such link exists. Idempotent.
+    pub fn fail_link(&mut self, a: SwitchId, b: SwitchId) -> bool {
+        match self.link_slot_between(a, b) {
+            Some(idx) => {
+                self.down_links.insert(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Brings the link between `a` and `b` back up. Returns `false` if no
+    /// such link exists. Idempotent.
+    pub fn restore_link(&mut self, a: SwitchId, b: SwitchId) -> bool {
+        match self.link_slot_between(a, b) {
+            Some(idx) => {
+                self.down_links.remove(&idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// `true` iff a link between `a` and `b` exists, is up, and both
+    /// endpoints are up.
+    pub fn is_link_up(&self, a: SwitchId, b: SwitchId) -> bool {
+        self.link_between(a, b).is_some()
+    }
+
+    /// Ids of currently failed switches, ascending.
+    pub fn down_switches(&self) -> Vec<SwitchId> {
+        self.down_switches.iter().map(|&i| SwitchId(i)).collect()
+    }
+
+    /// Number of switches currently up.
+    pub fn up_switch_count(&self) -> usize {
+        self.switches.len() - self.down_switches.len()
     }
 
     /// Looks a switch up by name.
@@ -266,7 +365,7 @@ impl Network {
         let mut best: (usize, usize) = (0, usize::MAX); // (size, id)
         let mut next = 0usize;
         for start in 0..n {
-            if component[start] != usize::MAX {
+            if component[start] != usize::MAX || !self.is_switch_up(SwitchId(start)) {
                 continue;
             }
             let id = next;
@@ -290,15 +389,14 @@ impl Network {
         (0..n).filter(|&i| component[i] == best.1).map(SwitchId).collect()
     }
 
-    /// `true` iff every switch can reach every other (or the network is
-    /// empty).
+    /// `true` iff every *up* switch can reach every other up switch (or no
+    /// switch is up).
     pub fn is_connected(&self) -> bool {
-        let n = self.switches.len();
-        if n == 0 {
+        let Some(first_up) = self.switch_ids().find(|&s| self.is_switch_up(s)) else {
             return true;
-        }
-        let mut seen = BTreeSet::from([0usize]);
-        let mut stack = vec![SwitchId(0)];
+        };
+        let mut seen = BTreeSet::from([first_up.0]);
+        let mut stack = vec![first_up];
         while let Some(u) = stack.pop() {
             for (v, _) in self.neighbors(u) {
                 if seen.insert(v.0) {
@@ -306,7 +404,7 @@ impl Network {
                 }
             }
         }
-        seen.len() == n
+        seen.len() == self.up_switch_count()
     }
 }
 
@@ -386,6 +484,58 @@ mod tests {
         disconnected.add_switch(Switch::tofino("y"));
         assert!(!disconnected.is_connected());
         assert!(Network::new().is_connected());
+    }
+
+    #[test]
+    fn failed_switch_disappears_from_queries() {
+        let (mut net, a, b, c) = triangle();
+        net.fail_switch(b);
+        assert!(!net.is_switch_up(b));
+        assert_eq!(net.programmable_switches(), vec![a]);
+        assert_eq!(net.up_switch_count(), 2);
+        assert_eq!(net.down_switches(), vec![b]);
+        assert!(net.neighbors(b).next().is_none(), "down switch has no neighbors");
+        assert!(net.neighbors(a).all(|(n, _)| n != b));
+        assert!(net.link_between(a, b).is_none());
+        // a -- c still up: the triangle minus b stays connected.
+        assert!(net.is_link_up(a, c));
+        assert!(net.is_connected());
+        net.restore_switch(b);
+        assert_eq!(net.programmable_switches(), vec![a, b]);
+        assert!(net.is_link_up(a, b));
+    }
+
+    #[test]
+    fn failed_link_disconnects_and_restores() {
+        let (mut net, a, b, c) = triangle();
+        assert!(net.fail_link(a, b));
+        assert!(net.fail_link(b, a), "direction-insensitive");
+        assert!(!net.is_link_up(a, b));
+        assert!(net.link_between(a, b).is_none());
+        assert!(net.neighbors(a).all(|(n, _)| n != b));
+        assert!(net.is_connected(), "detour via c remains");
+        assert!(net.fail_link(b, c));
+        assert!(!net.is_connected(), "b is now isolated");
+        assert_eq!(net.largest_component(), vec![a, c]);
+        assert!(net.restore_link(a, b));
+        assert!(net.is_link_up(a, b));
+        assert!(net.is_connected());
+        // Unknown pairs are reported, not silently accepted.
+        let ghost = SwitchId(9);
+        assert!(!net.fail_link(a, ghost));
+        assert!(!net.restore_link(a, ghost));
+    }
+
+    #[test]
+    fn down_states_do_not_perturb_healthy_queries() {
+        let (mut net, a, b, c) = triangle();
+        let before: Vec<_> = net.neighbors(a).collect();
+        net.fail_switch(b);
+        net.restore_switch(b);
+        net.fail_link(b, c);
+        net.restore_link(b, c);
+        assert_eq!(net.neighbors(a).collect::<Vec<_>>(), before);
+        assert_eq!(net.largest_component(), vec![a, b, c]);
     }
 
     #[test]

@@ -191,7 +191,8 @@ pub fn k_shortest_paths(net: &Network, src: SwitchId, dst: SwitchId, k: usize) -
                 hops.extend(spur_path.hops);
                 let latency = path_latency(net, &hops);
                 let candidate = Path { hops, latency_us: latency };
-                let duplicate = paths.iter().chain(candidates.iter()).any(|p| p.hops == candidate.hops);
+                let duplicate =
+                    paths.iter().chain(candidates.iter()).any(|p| p.hops == candidate.hops);
                 if !duplicate {
                     candidates.push(candidate);
                 }

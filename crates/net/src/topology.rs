@@ -88,18 +88,16 @@ pub fn star(spokes: usize, link_latency_us: f64) -> Network {
 ///
 /// Panics if `k` is odd or < 2.
 pub fn fat_tree(k: usize, link_latency_us: f64) -> Network {
-    assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
     let half = k / 2;
     let mut net = Network::new();
     let core: Vec<SwitchId> =
         (0..half * half).map(|i| net.add_switch(Switch::tofino(format!("core{i}")))).collect();
     for pod in 0..k {
-        let aggs: Vec<SwitchId> = (0..half)
-            .map(|j| net.add_switch(Switch::tofino(format!("agg{pod}_{j}"))))
-            .collect();
-        let edges: Vec<SwitchId> = (0..half)
-            .map(|j| net.add_switch(Switch::tofino(format!("edge{pod}_{j}"))))
-            .collect();
+        let aggs: Vec<SwitchId> =
+            (0..half).map(|j| net.add_switch(Switch::tofino(format!("agg{pod}_{j}")))).collect();
+        let edges: Vec<SwitchId> =
+            (0..half).map(|j| net.add_switch(Switch::tofino(format!("edge{pod}_{j}")))).collect();
         for &a in &aggs {
             for &e in &edges {
                 net.add_link(a, e, link_latency_us).expect("pod links unique");
@@ -133,8 +131,7 @@ pub fn random_wan(nodes: usize, edges: usize, seed: u64, config: &WanConfig) -> 
 
     // Choose which switches are programmable: a seeded shuffle of exactly
     // the configured fraction.
-    let programmable_count =
-        ((nodes as f64) * config.programmable_fraction).round() as usize;
+    let programmable_count = ((nodes as f64) * config.programmable_fraction).round() as usize;
     let mut flags = vec![false; nodes];
     for f in flags.iter_mut().take(programmable_count) {
         *f = true;
@@ -151,8 +148,9 @@ pub fn random_wan(nodes: usize, edges: usize, seed: u64, config: &WanConfig) -> 
         net.add_switch(sw);
     }
 
-    let link_latency =
-        |rng: &mut StdRng| rng.random_range(config.link_latency_min_us..=config.link_latency_max_us);
+    let link_latency = |rng: &mut StdRng| {
+        rng.random_range(config.link_latency_min_us..=config.link_latency_max_us)
+    };
 
     // Spanning tree over as many nodes as the edge budget allows.
     let tree_nodes = (edges + 1).min(nodes);
@@ -209,9 +207,8 @@ pub fn waxman(nodes: usize, alpha: f64, beta: f64, seed: u64, config: &WanConfig
     }
     flags.shuffle(&mut rng);
 
-    let positions: Vec<(f64, f64)> = (0..nodes)
-        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
-        .collect();
+    let positions: Vec<(f64, f64)> =
+        (0..nodes).map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))).collect();
     for (i, &programmable) in flags.iter().enumerate() {
         let mut sw = if programmable {
             Switch::tofino(format!("wax{i}"))
@@ -228,8 +225,7 @@ pub fn waxman(nodes: usize, alpha: f64, beta: f64, seed: u64, config: &WanConfig
                 + (positions[i].1 - positions[j].1).powi(2))
             .sqrt();
             if rng.random_bool((alpha * (-d / (beta * diag)).exp()).clamp(0.0, 1.0)) {
-                let lat = rng
-                    .random_range(config.link_latency_min_us..=config.link_latency_max_us);
+                let lat = rng.random_range(config.link_latency_min_us..=config.link_latency_max_us);
                 net.add_link(SwitchId(i), SwitchId(j), lat).expect("pairs visited once");
             }
         }
@@ -247,8 +243,7 @@ pub fn waxman(nodes: usize, alpha: f64, beta: f64, seed: u64, config: &WanConfig
                     da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .expect("nodes > 1");
-            let lat =
-                rng.random_range(config.link_latency_min_us..=config.link_latency_max_us);
+            let lat = rng.random_range(config.link_latency_min_us..=config.link_latency_max_us);
             net.add_link(SwitchId(i), SwitchId(nearest), lat).expect("was isolated");
         }
     }

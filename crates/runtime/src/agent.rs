@@ -1,0 +1,202 @@
+//! Emulated per-switch install agents.
+//!
+//! Each programmable switch is fronted by a [`SwitchAgent`] holding at
+//! most two configurations: the *active* one (serving traffic) and a
+//! *staged* one (written by the prepare phase of a transaction). Commit
+//! atomically swaps staged to active; abort discards staged and leaves
+//! the active config untouched — the agent-level half of the runtime's
+//! two-phase protocol.
+
+use hermes_backend::SwitchConfig;
+use hermes_net::SwitchId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors an agent can answer with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgentError {
+    /// The switch is down; no operation is possible.
+    Crashed,
+    /// Commit was requested with no staged configuration.
+    NothingStaged,
+    /// Commit was requested for a different epoch than was staged.
+    EpochMismatch {
+        /// The epoch staged on the agent.
+        staged: u64,
+        /// The epoch the runtime asked to commit.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::Crashed => f.write_str("switch is down"),
+            AgentError::NothingStaged => f.write_str("no staged configuration"),
+            AgentError::EpochMismatch { staged, requested } => {
+                write!(f, "staged epoch {staged} but commit requested epoch {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
+
+/// The install agent of one switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchAgent {
+    id: SwitchId,
+    crashed: bool,
+    staged: Option<(u64, SwitchConfig)>,
+    active: Option<(u64, SwitchConfig)>,
+}
+
+impl SwitchAgent {
+    /// A fresh agent with nothing installed.
+    pub fn new(id: SwitchId) -> Self {
+        SwitchAgent { id, crashed: false, staged: None, active: None }
+    }
+
+    /// The switch this agent fronts.
+    pub fn id(&self) -> SwitchId {
+        self.id
+    }
+
+    /// Stages `config` for `epoch` without touching the active config.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::Crashed`] if the switch is down.
+    pub fn prepare(&mut self, epoch: u64, config: SwitchConfig) -> Result<(), AgentError> {
+        if self.crashed {
+            return Err(AgentError::Crashed);
+        }
+        self.staged = Some((epoch, config));
+        Ok(())
+    }
+
+    /// Atomically activates the staged config of `epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when down, when nothing is staged, or on an epoch mismatch;
+    /// the active config is untouched in every error case.
+    pub fn commit(&mut self, epoch: u64) -> Result<(), AgentError> {
+        if self.crashed {
+            return Err(AgentError::Crashed);
+        }
+        match &self.staged {
+            None => Err(AgentError::NothingStaged),
+            Some((staged, _)) if *staged != epoch => {
+                Err(AgentError::EpochMismatch { staged: *staged, requested: epoch })
+            }
+            Some(_) => {
+                self.active = self.staged.take();
+                Ok(())
+            }
+        }
+    }
+
+    /// Discards any staged config; the active config keeps serving.
+    pub fn abort(&mut self) {
+        self.staged = None;
+    }
+
+    /// Kills the switch: staged state is lost, the active config stops
+    /// serving (the switch is gone from the data plane).
+    pub fn crash(&mut self) {
+        self.crashed = true;
+        self.staged = None;
+    }
+
+    /// `true` iff the switch is down.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Directly restores an active config (the runtime's rollback path to
+    /// a last-known-good deployment; bypasses staging).
+    pub fn force_activate(&mut self, epoch: u64, config: Option<SwitchConfig>) {
+        if self.crashed {
+            return;
+        }
+        self.staged = None;
+        self.active = config.map(|c| (epoch, c));
+    }
+
+    /// The epoch of the active config, if any.
+    pub fn active_epoch(&self) -> Option<u64> {
+        self.active.as_ref().map(|(e, _)| *e)
+    }
+
+    /// The active config, if any.
+    pub fn active_config(&self) -> Option<&SwitchConfig> {
+        self.active.as_ref().map(|(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_net::topology;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn some_switch() -> SwitchId {
+        topology::linear(1, 10.0).switch_ids().next().unwrap()
+    }
+
+    fn config(name: &str) -> SwitchConfig {
+        SwitchConfig {
+            switch: some_switch(),
+            switch_name: name.to_string(),
+            stages: BTreeMap::new(),
+            parses: BTreeSet::new(),
+            appends: BTreeMap::new(),
+        }
+    }
+
+    fn agent() -> SwitchAgent {
+        SwitchAgent::new(some_switch())
+    }
+
+    #[test]
+    fn prepare_commit_swaps_atomically() {
+        let mut a = agent();
+        a.prepare(1, config("one")).unwrap();
+        assert_eq!(a.active_epoch(), None, "staging must not activate");
+        a.commit(1).unwrap();
+        assert_eq!(a.active_epoch(), Some(1));
+        assert_eq!(a.active_config().unwrap().switch_name, "one");
+    }
+
+    #[test]
+    fn abort_keeps_active() {
+        let mut a = agent();
+        a.prepare(1, config("one")).unwrap();
+        a.commit(1).unwrap();
+        a.prepare(2, config("two")).unwrap();
+        a.abort();
+        assert_eq!(a.commit(2), Err(AgentError::NothingStaged));
+        assert_eq!(a.active_config().unwrap().switch_name, "one");
+    }
+
+    #[test]
+    fn epoch_mismatch_is_rejected() {
+        let mut a = agent();
+        a.prepare(3, config("three")).unwrap();
+        assert_eq!(a.commit(4), Err(AgentError::EpochMismatch { staged: 3, requested: 4 }));
+        assert_eq!(a.active_epoch(), None);
+    }
+
+    #[test]
+    fn crash_loses_staged_state_and_blocks_everything() {
+        let mut a = agent();
+        a.prepare(1, config("one")).unwrap();
+        a.crash();
+        assert!(a.is_crashed());
+        assert_eq!(a.commit(1), Err(AgentError::Crashed));
+        assert_eq!(a.prepare(2, config("two")), Err(AgentError::Crashed));
+        a.force_activate(2, Some(config("two")));
+        assert_eq!(a.active_config(), None, "force_activate is a no-op on a dead switch");
+    }
+}

@@ -1,0 +1,245 @@
+//! The runtime's structured event log.
+//!
+//! Every observable decision of the runtime — attempts, faults, retries,
+//! commits, rollbacks, healing — lands here as a typed, serializable
+//! event stamped with the virtual-clock time. Serialization is fully
+//! deterministic (ordered maps, fixed field order), so two runs with the
+//! same seed produce byte-identical JSON logs.
+
+use crate::fault::Fault;
+use hermes_net::SwitchId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One runtime event. `at_us` is always the virtual-clock timestamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A transactional rollout of a new plan epoch began.
+    RolloutStarted {
+        /// The plan epoch being installed.
+        epoch: u64,
+        /// Switches the plan occupies.
+        switches: Vec<SwitchId>,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Pre-install validation refused the candidate plan.
+    ValidationFailed {
+        /// The refused epoch.
+        epoch: u64,
+        /// Rendered validation failures.
+        failures: Vec<String>,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// One prepare attempt was issued to a switch agent.
+    PrepareAttempt {
+        /// The epoch being staged.
+        epoch: u64,
+        /// Target switch.
+        switch: SwitchId,
+        /// 1-based attempt counter.
+        attempt: u32,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// The fault injector struck a prepare attempt.
+    FaultInjected {
+        /// The epoch being staged.
+        epoch: u64,
+        /// Target switch.
+        switch: SwitchId,
+        /// What happened.
+        fault: Fault,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A switch successfully staged the config.
+    Prepared {
+        /// The staged epoch.
+        epoch: u64,
+        /// The switch that acknowledged.
+        switch: SwitchId,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A failed attempt was rescheduled with exponential backoff.
+    RetryScheduled {
+        /// The epoch being staged.
+        epoch: u64,
+        /// Target switch.
+        switch: SwitchId,
+        /// The attempt that will run after the delay (1-based).
+        next_attempt: u32,
+        /// Backoff delay including jitter.
+        delay_us: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Every switch staged; the transaction committed atomically.
+    Committed {
+        /// The committed epoch.
+        epoch: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A committed plan went live with these objective values.
+    Activated {
+        /// The active epoch.
+        epoch: u64,
+        /// `A_max` of the active plan, bytes.
+        a_max_bytes: u64,
+        /// `t_e2e` of the active plan, microseconds.
+        latency_us: f64,
+        /// `Q_occ` of the active plan.
+        occupied: usize,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// The transaction aborted; the previous plan keeps serving.
+    RolledBack {
+        /// The abandoned epoch.
+        epoch: u64,
+        /// Why.
+        reason: String,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A switch went down (crash fault).
+    SwitchDown {
+        /// The failed switch.
+        switch: SwitchId,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Healing after a post-commit switch failure began.
+    HealingStarted {
+        /// The epoch the healed plan will get.
+        epoch: u64,
+        /// Currently-down switches being healed around.
+        down: Vec<SwitchId>,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// The incremental deployer produced a healed layout.
+    HealingPlanned {
+        /// The healed epoch.
+        epoch: u64,
+        /// MATs that kept their switch.
+        reused: usize,
+        /// MATs re-homed into residual capacity.
+        placed: usize,
+        /// `true` when pinning failed and a full redeploy was used.
+        full_redeploy: bool,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// No feasible healed layout exists (or it failed validation).
+    HealingFailed {
+        /// The epoch that could not be healed.
+        epoch: u64,
+        /// Why.
+        reason: String,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Healing finished and the healed plan is serving.
+    RecoveryCompleted {
+        /// The healed epoch now active.
+        epoch: u64,
+        /// Virtual time from failure detection to healed activation.
+        recovery_us: u64,
+        /// `A_max` before the switch failure.
+        a_max_before: u64,
+        /// `A_max` of the healed plan.
+        a_max_after: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+}
+
+impl Event {
+    /// The virtual-clock timestamp of the event.
+    pub fn at_us(&self) -> u64 {
+        match self {
+            Event::RolloutStarted { at_us, .. }
+            | Event::ValidationFailed { at_us, .. }
+            | Event::PrepareAttempt { at_us, .. }
+            | Event::FaultInjected { at_us, .. }
+            | Event::Prepared { at_us, .. }
+            | Event::RetryScheduled { at_us, .. }
+            | Event::Committed { at_us, .. }
+            | Event::Activated { at_us, .. }
+            | Event::RolledBack { at_us, .. }
+            | Event::SwitchDown { at_us, .. }
+            | Event::HealingStarted { at_us, .. }
+            | Event::HealingPlanned { at_us, .. }
+            | Event::HealingFailed { at_us, .. }
+            | Event::RecoveryCompleted { at_us, .. } => *at_us,
+        }
+    }
+}
+
+/// Append-only log of runtime events.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    /// Events in emission order (non-decreasing `at_us`).
+    pub events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Deterministic JSON rendering of the whole log: same seed, same
+    /// bytes.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("event logs always serialize")
+    }
+
+    /// Count of events matching a predicate (used by experiments to tally
+    /// retries, rollbacks, faults, ...).
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+impl fmt::Display for EventLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventLog({} events)", self.events.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_round_trips_through_json() {
+        let mut log = EventLog::new();
+        log.push(Event::RolloutStarted { epoch: 1, switches: vec![], at_us: 0 });
+        log.push(Event::Committed { epoch: 1, at_us: 120 });
+        log.push(Event::RolledBack { epoch: 2, reason: "validation".into(), at_us: 300 });
+        let back: EventLog = serde_json::from_str(&log.to_json()).unwrap();
+        assert_eq!(log, back);
+        assert_eq!(back.events[1].at_us(), 120);
+        assert_eq!(log.count(|e| matches!(e, Event::Committed { .. })), 1);
+    }
+}

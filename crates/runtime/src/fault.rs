@@ -1,0 +1,232 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Every failure the runtime can experience is drawn from one
+//! [`FaultInjector`] seeded by the experiment: the same seed against the
+//! same rollout produces the identical fault schedule, which is what makes
+//! chaos soak runs reproducible byte-for-byte.
+
+use hermes_net::{Network, SwitchId};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-draw fault probabilities. All probabilities are evaluated
+/// independently per prepare attempt, in a fixed order (crash, reject,
+/// link, slow, partial), so a profile change never silently reshuffles an
+/// unrelated seed's schedule within one draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Switch crashes while handling the install (stays down).
+    pub crash_prob: f64,
+    /// Agent refuses the staged config (transient; retryable).
+    pub reject_prob: f64,
+    /// A random link of the substrate goes down during the install.
+    pub link_down_prob: f64,
+    /// The agent answers slower than the runtime's timeout (retryable).
+    pub slow_prob: f64,
+    /// Only a prefix of the config's stages lands before the agent fails
+    /// (retryable after the partial stage is wiped).
+    pub partial_prob: f64,
+    /// A switch hosting MATs crashes *after* the transaction commits,
+    /// exercising the healing path.
+    pub post_commit_crash_prob: f64,
+}
+
+impl FaultProfile {
+    /// No faults at all — the runtime degenerates to a plain installer.
+    pub fn none() -> Self {
+        FaultProfile {
+            crash_prob: 0.0,
+            reject_prob: 0.0,
+            link_down_prob: 0.0,
+            slow_prob: 0.0,
+            partial_prob: 0.0,
+            post_commit_crash_prob: 0.0,
+        }
+    }
+
+    /// The default chaos mix used by soak tests and the `chaos` CLI:
+    /// mostly transient faults, occasional crashes, and a substantial
+    /// chance the committed deployment loses a switch afterwards.
+    pub fn chaos() -> Self {
+        FaultProfile {
+            crash_prob: 0.04,
+            reject_prob: 0.15,
+            link_down_prob: 0.05,
+            slow_prob: 0.10,
+            partial_prob: 0.10,
+            post_commit_crash_prob: 0.30,
+        }
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile::none()
+    }
+}
+
+/// One injected fault, as recorded in the event log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// The switch crashed mid-install and stays down.
+    SwitchCrash,
+    /// The agent rejected the staged config.
+    RejectInstall,
+    /// The link `a <-> b` went down.
+    LinkDown {
+        /// One endpoint.
+        a: SwitchId,
+        /// The other endpoint.
+        b: SwitchId,
+    },
+    /// The agent responded after `delay_us`, beyond the runtime timeout.
+    SlowResponse {
+        /// Simulated response time in microseconds.
+        delay_us: u64,
+    },
+    /// Only the first `installed_stages` of `expected_stages` landed.
+    PartialInstall {
+        /// Stages that were written before the failure.
+        installed_stages: usize,
+        /// Stages the config required.
+        expected_stages: usize,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::SwitchCrash => f.write_str("switch crash"),
+            Fault::RejectInstall => f.write_str("install rejected"),
+            Fault::LinkDown { a, b } => write!(f, "link {a} <-> {b} down"),
+            Fault::SlowResponse { delay_us } => write!(f, "slow response ({delay_us} us)"),
+            Fault::PartialInstall { installed_stages, expected_stages } => {
+                write!(f, "partial install ({installed_stages}/{expected_stages} stages)")
+            }
+        }
+    }
+}
+
+/// Seeded source of all runtime failures.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+    profile: FaultProfile,
+}
+
+impl FaultInjector {
+    /// An injector drawing from `profile` with a deterministic schedule
+    /// fully determined by `seed`.
+    pub fn new(seed: u64, profile: FaultProfile) -> Self {
+        FaultInjector { rng: StdRng::seed_from_u64(seed), profile }
+    }
+
+    /// An injector that never faults (for plain installs).
+    pub fn disabled() -> Self {
+        FaultInjector::new(0, FaultProfile::none())
+    }
+
+    /// The profile this injector draws from.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Decides the fate of one prepare attempt on a switch whose config
+    /// spans `stage_count` stages. `None` means the install succeeds.
+    pub fn on_prepare(
+        &mut self,
+        net: &Network,
+        stage_count: usize,
+        timeout_us: u64,
+    ) -> Option<Fault> {
+        let p = self.profile;
+        if self.rng.random_bool(p.crash_prob) {
+            return Some(Fault::SwitchCrash);
+        }
+        if self.rng.random_bool(p.reject_prob) {
+            return Some(Fault::RejectInstall);
+        }
+        if self.rng.random_bool(p.link_down_prob) && net.link_count() > 0 {
+            let link = net.links()[self.rng.random_range(0..net.link_count())];
+            return Some(Fault::LinkDown { a: link.a, b: link.b });
+        }
+        if self.rng.random_bool(p.slow_prob) {
+            let delay_us = timeout_us.max(1) + self.rng.random_range(1..=timeout_us.max(1));
+            return Some(Fault::SlowResponse { delay_us });
+        }
+        if self.rng.random_bool(p.partial_prob) {
+            let installed_stages =
+                if stage_count == 0 { 0 } else { self.rng.random_range(0..stage_count) };
+            return Some(Fault::PartialInstall { installed_stages, expected_stages: stage_count });
+        }
+        None
+    }
+
+    /// After a successful commit over `occupied` switches, the switch (if
+    /// any) that crashes and must be healed around.
+    pub fn post_commit_crash(&mut self, occupied: &[SwitchId]) -> Option<SwitchId> {
+        if occupied.is_empty() || !self.rng.random_bool(self.profile.post_commit_crash_prob) {
+            return None;
+        }
+        Some(occupied[self.rng.random_range(0..occupied.len())])
+    }
+
+    /// Deterministic backoff jitter in `[0, span_us]`.
+    pub fn jitter_us(&mut self, span_us: u64) -> u64 {
+        if span_us == 0 {
+            0
+        } else {
+            self.rng.random_range(0..=span_us)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_net::topology;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let net = topology::linear(4, 10.0);
+        let draw = |seed: u64| {
+            let mut inj = FaultInjector::new(seed, FaultProfile::chaos());
+            (0..32).map(|_| inj.on_prepare(&net, 5, 200)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8), "different seeds should diverge somewhere");
+    }
+
+    #[test]
+    fn disabled_injector_never_faults() {
+        let net = topology::linear(4, 10.0);
+        let mut inj = FaultInjector::disabled();
+        assert!((0..100).all(|_| inj.on_prepare(&net, 3, 200).is_none()));
+        assert!(inj.post_commit_crash(&net.switch_ids().collect::<Vec<_>>()).is_none());
+    }
+
+    #[test]
+    fn chaos_profile_produces_every_fault_kind() {
+        let net = topology::linear(4, 10.0);
+        let mut inj = FaultInjector::new(42, FaultProfile::chaos());
+        let mut seen = [false; 5];
+        for _ in 0..2000 {
+            match inj.on_prepare(&net, 6, 200) {
+                Some(Fault::SwitchCrash) => seen[0] = true,
+                Some(Fault::RejectInstall) => seen[1] = true,
+                Some(Fault::LinkDown { .. }) => seen[2] = true,
+                Some(Fault::SlowResponse { delay_us }) => {
+                    assert!(delay_us > 200, "slow responses must exceed the timeout");
+                    seen[3] = true;
+                }
+                Some(Fault::PartialInstall { installed_stages, expected_stages }) => {
+                    assert!(installed_stages < expected_stages);
+                    seen[4] = true;
+                }
+                None => {}
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "missing fault kinds: {seen:?}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Failure-aware deployment runtime: fault injection, transactional
+//! rollout, and incremental healing.
+//!
+//! The paper's pipeline ends at a verified [`DeploymentPlan`]
+//! (hermes-core) and per-switch configs (hermes-backend). This crate adds
+//! the operational layer in between a plan and a running network:
+//!
+//! - [`agent`] — emulated per-switch install agents with
+//!   prepare/commit/abort semantics (staged configs never serve traffic).
+//! - [`fault`] — a seeded, deterministic [`FaultInjector`] modelling
+//!   install rejections, switch crashes, link failures, slow responses,
+//!   and partial-stage installs.
+//! - [`runtime`] — [`DeploymentRuntime`], which installs a plan as a
+//!   two-phase transaction with bounded retry and exponential backoff on
+//!   a virtual clock, rolls back atomically when the transaction cannot
+//!   commit, and — when a switch dies after commit — heals by re-running
+//!   the incremental deployer with surviving placements pinned and
+//!   revalidating (ε-verifier + packet-level equivalence) before
+//!   activating the healed plan.
+//! - [`event`] — the structured, deterministic [`EventLog`] recording
+//!   epochs, retries, rollbacks, recovery latency, and `A_max`
+//!   before/after healing. Same seed, byte-identical JSON.
+//!
+//! # Example
+//!
+//! ```
+//! use hermes_core::{DeploymentAlgorithm, Epsilon, GreedyHeuristic, ProgramAnalyzer};
+//! use hermes_dataplane::library;
+//! use hermes_net::topology;
+//! use hermes_runtime::{DeploymentRuntime, FaultInjector, FaultProfile, RetryPolicy};
+//!
+//! let tdg = ProgramAnalyzer::new().analyze(&library::real_programs());
+//! let net = topology::linear(4, 10.0);
+//! let plan = GreedyHeuristic::new().deploy(&tdg, &net, &Epsilon::loose())?;
+//!
+//! let injector = FaultInjector::new(7, FaultProfile::chaos());
+//! let mut runtime =
+//!     DeploymentRuntime::new(net, Epsilon::loose(), injector, RetryPolicy::default());
+//! let outcome = runtime.rollout(&tdg, plan);
+//! // Exactly one of two terminal states: a committed, validated plan, or
+//! // a clean rollback to the previous deployment.
+//! if outcome.is_committed() {
+//!     assert!(runtime.active_plan().is_some());
+//! } else {
+//!     assert!(runtime.active_plan().is_none());
+//! }
+//! println!("{}", runtime.log().to_json());
+//! # Ok::<(), hermes_core::DeployError>(())
+//! ```
+//!
+//! [`DeploymentPlan`]: hermes_core::DeploymentPlan
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod agent;
+pub mod event;
+pub mod fault;
+pub mod runtime;
+
+pub use agent::{AgentError, SwitchAgent};
+pub use event::{Event, EventLog};
+pub use fault::{Fault, FaultInjector, FaultProfile};
+pub use runtime::{DeploymentRuntime, RetryPolicy, RolloutOutcome};

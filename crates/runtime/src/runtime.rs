@@ -1,0 +1,634 @@
+//! The failure-aware deployment runtime.
+//!
+//! [`DeploymentRuntime`] installs a verified [`DeploymentPlan`] onto a
+//! fleet of emulated [`SwitchAgent`]s as a two-phase transaction:
+//!
+//! 1. **Prepare** — each occupied switch stages its config. Installs can
+//!    fail through the seeded [`FaultInjector`]; transient faults are
+//!    retried with exponential backoff plus deterministic jitter on a
+//!    virtual clock.
+//! 2. **Commit** — only when every switch staged (and the plan still
+//!    validates against the possibly-degraded network) do all agents
+//!    atomically activate. Otherwise the transaction aborts and the
+//!    previous plan keeps serving — rollback is a no-op on the data plane
+//!    because staged configs never serve traffic.
+//!
+//! If a switch crashes *after* commit, the runtime marks it down in the
+//! [`Network`], re-runs the incremental deployer with all surviving
+//! placements pinned ([`RedeployOptions::excluding`]), revalidates the
+//! healed plan (ε-verifier + packet-level equivalence), and transitions to
+//! it — recording the recovery latency and `A_max` before/after in the
+//! event log.
+
+use crate::agent::SwitchAgent;
+use crate::event::{Event, EventLog};
+use crate::fault::{Fault, FaultInjector};
+use hermes_backend::{validate_plan, DeploymentArtifacts};
+use hermes_core::{verify, DeploymentPlan, Epsilon, IncrementalDeployer, RedeployOptions};
+use hermes_net::{Network, SwitchId};
+use hermes_tdg::Tdg;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Retry/backoff policy for the prepare phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum prepare attempts per switch (including the first).
+    pub max_attempts: u32,
+    /// Backoff before attempt `n + 1` starts at `base_delay_us << (n - 1)`.
+    pub base_delay_us: u64,
+    /// Backoff (before jitter) is capped here.
+    pub max_delay_us: u64,
+    /// Responses slower than this count as a timed-out attempt.
+    pub timeout_us: u64,
+    /// Virtual cost of one round-trip to an agent.
+    pub rpc_cost_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_us: 100,
+            max_delay_us: 2_000,
+            timeout_us: 200,
+            rpc_cost_us: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-jitter backoff before `next_attempt` (2-based; there is no
+    /// delay before the first attempt).
+    fn backoff_us(&self, next_attempt: u32) -> u64 {
+        let shift = next_attempt.saturating_sub(2).min(63);
+        self.base_delay_us.saturating_mul(1u64 << shift).min(self.max_delay_us)
+    }
+}
+
+/// Terminal state of one [`DeploymentRuntime::rollout`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RolloutOutcome {
+    /// The plan (or, after a post-commit failure, a healed variant of it)
+    /// is active and validated.
+    Committed {
+        /// The epoch now serving.
+        epoch: u64,
+        /// `true` when a post-commit switch failure was healed around.
+        healed: bool,
+    },
+    /// The transaction aborted; the previously active plan still serves.
+    RolledBack {
+        /// The abandoned epoch.
+        epoch: u64,
+        /// Why the transaction could not commit.
+        reason: String,
+    },
+}
+
+impl RolloutOutcome {
+    /// `true` for the committed case.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, RolloutOutcome::Committed { .. })
+    }
+}
+
+impl fmt::Display for RolloutOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RolloutOutcome::Committed { epoch, healed: false } => {
+                write!(f, "epoch {epoch} committed")
+            }
+            RolloutOutcome::Committed { epoch, healed: true } => {
+                write!(f, "epoch {epoch} committed after healing")
+            }
+            RolloutOutcome::RolledBack { epoch, reason } => {
+                write!(f, "epoch {epoch} rolled back: {reason}")
+            }
+        }
+    }
+}
+
+/// The plan currently serving traffic, with everything needed to heal it.
+#[derive(Debug, Clone, PartialEq)]
+struct ActiveDeployment {
+    epoch: u64,
+    tdg: Tdg,
+    plan: DeploymentPlan,
+    artifacts: DeploymentArtifacts,
+}
+
+/// The transactional, failure-aware deployment runtime.
+#[derive(Debug, Clone)]
+pub struct DeploymentRuntime {
+    net: Network,
+    agents: BTreeMap<SwitchId, SwitchAgent>,
+    injector: FaultInjector,
+    policy: RetryPolicy,
+    eps: Epsilon,
+    packet_seeds: Vec<u64>,
+    clock_us: u64,
+    epoch: u64,
+    log: EventLog,
+    active: Option<ActiveDeployment>,
+}
+
+impl DeploymentRuntime {
+    /// A runtime fronting `net` with one agent per switch.
+    pub fn new(net: Network, eps: Epsilon, injector: FaultInjector, policy: RetryPolicy) -> Self {
+        let agents = net.switch_ids().map(|s| (s, SwitchAgent::new(s))).collect();
+        DeploymentRuntime {
+            net,
+            agents,
+            injector,
+            policy,
+            eps,
+            packet_seeds: vec![0, 1, 2, 3],
+            clock_us: 0,
+            epoch: 0,
+            log: EventLog::new(),
+            active: None,
+        }
+    }
+
+    /// The substrate network, including any failure state accumulated so
+    /// far.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The structured event log.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// The plan currently serving, if any.
+    pub fn active_plan(&self) -> Option<&DeploymentPlan> {
+        self.active.as_ref().map(|a| &a.plan)
+    }
+
+    /// The epoch currently serving, if any.
+    pub fn active_epoch(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.epoch)
+    }
+
+    /// The ε-bounds every activated plan is validated against.
+    pub fn epsilon(&self) -> &Epsilon {
+        &self.eps
+    }
+
+    /// Overrides the packet seeds used for pre-activation equivalence
+    /// checks.
+    pub fn set_packet_seeds(&mut self, seeds: Vec<u64>) {
+        self.packet_seeds = seeds;
+    }
+
+    /// Replaces the fault injector, e.g. to run one clean rollout and then
+    /// turn chaos on for the next epoch.
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// Marks a switch as failed (operator- or injector-initiated) without
+    /// healing. The agent is crashed and the network degraded.
+    pub fn fail_switch(&mut self, switch: SwitchId) {
+        self.net.fail_switch(switch);
+        if let Some(agent) = self.agents.get_mut(&switch) {
+            agent.crash();
+        }
+        self.log.push(Event::SwitchDown { switch, at_us: self.clock_us });
+    }
+
+    /// Installs `plan` for `tdg` as a two-phase transaction, healing a
+    /// post-commit switch failure if one is injected. Exactly one of two
+    /// terminal states results: a committed, validated plan is serving, or
+    /// the transaction rolled back and the previous plan is untouched.
+    pub fn rollout(&mut self, tdg: &Tdg, plan: DeploymentPlan) -> RolloutOutcome {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        // Snapshot the pre-rollout deployment: it is what a failed heal
+        // rolls back to.
+        let prior = self.active.clone();
+        let switches: Vec<SwitchId> = plan.occupied_switches().into_iter().collect();
+        self.log.push(Event::RolloutStarted {
+            epoch,
+            switches: switches.clone(),
+            at_us: self.clock_us,
+        });
+
+        // Pre-install validation: constraints + packet equivalence.
+        let (report, artifacts) =
+            validate_plan(tdg, &self.net, &plan, &self.eps, &self.packet_seeds);
+        if !report.is_ok() {
+            self.log.push(Event::ValidationFailed {
+                epoch,
+                failures: report.failures.iter().map(ToString::to_string).collect(),
+                at_us: self.clock_us,
+            });
+            return self.roll_back(epoch, "pre-install validation failed".to_string());
+        }
+
+        if let Err(reason) = self.install_transaction(tdg, &plan, &artifacts, epoch) {
+            return self.roll_back(epoch, reason);
+        }
+        self.activate(epoch, tdg.clone(), plan, artifacts);
+
+        // The committed deployment may immediately lose a switch.
+        let occupied: Vec<SwitchId> = self
+            .active
+            .as_ref()
+            .expect("just activated")
+            .plan
+            .occupied_switches()
+            .into_iter()
+            .collect();
+        if let Some(dead) = self.injector.post_commit_crash(&occupied) {
+            self.fail_switch(dead);
+            return self.heal(prior);
+        }
+        RolloutOutcome::Committed { epoch, healed: false }
+    }
+
+    /// Re-homes the MATs lost to down switches and transitions to the
+    /// healed plan. On any failure the runtime rolls back to `previous`
+    /// (the last-known-good deployment before the failing rollout).
+    fn heal(&mut self, previous: Option<ActiveDeployment>) -> RolloutOutcome {
+        let Some(active) = self.active.clone() else {
+            return RolloutOutcome::RolledBack {
+                epoch: self.epoch,
+                reason: "nothing to heal".to_string(),
+            };
+        };
+        let healing_started_us = self.clock_us;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let down = self.net.down_switches();
+        self.log.push(Event::HealingStarted { epoch, down: down.clone(), at_us: self.clock_us });
+        let a_max_before = active.plan.max_inter_switch_bytes(&active.tdg);
+
+        let opts = RedeployOptions::excluding(down);
+        let outcome = match IncrementalDeployer::new().redeploy_with(
+            &active.tdg,
+            &active.plan,
+            &active.tdg,
+            &self.net,
+            &self.eps,
+            &opts,
+        ) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.log.push(Event::HealingFailed {
+                    epoch,
+                    reason: e.to_string(),
+                    at_us: self.clock_us,
+                });
+                return self.roll_back_to(previous, epoch, format!("healing infeasible: {e}"));
+            }
+        };
+        self.log.push(Event::HealingPlanned {
+            epoch,
+            reused: outcome.reused,
+            placed: outcome.placed,
+            full_redeploy: outcome.full_redeploy,
+            at_us: self.clock_us,
+        });
+
+        // Revalidate on the degraded network before activating.
+        let (report, artifacts) =
+            validate_plan(&active.tdg, &self.net, &outcome.plan, &self.eps, &self.packet_seeds);
+        if !report.is_ok() {
+            self.log.push(Event::HealingFailed {
+                epoch,
+                reason: report.to_string(),
+                at_us: self.clock_us,
+            });
+            return self.roll_back_to(previous, epoch, "healed plan failed validation".to_string());
+        }
+        if let Err(reason) = self.install_transaction(&active.tdg, &outcome.plan, &artifacts, epoch)
+        {
+            return self.roll_back_to(previous, epoch, reason);
+        }
+        let a_max_after = outcome.plan.max_inter_switch_bytes(&active.tdg);
+        self.activate(epoch, active.tdg, outcome.plan, artifacts);
+        self.log.push(Event::RecoveryCompleted {
+            epoch,
+            recovery_us: self.clock_us - healing_started_us,
+            a_max_before,
+            a_max_after,
+            at_us: self.clock_us,
+        });
+        RolloutOutcome::Committed { epoch, healed: true }
+    }
+
+    /// Phase 1 (prepare with retry) + mid-transaction revalidation +
+    /// phase 2 (commit). On error every staged agent has been aborted and
+    /// nothing was activated.
+    fn install_transaction(
+        &mut self,
+        tdg: &Tdg,
+        plan: &DeploymentPlan,
+        artifacts: &DeploymentArtifacts,
+        epoch: u64,
+    ) -> Result<(), String> {
+        let mut prepared: Vec<SwitchId> = Vec::new();
+        for (&switch, config) in &artifacts.switches {
+            match self.prepare_with_retry(switch, config.clone(), epoch) {
+                Ok(()) => prepared.push(switch),
+                Err(reason) => {
+                    self.abort_prepared(&prepared);
+                    return Err(reason);
+                }
+            }
+        }
+        // Faults during prepare (link down, crashed bystander) may have
+        // degraded the network under the transaction's feet; the plan must
+        // still hold on what is actually left before anything activates.
+        let violations = verify(tdg, &self.net, plan, &self.eps);
+        if !violations.is_empty() {
+            self.abort_prepared(&prepared);
+            return Err(format!("plan no longer valid at commit time: {}", violations[0]));
+        }
+        for &switch in &prepared {
+            let agent = self.agents.get_mut(&switch).expect("agents cover all switches");
+            if let Err(e) = agent.commit(epoch) {
+                // Should be unreachable (prepare succeeded, network
+                // revalidated) — but if an agent still refuses, abort the
+                // remainder rather than activate a torn deployment.
+                self.abort_prepared(&prepared);
+                return Err(format!("commit refused by {switch}: {e}"));
+            }
+        }
+        self.log.push(Event::Committed { epoch, at_us: self.clock_us });
+        Ok(())
+    }
+
+    /// One switch's prepare with bounded retry and exponential backoff.
+    fn prepare_with_retry(
+        &mut self,
+        switch: SwitchId,
+        config: hermes_backend::SwitchConfig,
+        epoch: u64,
+    ) -> Result<(), String> {
+        let stage_count = config.stages.len();
+        for attempt in 1..=self.policy.max_attempts {
+            self.clock_us += self.policy.rpc_cost_us;
+            self.log.push(Event::PrepareAttempt { epoch, switch, attempt, at_us: self.clock_us });
+            if self.agents[&switch].is_crashed() {
+                return Err(format!("switch {switch} is down"));
+            }
+            let fault = self.injector.on_prepare(&self.net, stage_count, self.policy.timeout_us);
+            match fault {
+                None => {
+                    self.agents
+                        .get_mut(&switch)
+                        .expect("agents cover all switches")
+                        .prepare(epoch, config)
+                        .map_err(|e| format!("prepare on {switch} failed: {e}"))?;
+                    self.log.push(Event::Prepared { epoch, switch, at_us: self.clock_us });
+                    return Ok(());
+                }
+                Some(fault) => {
+                    self.log.push(Event::FaultInjected {
+                        epoch,
+                        switch,
+                        fault: fault.clone(),
+                        at_us: self.clock_us,
+                    });
+                    match fault {
+                        Fault::SwitchCrash => {
+                            self.fail_switch(switch);
+                            return Err(format!("switch {switch} crashed during prepare"));
+                        }
+                        Fault::LinkDown { a, b } => {
+                            // The install attempt itself is lost with the
+                            // link; the degradation is caught by the
+                            // commit-time revalidation.
+                            self.net.fail_link(a, b);
+                        }
+                        Fault::SlowResponse { .. } => {
+                            self.clock_us += self.policy.timeout_us;
+                        }
+                        Fault::RejectInstall | Fault::PartialInstall { .. } => {
+                            // A partial install leaves staged garbage the
+                            // retry overwrites; abort to model wiping it.
+                            self.agents
+                                .get_mut(&switch)
+                                .expect("agents cover all switches")
+                                .abort();
+                        }
+                    }
+                    if attempt == self.policy.max_attempts {
+                        return Err(format!(
+                            "switch {switch} failed all {} prepare attempts (last: {fault})",
+                            self.policy.max_attempts
+                        ));
+                    }
+                    let delay_us = self.policy.backoff_us(attempt + 1)
+                        + self.injector.jitter_us(self.policy.base_delay_us);
+                    self.clock_us += delay_us;
+                    self.log.push(Event::RetryScheduled {
+                        epoch,
+                        switch,
+                        next_attempt: attempt + 1,
+                        delay_us,
+                        at_us: self.clock_us,
+                    });
+                }
+            }
+        }
+        unreachable!("loop returns on success or final attempt")
+    }
+
+    fn abort_prepared(&mut self, prepared: &[SwitchId]) {
+        for &switch in prepared {
+            if let Some(agent) = self.agents.get_mut(&switch) {
+                agent.abort();
+            }
+        }
+    }
+
+    fn activate(
+        &mut self,
+        epoch: u64,
+        tdg: Tdg,
+        plan: DeploymentPlan,
+        artifacts: DeploymentArtifacts,
+    ) {
+        self.log.push(Event::Activated {
+            epoch,
+            a_max_bytes: plan.max_inter_switch_bytes(&tdg),
+            latency_us: plan.end_to_end_latency_us(),
+            occupied: plan.occupied_switch_count(),
+            at_us: self.clock_us,
+        });
+        self.active = Some(ActiveDeployment { epoch, tdg, plan, artifacts });
+    }
+
+    /// Aborts epoch `epoch`, leaving the current active deployment as-is.
+    fn roll_back(&mut self, epoch: u64, reason: String) -> RolloutOutcome {
+        self.log.push(Event::RolledBack { epoch, reason: reason.clone(), at_us: self.clock_us });
+        RolloutOutcome::RolledBack { epoch, reason }
+    }
+
+    /// Aborts epoch `epoch` and restores `previous` as the active
+    /// deployment, force-reactivating its configs on every surviving
+    /// agent (the last-known-good rollback after a failed heal).
+    fn roll_back_to(
+        &mut self,
+        previous: Option<ActiveDeployment>,
+        epoch: u64,
+        reason: String,
+    ) -> RolloutOutcome {
+        for (&switch, agent) in &mut self.agents {
+            let config = previous.as_ref().and_then(|p| p.artifacts.switches.get(&switch)).cloned();
+            let prev_epoch = previous.as_ref().map_or(0, |p| p.epoch);
+            agent.force_activate(prev_epoch, config);
+        }
+        self.active = previous;
+        self.roll_back(epoch, reason)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultProfile;
+    use hermes_core::{DeploymentAlgorithm, GreedyHeuristic, ProgramAnalyzer};
+    use hermes_dataplane::library;
+    use hermes_net::topology;
+
+    fn workload() -> (Tdg, Network, DeploymentPlan) {
+        let tdg = ProgramAnalyzer::new().analyze(&library::real_programs());
+        let net = topology::linear(4, 10.0);
+        let plan = GreedyHeuristic::new().deploy(&tdg, &net, &Epsilon::loose()).unwrap();
+        (tdg, net, plan)
+    }
+
+    #[test]
+    fn fault_free_rollout_commits() {
+        let (tdg, net, plan) = workload();
+        let mut rt = DeploymentRuntime::new(
+            net,
+            Epsilon::loose(),
+            FaultInjector::disabled(),
+            RetryPolicy::default(),
+        );
+        let outcome = rt.rollout(&tdg, plan.clone());
+        assert_eq!(outcome, RolloutOutcome::Committed { epoch: 1, healed: false });
+        assert_eq!(rt.active_plan(), Some(&plan));
+        assert_eq!(rt.active_epoch(), Some(1));
+        assert_eq!(rt.log().count(|e| matches!(e, Event::Committed { .. })), 1);
+        // One attempt per occupied switch, no retries.
+        assert_eq!(
+            rt.log().count(|e| matches!(e, Event::PrepareAttempt { .. })),
+            plan.occupied_switch_count()
+        );
+        assert_eq!(rt.log().count(|e| matches!(e, Event::RetryScheduled { .. })), 0);
+    }
+
+    #[test]
+    fn transient_rejects_are_retried_to_success() {
+        let (tdg, net, plan) = workload();
+        // Reject with p=0.5: with 4 attempts per switch a handful of seeds
+        // still commit; pick one deterministically by scanning.
+        let profile = FaultProfile { reject_prob: 0.5, ..FaultProfile::none() };
+        let committed = (0..50u64).find(|&seed| {
+            let mut rt = DeploymentRuntime::new(
+                net.clone(),
+                Epsilon::loose(),
+                FaultInjector::new(seed, profile),
+                RetryPolicy::default(),
+            );
+            let outcome = rt.rollout(&tdg, plan.clone());
+            if outcome.is_committed() {
+                assert!(
+                    rt.log().count(|e| matches!(e, Event::RetryScheduled { .. })) > 0,
+                    "seed {seed} committed without ever retrying — not the case we want"
+                );
+                true
+            } else {
+                assert_eq!(rt.active_plan(), None, "rollback must leave nothing active");
+                false
+            }
+        });
+        assert!(committed.is_some(), "no seed in 0..50 committed under 50% rejects");
+    }
+
+    #[test]
+    fn rollback_keeps_previous_plan_serving() {
+        let (tdg, net, plan) = workload();
+        // First install cleanly, then roll out again under guaranteed
+        // rejection: the second transaction must abort and epoch 1 serve.
+        let mut rt = DeploymentRuntime::new(
+            net,
+            Epsilon::loose(),
+            FaultInjector::disabled(),
+            RetryPolicy::default(),
+        );
+        assert!(rt.rollout(&tdg, plan.clone()).is_committed());
+        rt.injector =
+            FaultInjector::new(1, FaultProfile { reject_prob: 1.0, ..FaultProfile::none() });
+        let outcome = rt.rollout(&tdg, plan.clone());
+        assert!(!outcome.is_committed());
+        assert_eq!(rt.active_epoch(), Some(1), "previous epoch keeps serving");
+        assert_eq!(rt.active_plan(), Some(&plan));
+    }
+
+    #[test]
+    fn post_commit_crash_heals_and_validates() {
+        let (tdg, net, plan) = workload();
+        let profile = FaultProfile { post_commit_crash_prob: 1.0, ..FaultProfile::none() };
+        let mut healed_seen = false;
+        for seed in 0..20u64 {
+            let mut rt = DeploymentRuntime::new(
+                net.clone(),
+                Epsilon::loose(),
+                FaultInjector::new(seed, profile),
+                RetryPolicy::default(),
+            );
+            let outcome = rt.rollout(&tdg, plan.clone());
+            match outcome {
+                RolloutOutcome::Committed { healed, .. } => {
+                    assert!(healed, "a post-commit crash was guaranteed");
+                    healed_seen = true;
+                    let active = rt.active_plan().unwrap();
+                    // The healed plan avoids every down switch and still
+                    // validates end to end.
+                    for down in rt.network().down_switches() {
+                        assert!(!active.occupied_switches().contains(&down));
+                    }
+                    assert!(verify(&tdg, rt.network(), active, &Epsilon::loose()).is_empty());
+                    assert_eq!(rt.log().count(|e| matches!(e, Event::RecoveryCompleted { .. })), 1);
+                }
+                RolloutOutcome::RolledBack { .. } => {
+                    assert_eq!(rt.active_plan(), None, "failed heal must roll back cleanly");
+                }
+            }
+        }
+        assert!(healed_seen, "no seed in 0..20 healed successfully");
+    }
+
+    #[test]
+    fn event_log_is_reproducible_byte_for_byte() {
+        let (tdg, net, plan) = workload();
+        let run = |seed: u64| {
+            let mut rt = DeploymentRuntime::new(
+                net.clone(),
+                Epsilon::loose(),
+                FaultInjector::new(seed, FaultProfile::chaos()),
+                RetryPolicy::default(),
+            );
+            rt.rollout(&tdg, plan.clone());
+            rt.log().to_json()
+        };
+        for seed in [0u64, 7, 13] {
+            assert_eq!(run(seed), run(seed), "seed {seed} diverged");
+        }
+    }
+}

@@ -248,9 +248,8 @@ impl Simulation {
             match kind {
                 EventKind::ReadyToSend(pkt) => {
                     let f = &self.flows[pkt.flow];
-                    let li = self
-                        .link_index(f.route[pkt.hop], f.route[pkt.hop + 1])
-                        .expect("validated");
+                    let li =
+                        self.link_index(f.route[pkt.hop], f.route[pkt.hop + 1]).expect("validated");
                     queues[li].push_back(pkt);
                     if !busy[li] {
                         self.start_tx(li, time, &mut queues, &mut busy, &mut heap, &mut event_seq);

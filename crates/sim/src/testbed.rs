@@ -62,12 +62,8 @@ impl Default for TestbedConfig {
 /// Panics if `packet_size` does not exceed the protocol headers.
 pub fn run_flow(config: &TestbedConfig, packet_size: u32, overhead_bytes: u32) -> FlowStats {
     assert!(packet_size > PROTO_HEADER_BYTES, "packet must fit its headers");
-    let (mut sim, route) = chain(
-        config.hops,
-        config.switch_latency_us,
-        config.rate_gbps,
-        config.link_delay_us,
-    );
+    let (mut sim, route) =
+        chain(config.hops, config.switch_latency_us, config.rate_gbps, config.link_delay_us);
     sim.add_flow(SimFlow {
         route,
         packets: config.packets,

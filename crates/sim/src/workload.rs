@@ -112,7 +112,11 @@ impl OverheadModel {
 }
 
 /// Generates the flows of a workload along `route`.
-pub fn generate_flows(route: &[usize], config: &WorkloadConfig, overhead: OverheadModel) -> Vec<SimFlow> {
+pub fn generate_flows(
+    route: &[usize],
+    config: &WorkloadConfig,
+    overhead: OverheadModel,
+) -> Vec<SimFlow> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let payload_per_packet = u64::from(config.packet_size - config.header_bytes);
     (0..config.flows)
@@ -186,8 +190,7 @@ pub fn aggregate(stats: &[FlowStats]) -> AggregateStats {
         p50_fct_us: pct(50.0),
         p95_fct_us: pct(95.0),
         p99_fct_us: pct(99.0),
-        mean_goodput_gbps: stats.iter().map(|s| s.goodput_gbps).sum::<f64>()
-            / stats.len() as f64,
+        mean_goodput_gbps: stats.iter().map(|s| s.goodput_gbps).sum::<f64>() / stats.len() as f64,
     }
 }
 
@@ -196,11 +199,7 @@ mod tests {
     use super::*;
 
     fn small() -> WorkloadConfig {
-        WorkloadConfig {
-            flows: 10,
-            sizes: FlowSizes::Fixed(100_000),
-            ..Default::default()
-        }
+        WorkloadConfig { flows: 10, sizes: FlowSizes::Fixed(100_000), ..Default::default() }
     }
 
     #[test]
@@ -212,7 +211,8 @@ mod tests {
 
     #[test]
     fn overhead_slows_the_workload() {
-        let base = aggregate(&run_workload(3, 1.0, 100.0, 0.5, &small(), OverheadModel::Constant(0)));
+        let base =
+            aggregate(&run_workload(3, 1.0, 100.0, 0.5, &small(), OverheadModel::Constant(0)));
         let loaded =
             aggregate(&run_workload(3, 1.0, 100.0, 0.5, &small(), OverheadModel::Constant(100)));
         assert!(loaded.mean_fct_us > base.mean_fct_us);
@@ -221,14 +221,8 @@ mod tests {
 
     #[test]
     fn accumulating_int_headers_cost_more_than_their_base() {
-        let constant = aggregate(&run_workload(
-            5,
-            1.0,
-            100.0,
-            0.5,
-            &small(),
-            OverheadModel::Constant(20),
-        ));
+        let constant =
+            aggregate(&run_workload(5, 1.0, 100.0, 0.5, &small(), OverheadModel::Constant(20)));
         let int = aggregate(&run_workload(
             5,
             1.0,
@@ -270,11 +264,8 @@ mod tests {
 
     #[test]
     fn web_search_mix_is_heavy_tailed() {
-        let config = WorkloadConfig {
-            flows: 100,
-            sizes: FlowSizes::WebSearch,
-            ..Default::default()
-        };
+        let config =
+            WorkloadConfig { flows: 100, sizes: FlowSizes::WebSearch, ..Default::default() };
         let flows = generate_flows(&[0, 1, 2], &config, OverheadModel::Constant(0));
         let min = flows.iter().map(|f| f.packets).min().unwrap();
         let max = flows.iter().map(|f| f.packets).max().unwrap();

@@ -157,7 +157,7 @@ mod tests {
     #[test]
     fn match_dependency_detected() {
         let f = meta("meta.x", 4);
-        let a = writer("a", &[f.clone()]);
+        let a = writer("a", std::slice::from_ref(&f));
         let b = matcher("b", &[f]);
         assert_eq!(classify(&a, &b, false), Some(DependencyType::Match));
     }
@@ -165,7 +165,7 @@ mod tests {
     #[test]
     fn action_dependency_detected() {
         let f = meta("meta.x", 4);
-        let a = writer("a", &[f.clone()]);
+        let a = writer("a", std::slice::from_ref(&f));
         let b = writer("b", &[f]);
         assert_eq!(classify(&a, &b, false), Some(DependencyType::Action));
     }
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn reverse_match_detected() {
         let f = meta("meta.x", 4);
-        let a = matcher("a", &[f.clone()]);
+        let a = matcher("a", std::slice::from_ref(&f));
         let b = writer("b", &[f]);
         assert_eq!(classify(&a, &b, false), Some(DependencyType::ReverseMatch));
     }
@@ -189,7 +189,7 @@ mod tests {
     #[test]
     fn match_takes_precedence_over_action_and_gate() {
         let f = meta("meta.x", 4);
-        let a = writer("a", &[f.clone()]);
+        let a = writer("a", std::slice::from_ref(&f));
         let b = Mat::builder("b")
             .match_field(f.clone(), MatchKind::Exact)
             .action(Action::writing("w", [f]))
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn reverse_match_carries_no_metadata() {
         let f = meta("meta.x", 4);
-        let a = matcher("a", &[f.clone()]);
+        let a = matcher("a", std::slice::from_ref(&f));
         let b = writer("b", &[f]);
         for mode in [AnalysisMode::PaperLiteral, AnalysisMode::Intersection] {
             assert_eq!(metadata_amount(&a, &b, DependencyType::ReverseMatch, mode), 0);
@@ -239,7 +239,7 @@ mod tests {
     fn action_dependency_unions_write_sets_in_paper_mode() {
         let f = meta("meta.x", 4);
         let g = meta("meta.g", 6);
-        let a = writer("a", &[f.clone()]);
+        let a = writer("a", std::slice::from_ref(&f));
         let b = writer("b", &[f.clone(), g]);
         assert_eq!(metadata_amount(&a, &b, DependencyType::Action, AnalysisMode::PaperLiteral), 10);
         assert_eq!(metadata_amount(&a, &b, DependencyType::Action, AnalysisMode::Intersection), 4);

@@ -225,11 +225,7 @@ impl Tdg {
             .edges
             .iter()
             .filter(|e| keep.contains(&e.from) && keep.contains(&e.to))
-            .map(|e| TdgEdge {
-                from: NodeId(mapping[e.from.0]),
-                to: NodeId(mapping[e.to.0]),
-                ..*e
-            })
+            .map(|e| TdgEdge { from: NodeId(mapping[e.from.0]), to: NodeId(mapping[e.to.0]), ..*e })
             .collect();
         Tdg { nodes, edges, mode: self.mode }
     }
@@ -328,8 +324,10 @@ mod tests {
         for i in 0..n {
             let mut mat = Mat::builder(format!("t{i}")).resource(0.1);
             if i > 0 {
-                mat = mat
-                    .match_field(Field::metadata(format!("meta.c{}", i - 1), bytes), MatchKind::Exact);
+                mat = mat.match_field(
+                    Field::metadata(format!("meta.c{}", i - 1), bytes),
+                    MatchKind::Exact,
+                );
             }
             let writes = if i + 1 < n {
                 vec![Field::metadata(format!("meta.c{i}"), bytes)]

@@ -216,11 +216,8 @@ mod tests {
         assert_eq!(merged.node_count(), before - 1, "one redundant hash removed");
         assert!(merged.is_dag());
         // The shared node now serves both programs.
-        let hash = merged
-            .nodes()
-            .iter()
-            .find(|n| n.name.ends_with("hash_5tuple"))
-            .expect("hash survives");
+        let hash =
+            merged.nodes().iter().find(|n| n.name.ends_with("hash_5tuple")).expect("hash survives");
         assert!(hash.programs.contains("ecmp_lb"));
         assert!(hash.programs.contains("stateful_firewall"));
     }
@@ -253,10 +250,8 @@ mod tests {
         let merged = merge_pair(a, b);
         let hash = merged.node_by_name("ecmp_lb/hash_5tuple").expect("kept first name");
         // Hash must still feed both the ECMP group and the firewall state.
-        let downstream: Vec<&str> = merged
-            .out_edges(hash)
-            .map(|e| merged.node(e.to).name.as_str())
-            .collect();
+        let downstream: Vec<&str> =
+            merged.out_edges(hash).map(|e| merged.node(e.to).name.as_str()).collect();
         assert!(downstream.iter().any(|n| n.ends_with("ecmp_group")));
         assert!(downstream.iter().any(|n| n.ends_with("conn_state")));
     }

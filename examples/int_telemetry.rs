@@ -17,8 +17,12 @@ use hermes::sim::testbed::{normalized_impact, TestbedConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // INT plus the forwarding functions it rides on.
-    let programs =
-        vec![library::int_telemetry(), library::l3_router(), library::ecmp_lb(), library::qos_meter()];
+    let programs = vec![
+        library::int_telemetry(),
+        library::l3_router(),
+        library::ecmp_lb(),
+        library::qos_meter(),
+    ];
     let tdg = ProgramAnalyzer::new().analyze(&programs);
     println!(
         "workload: INT + routing + ECMP + QoS = {} MATs, max single dependency {} B",

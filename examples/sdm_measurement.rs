@@ -17,7 +17,10 @@ use hermes::net::topology;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let programs = sketches::all();
     let standalone: f64 = programs.iter().map(|p| p.total_resource()).sum();
-    println!("deploying {} sketches (standalone resource: {standalone:.1} stage units)", programs.len());
+    println!(
+        "deploying {} sketches (standalone resource: {standalone:.1} stage units)",
+        programs.len()
+    );
 
     // Step 1 — program analysis (Algorithm 1): merge + annotate.
     let tdg = ProgramAnalyzer::new().analyze(&programs);

@@ -15,6 +15,7 @@
 //! | [`baselines`] | `hermes-baselines` | MS, Sonata, SPEED, MTP, FP, P4All, FFL, FFLS |
 //! | [`sim`] | `hermes-sim` | packet-level simulator for FCT/goodput |
 //! | [`backend`] | `hermes-backend` | switch configs + pipeline emulator |
+//! | [`runtime`] | `hermes-runtime` | fault injection, transactional rollout, healing |
 //!
 //! # End-to-end example
 //!
@@ -44,5 +45,6 @@ pub use hermes_core as core;
 pub use hermes_dataplane as dataplane;
 pub use hermes_milp as milp;
 pub use hermes_net as net;
+pub use hermes_runtime as runtime;
 pub use hermes_sim as sim;
 pub use hermes_tdg as tdg;

@@ -51,3 +51,27 @@ proptest! {
         }
     }
 }
+
+/// The minimized case recorded in `backend_equivalence.proptest-regressions`
+/// (`shrinks to seed = 935, programs = 4`), pinned as an explicit unit test.
+/// The vendored proptest shim generates its own deterministic case stream
+/// and cannot replay upstream proptest's persisted seeds, so recorded
+/// regressions are promoted to plain tests like this one.
+#[test]
+fn recorded_regression_seed_935_programs_4() {
+    let mut generator = SyntheticGenerator::new(935, SyntheticConfig::default());
+    let tdg = ProgramAnalyzer::new().analyze(&generator.programs(4));
+    let net = topology::linear(4, 10.0);
+    let eps = Epsilon::loose();
+    let Ok(plan) = GreedyHeuristic::new().deploy(&tdg, &net, &eps) else {
+        panic!("recorded regression must be deployable");
+    };
+    assert!(verify(&tdg, &net, &plan, &eps).is_empty());
+    let artifacts = generate(&tdg, &net, &plan);
+    for packet_seed in [0u64, 1, 2] {
+        assert!(
+            emulator::equivalent(&tdg, &plan, &artifacts, emulator::test_packet(packet_seed)),
+            "seed 935: distributed execution diverged"
+        );
+    }
+}

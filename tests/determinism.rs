@@ -2,7 +2,7 @@
 //! the whole stack — workloads, topologies, plans, and simulations.
 
 use hermes::baselines::standard_suite;
-use hermes::core::{DeploymentAlgorithm, Epsilon, ProgramAnalyzer};
+use hermes::core::{Epsilon, ProgramAnalyzer};
 use hermes::dataplane::library;
 use hermes::dataplane::synthetic::{SyntheticConfig, SyntheticGenerator};
 use hermes::net::topology;

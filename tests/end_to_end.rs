@@ -19,9 +19,8 @@ fn every_algorithm_produces_verified_plans_on_the_testbed() {
     let net = topology::linear(3, 10.0);
     let eps = Epsilon::loose();
     for algo in standard_suite(Duration::from_secs(1)) {
-        let plan = algo
-            .deploy(&tdg, &net, &eps)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+        let plan =
+            algo.deploy(&tdg, &net, &eps).unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
         let violations = verify(&tdg, &net, &plan, &eps);
         assert!(violations.is_empty(), "{}: {violations:?}", algo.name());
     }

@@ -38,12 +38,10 @@ fn eps1_zero_forces_single_switch_or_infeasible() {
     let net = topology::linear(5, 10.0);
     // With zero latency budget, any plan must avoid coordination entirely.
     let eps = Epsilon::new(0.0, usize::MAX);
-    match GreedyHeuristic::new().deploy(&tdg, &net, &eps) {
-        Ok(plan) => {
-            assert_eq!(plan.routes().len(), 0);
-            assert_eq!(plan.occupied_switch_count(), 1);
-        }
-        Err(_) => {} // equally acceptable: the workload needs > 1 switch
+    // An error is equally acceptable: the workload may need > 1 switch.
+    if let Ok(plan) = GreedyHeuristic::new().deploy(&tdg, &net, &eps) {
+        assert_eq!(plan.routes().len(), 0);
+        assert_eq!(plan.occupied_switch_count(), 1);
     }
 }
 

@@ -60,10 +60,7 @@ fn build(mip: &RandomMip) -> (Model, Vec<VarId>) {
         );
     }
     let obj = LinExpr::sum(vars.iter().enumerate().map(|(i, &v)| (v, f64::from(mip.costs[i]))));
-    model.set_objective(
-        if mip.maximize { Direction::Maximize } else { Direction::Minimize },
-        obj,
-    );
+    model.set_objective(if mip.maximize { Direction::Maximize } else { Direction::Minimize }, obj);
     (model, vars)
 }
 

@@ -22,6 +22,7 @@ fn random_instance(seed: u64) -> (Tdg, Network) {
     let n = rng.random_range(4..=6usize);
     let mut fields: Vec<Vec<Field>> = vec![Vec::new(); n];
     let mut builder = Program::builder("rand");
+    #[allow(clippy::needless_range_loop)] // paired (i, j) indices drive the dependency draws
     for i in 0..n {
         let mut mat = Mat::builder(format!("t{i}")).resource(0.5);
         for f in &fields[i] {
@@ -72,7 +73,8 @@ fn solvers_agree_on_random_small_instances() {
         };
         assert!(exact.proven_optimal, "seed {seed} should be tiny enough to prove");
 
-        let milp = MilpHermes::default().deploy(&tdg, &net, &eps).expect("milp agrees on feasibility");
+        let milp =
+            MilpHermes::default().deploy(&tdg, &net, &eps).expect("milp agrees on feasibility");
         assert_eq!(
             milp.max_inter_switch_bytes(&tdg),
             exact.objective,

@@ -1,0 +1,461 @@
+//! Offline vendored serialization shim.
+//!
+//! The build environment for this repository has no crates.io access, so
+//! the workspace vendors a minimal replacement for the `serde` facade it
+//! was written against. Types serialize into a JSON-shaped [`Value`] tree
+//! (`Serialize::to_value`) and deserialize back out of one
+//! (`Deserialize::from_value`); the sibling `serde_json` shim renders and
+//! parses the tree as real JSON text. The derive macros live in
+//! `vendor/serde_derive`.
+//!
+//! Deliberate simplifications versus real serde:
+//! - No zero-copy or streaming; everything goes through [`Value`].
+//! - Map keys must serialize to scalars (they are rendered as JSON object
+//!   keys); scalar deserializers accept strings, so keyed maps round-trip.
+//! - Non-finite floats serialize as the strings `"inf"`, `"-inf"`, `"nan"`
+//!   and are accepted back by the float deserializers.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// A JSON-shaped value tree: the single data model of the shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers.
+    Int(i64),
+    /// Non-negative integers.
+    UInt(u64),
+    /// Floating point numbers.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Value>),
+    /// Objects, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of a map value, for derived struct deserializers.
+    pub fn get_field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            other => {
+                Err(Error::custom(format!("expected map with field `{name}`, found {other:?}")))
+            }
+        }
+    }
+
+    /// Interprets the value as a sequence of exactly `n` items.
+    pub fn as_seq_len(&self, n: usize, what: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) if items.len() == n => Ok(items),
+            other => {
+                Err(Error::custom(format!("expected {n}-element seq for {what}, found {other:?}")))
+            }
+        }
+    }
+
+    /// Renders the value as a JSON object key. Only scalars are
+    /// supported; compound keys would need an escaping scheme nothing in
+    /// this workspace uses.
+    pub fn as_key_string(&self) -> Result<String, Error> {
+        match self {
+            Value::Str(s) => Ok(s.clone()),
+            Value::Bool(b) => Ok(b.to_string()),
+            Value::Int(i) => Ok(i.to_string()),
+            Value::UInt(u) => Ok(u.to_string()),
+            Value::Float(f) => Ok(format!("{f:?}")),
+            other => Err(Error::custom(format!("unsupported map key {other:?}"))),
+        }
+    }
+
+    /// Reinterprets a parsed JSON object key for keyed-map deserializers:
+    /// keys always arrive as strings, so scalar deserializers get a
+    /// string-flavored value back.
+    pub fn from_key_string(key: &str) -> Value {
+        Value::Str(key.to_owned())
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into the shim's data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting a message on shape mismatches.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------- scalars
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            Value::Str(s) => s.parse().map_err(|_| Error::custom("expected bool")),
+            other => Err(Error::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    Value::Str(s) => {
+                        s.parse::<u64>().map_err(|_| Error::custom("expected unsigned integer"))?
+                    }
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, found {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let wide = *self as i64;
+                if wide < 0 { Value::Int(wide) } else { Value::UInt(wide as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => {
+                        i64::try_from(*u).map_err(|_| Error::custom("integer out of range"))?
+                    }
+                    Value::Float(f) if f.fract() == 0.0 => *f as i64,
+                    Value::Str(s) => {
+                        s.parse::<i64>().map_err(|_| Error::custom("expected integer"))?
+                    }
+                    other => {
+                        return Err(Error::custom(format!("expected integer, found {other:?}")))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = f64::from(*self);
+                if f.is_finite() {
+                    Value::Float(f)
+                } else if f.is_nan() {
+                    Value::Str("nan".to_owned())
+                } else if f > 0.0 {
+                    Value::Str("inf".to_owned())
+                } else {
+                    Value::Str("-inf".to_owned())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide = match v {
+                    Value::Float(f) => *f,
+                    Value::Int(i) => *i as f64,
+                    Value::UInt(u) => *u as f64,
+                    Value::Str(s) => match s.as_str() {
+                        "inf" => f64::INFINITY,
+                        "-inf" => f64::NEG_INFINITY,
+                        "nan" => f64::NAN,
+                        other => {
+                            other.parse::<f64>().map_err(|_| Error::custom("expected float"))?
+                        }
+                    },
+                    other => {
+                        return Err(Error::custom(format!("expected float, found {other:?}")))
+                    }
+                };
+                Ok(wide as $t)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            Value::Bool(b) => Ok(b.to_string()),
+            Value::Int(i) => Ok(i.to_string()),
+            Value::UInt(u) => Ok(u.to_string()),
+            Value::Float(f) => Ok(format!("{f:?}")),
+            other => Err(Error::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_ref().to_owned())
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'_, str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(std::borrow::Cow::Owned)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(Error::custom(format!("expected single-char string, found {other:?}"))),
+        }
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected seq, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected seq, found {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key =
+                        k.to_value().as_key_string().expect("map keys must serialize to scalars");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::from_key_string(k))?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = k.to_value().as_key_string().expect("map keys must serialize to scalars");
+                (key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = v.as_seq_len(LEN, "tuple")?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Float(self.as_secs_f64())
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(std::time::Duration::from_secs_f64)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

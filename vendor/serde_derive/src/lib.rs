@@ -1,0 +1,359 @@
+//! Derive macros for the in-repo `serde` shim.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework (see `vendor/serde`). These
+//! derives implement its two traits — `Serialize::to_value` and
+//! `Deserialize::from_value` — for plain structs and enums. The parser is
+//! hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`): it
+//! supports non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like, which covers every type the
+//! workspace derives.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim's value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the shim's value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group that follows.
+                let _ = iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility: optionally followed by `(crate)` etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut iter);
+                reject_generics(&mut iter, &name);
+                let shape = match iter.next() {
+                    None => Shape::Unit,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Shape::Tuple(split_top_level(g.stream()).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::Named(named_fields(g.stream()))
+                    }
+                    other => panic!("unsupported struct body for `{name}`: {other:?}"),
+                };
+                return Item { name, shape };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut iter);
+                reject_generics(&mut iter, &name);
+                let Some(TokenTree::Group(g)) = iter.next() else {
+                    panic!("enum `{name}` has no body");
+                };
+                return Item { name, shape: Shape::Enum(variants(g.stream())) };
+            }
+            Some(_) => {}
+            None => panic!("no struct or enum found in derive input"),
+        }
+    }
+}
+
+fn expect_ident(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn reject_generics(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            panic!("the vendored serde derive does not support generics (type `{name}`)");
+        }
+    }
+}
+
+/// Splits a token stream on commas that sit outside `<...>` nesting.
+/// Bracket/brace/paren nesting arrives pre-grouped, so only angle
+/// brackets need tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i64;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().expect("non-empty").push(tt);
+    }
+    out.retain(|seg| !seg.is_empty());
+    out
+}
+
+/// Field names of a named-field group: per comma-segment, skip attributes
+/// and visibility; the first remaining identifier is the field name.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| leading_ident(&seg).unwrap_or_else(|| panic!("field name in {seg:?}")))
+        .collect()
+}
+
+fn leading_ident(seg: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < seg.len() {
+        match &seg[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attr + its group
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = seg.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|seg| {
+            let name = leading_ident(&seg).unwrap_or_else(|| panic!("variant name in {seg:?}"));
+            let kind = seg
+                .iter()
+                .find_map(|tt| match tt {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        Some(VariantKind::Tuple(split_top_level(g.stream()).len()))
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        Some(VariantKind::Named(named_fields(g.stream())))
+                    }
+                    _ => None,
+                })
+                .unwrap_or(VariantKind::Unit);
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => "::serde::Value::Null".to_owned(),
+        Shape::Named(fields) => {
+            let mut s = String::from("{ let mut __m = ::std::vec::Vec::new(); ");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}))); "
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m) }");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")), "
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![ \
+                             (::std::string::String::from(\"{vn}\"), {inner})]), ",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner =
+                            String::from("{ let mut __m = ::std::vec::Vec::new(); ");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))); "
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Map(__m) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![ \
+                             (::std::string::String::from(\"{vn}\"), {inner})]), "
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Unit => format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}"),
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.get_field(\"{f}\")?)?"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = __v.as_seq_len({n}, \"{name}\")?; \
+                 ::std::result::Result::Ok({name}({})) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}), "
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(__inner)?)")
+                        } else {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __items = __inner.as_seq_len({n}, \"{name}::{vn}\")?; \
+                                 {name}::{vn}({}) }}",
+                                inits.join(", ")
+                            )
+                        };
+                        data_arms
+                            .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({ctor}), "));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     __inner.get_field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}), ",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                   }}, \
+                   ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, __inner) = &__entries[0]; \
+                     match __tag.as_str() {{ \
+                       {data_arms} \
+                       __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                     }} \
+                   }}, \
+                   __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"expected {name}, found {{__other:?}}\"))), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::Error> {{ \
+             {body} \
+           }} \
+         }}"
+    )
+}

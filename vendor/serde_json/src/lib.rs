@@ -1,0 +1,394 @@
+//! Offline vendored JSON text layer for the in-repo `serde` shim.
+//!
+//! Renders [`serde::Value`] trees as JSON text and parses JSON text back
+//! into them. Floats are written with Rust's shortest round-trip
+//! formatting (`{:?}`), which is what the real crate's `float_roundtrip`
+//! feature guarantees.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serializes a value as compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] when a map key does not serialize to a scalar.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes a value as human-readable, two-space-indented JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] when a map key does not serialize to a scalar.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or shape mismatches.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value(text)?;
+    T::from_value(&value)
+}
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            let _ = write!(out, "{f:?}");
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1)?;
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| Error::custom("unexpected end of JSON"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected `{}` at byte {}", char::from(b), self.pos)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::custom("invalid keyword"))
+                }
+            }
+            b't' => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::custom("invalid keyword"))
+                }
+            }
+            b'f' => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::custom("invalid keyword"))
+                }
+            }
+            b'"' => self.string().map(Value::Str),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error::custom(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    entries.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error::custom(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b =
+                *self.bytes.get(self.pos).ok_or_else(|| Error::custom("unterminated string"))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "unknown escape `\\{}`",
+                                char::from(other)
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    let c =
+                        rest.chars().next().ok_or_else(|| Error::custom("empty string tail"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if text.is_empty() {
+            return Err(Error::custom(format!("expected value at byte {start}")));
+        }
+        if !is_float {
+            if let Some(rest) = text.strip_prefix('-') {
+                if rest.parse::<u64>().is_ok() {
+                    return text
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| Error::custom("integer overflow"));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u32, "x".to_owned()), (2, "y".to_owned())];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<(u32, String)>>(&json).unwrap(), v);
+
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(3usize, vec![1.0f64, 2.0]);
+        let json = to_string(&map).unwrap();
+        assert_eq!(json, "{\"3\":[1.0,2.0]}");
+        let back: std::collections::BTreeMap<usize, Vec<f64>> = from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn nonfinite_floats_round_trip() {
+        let json = to_string(&f64::INFINITY).unwrap();
+        assert_eq!(json, "\"inf\"");
+        assert_eq!(from_str::<f64>(&json).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = vec![1u8, 2];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(pretty, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("[1").is_err());
+        assert!(from_str::<u32>("1 junk").is_err());
+    }
+}
