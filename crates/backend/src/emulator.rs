@@ -62,7 +62,7 @@ impl Packet {
 
     /// Keeps headers plus the given metadata set; all other metadata is
     /// stripped (what happens on egress without a piggyback entry).
-    fn retain_for_wire(&mut self, piggyback: &std::collections::BTreeSet<Field>) {
+    pub(crate) fn retain_for_wire(&mut self, piggyback: &std::collections::BTreeSet<Field>) {
         self.fields.retain(|f, _| f.is_header() || piggyback.contains(f));
     }
 }
@@ -185,22 +185,7 @@ pub fn run_distributed(
 
     for (i, &switch) in order.iter().enumerate() {
         visits.push(switch);
-        let config = &artifacts.switches[&switch];
-        // Execute in stage order; a MAT split over several stages runs
-        // once, at its first slice.
-        let mut executed: std::collections::BTreeSet<NodeId> = Default::default();
-        let mut items: Vec<(usize, &crate::config::StageEntry)> = config
-            .stages
-            .iter()
-            .flat_map(|(stage, list)| list.iter().map(move |e| (*stage, e)))
-            .collect();
-        items.sort_by_key(|(stage, e)| (*stage, e.node));
-        for (_, entry) in items {
-            if executed.insert(entry.node) {
-                let mat = &tdg.node(entry.node).mat;
-                execute_mat(mat, &entry.table, &mut pkt, &mut regs);
-            }
-        }
+        execute_switch(tdg, &artifacts.switches[&switch], &mut pkt, &mut regs);
         // Egress: strip everything later switches do not consume.
         let remaining: Vec<SwitchId> = order[i + 1..].to_vec();
         let piggyback = transitive_piggyback(tdg, plan, &order[..=i], &remaining);
@@ -210,9 +195,32 @@ pub fn run_distributed(
     Trace { packet: pkt, visits, wire_bytes }
 }
 
+/// Executes every MAT of one switch config over the packet, in stage
+/// order; a MAT split over several stages runs once, at its first slice.
+pub(crate) fn execute_switch(
+    tdg: &Tdg,
+    config: &crate::config::SwitchConfig,
+    pkt: &mut Packet,
+    regs: &mut Registers,
+) {
+    let mut executed: std::collections::BTreeSet<NodeId> = Default::default();
+    let mut items: Vec<(usize, &crate::config::StageEntry)> = config
+        .stages
+        .iter()
+        .flat_map(|(stage, list)| list.iter().map(move |e| (*stage, e)))
+        .collect();
+    items.sort_by_key(|(stage, e)| (*stage, e.node));
+    for (_, entry) in items {
+        if executed.insert(entry.node) {
+            let mat = &tdg.node(entry.node).mat;
+            execute_mat(mat, &entry.table, pkt, regs);
+        }
+    }
+}
+
 /// Metadata written on any already-visited switch and still consumed by a
 /// MAT on any remaining switch: what genuinely must ride the wire now.
-fn transitive_piggyback(
+pub(crate) fn transitive_piggyback(
     tdg: &Tdg,
     plan: &DeploymentPlan,
     visited: &[SwitchId],
@@ -279,13 +287,17 @@ pub fn equivalent(
 ) -> bool {
     let reference = run_reference(tdg, pkt.clone());
     let distributed = run_distributed(tdg, plan, artifacts, pkt);
-    // Compare on header fields plus drop status: metadata is pipeline-
-    // internal and legitimately stripped at the final egress.
+    same_observable(&reference, &distributed.packet)
+}
+
+/// Observable equality of two final packet states: header fields plus
+/// drop status. Metadata is pipeline-internal and legitimately stripped
+/// at the final egress, so it does not participate.
+pub(crate) fn same_observable(a: &Packet, b: &Packet) -> bool {
     let headers = |p: &Packet| -> BTreeMap<Field, u64> {
         p.fields().iter().filter(|(f, _)| f.is_header()).map(|(f, v)| (f.clone(), *v)).collect()
     };
-    headers(&reference) == headers(&distributed.packet)
-        && reference.is_dropped() == distributed.packet.is_dropped()
+    headers(a) == headers(b) && a.is_dropped() == b.is_dropped()
 }
 
 /// The canonical test packet: every header field of the library programs,

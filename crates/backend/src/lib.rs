@@ -17,6 +17,11 @@
 //!   switch — Goal #2 of the paper, *observed* instead of assumed — and
 //!   [`Trace::wire_bytes`](emulator::Trace) reports the true per-hop
 //!   metadata load including pass-through carriage.
+//! - [`mixed`] — Reitblatt-style per-packet consistency across the
+//!   mixed-epoch window a staggered commit opens:
+//!   [`mixed::check_transition`] replays packet seeds against every
+//!   prefix of a commit order (old route, per-switch epoch mix) so the
+//!   runtime can refuse transitions that cannot be committed gradually.
 //!
 //! # Example
 //!
@@ -39,6 +44,7 @@
 
 pub mod config;
 pub mod emulator;
+pub mod mixed;
 pub mod simulate;
 pub mod validate;
 
@@ -47,5 +53,6 @@ pub use emulator::{
     equivalent, pairwise_field_bytes, run_distributed, run_reference, test_packet, Packet,
     Registers, Trace,
 };
+pub use mixed::{check_transition, check_window, EpochTransition, MixedEpochViolation};
 pub use simulate::{simulate_plan, PlanFlowConfig, PlanSimResult};
 pub use validate::{validate_plan, ValidationFailure, ValidationReport};

@@ -4,7 +4,7 @@
 //! A candidate plan (fresh deployment or healed layout) must pass two
 //! independent checks before activation:
 //!
-//! 1. the static constraint verifier ([`hermes_core::verify`], Eq. 4–9 of
+//! 1. the static constraint verifier ([`hermes_core::verify()`], Eq. 4–9 of
 //!    the paper), and
 //! 2. packet-level equivalence against the single-logical-switch
 //!    reference ([`crate::emulator::equivalent`]) over a battery of

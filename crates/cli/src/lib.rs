@@ -18,7 +18,8 @@ use hermes_dataplane::parser::parse_programs;
 use hermes_net::topology::{self, WanConfig};
 use hermes_net::Network;
 use hermes_runtime::{
-    DeploymentRuntime, Event, FaultInjector, FaultProfile, RetryPolicy, RolloutOutcome,
+    ChannelProfile, DeploymentRuntime, Event, FaultInjector, FaultProfile, RetryPolicy,
+    RolloutOutcome,
 };
 use std::fmt;
 use std::time::Duration;
@@ -87,6 +88,44 @@ pub fn parse_topology(spec: &str) -> Result<Network, CliError> {
     }
 }
 
+/// Parses a control-channel spec: `none`, `lossy`, or comma-separated
+/// knobs `drop=P,dup=P,reorder=P,delay=P,span=US` (omitted knobs stay 0;
+/// `span` is the max extra delay in microseconds).
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed specs or out-of-range probabilities.
+pub fn parse_channel(spec: &str) -> Result<ChannelProfile, CliError> {
+    match spec {
+        "none" => return Ok(ChannelProfile::none()),
+        "lossy" => return Ok(ChannelProfile::lossy()),
+        _ => {}
+    }
+    let mut profile = ChannelProfile::none();
+    for part in spec.split(',') {
+        let (key, value) = part.split_once('=').ok_or_else(|| {
+            err(format!("channel spec `{spec}`: `{part}` is not `key=value` (or use none/lossy)"))
+        })?;
+        let num: f64 = value
+            .parse()
+            .map_err(|_| err(format!("channel `{key}` needs a number, got `{value}`")))?;
+        match key {
+            "drop" => profile.drop_prob = num,
+            "dup" | "duplicate" => profile.duplicate_prob = num,
+            "reorder" => profile.reorder_prob = num,
+            "delay" => profile.delay_prob = num,
+            "span" => profile.delay_span_us = num as u64,
+            other => {
+                return Err(err(format!(
+                    "unknown channel knob `{other}` (drop, dup, reorder, delay, span)"
+                )))
+            }
+        }
+    }
+    profile.validate().map_err(|e| err(format!("channel spec `{spec}`: {e}")))?;
+    Ok(profile)
+}
+
 /// Looks an algorithm up by CLI name.
 ///
 /// # Errors
@@ -136,6 +175,10 @@ pub struct Options {
     pub json: bool,
     /// Fault-injection seed (chaos).
     pub seed: u64,
+    /// Sweep seeds `0..N` instead of one run (chaos).
+    pub trials: Option<u64>,
+    /// Control-channel spec (chaos): `none`, `lossy`, or `k=v` pairs.
+    pub channel: String,
 }
 
 impl Default for Options {
@@ -151,6 +194,8 @@ impl Default for Options {
             dot: false,
             json: false,
             seed: 0,
+            trials: None,
+            channel: "none".to_owned(),
         }
     }
 }
@@ -164,11 +209,12 @@ USAGE:
   hermes deploy   <files…> [--topology SPEC] [--algorithm NAME]
                   [--eps1 US] [--eps2 N] [--budget SECS] [--json]
   hermes simulate <files…> [--topology SPEC] [--algorithm NAME]
-  hermes chaos    <files…> [--topology SPEC] [--seed N]
-                  [--eps1 US] [--eps2 N] [--json]
+  hermes chaos    <files…> [--topology SPEC] [--seed N] [--trials N]
+                  [--channel SPEC] [--eps1 US] [--eps2 N] [--json]
 
 TOPOLOGY SPECS:  linear:N  star:N  fattree:K  wan:1..10  waxman:N,A,B,SEED
 ALGORITHMS:      hermes optimal ffl ffls ms sonata speed mtp fp p4all
+CHANNEL SPECS:   none  lossy  drop=P,dup=P,reorder=P,delay=P,span=US
 ";
 
 /// Parses raw arguments (without the binary name).
@@ -207,6 +253,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 options.seed =
                     value(&mut iter)?.parse().map_err(|_| err("--seed needs an integer"))?
             }
+            "--trials" => {
+                options.trials =
+                    Some(value(&mut iter)?.parse().map_err(|_| err("--trials needs an integer"))?)
+            }
+            "--channel" => options.channel = value(&mut iter)?,
             "--dot" => options.dot = true,
             "--json" => options.json = true,
             flag if flag.starts_with("--") => {
@@ -230,6 +281,92 @@ fn load_programs(options: &Options) -> Result<Vec<hermes_dataplane::Program>, Cl
         sources.push('\n');
     }
     parse_programs(&sources).map_err(|e| err(format!("parse error: {e}")))
+}
+
+/// `chaos --trials N`: sweeps seeds `0..N`, checking runtime invariants
+/// on every run — bimodal termination, no agent serving a rolled-back
+/// epoch, byte-for-byte reproducible event logs — and prints a
+/// committed/healed/rolled-back summary (JSON with `--json`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] (nonzero exit) if any run violates an invariant.
+#[allow(clippy::too_many_arguments)]
+fn run_trials(
+    options: &Options,
+    out: &mut dyn std::io::Write,
+    tdg: &hermes_tdg::Tdg,
+    net: &Network,
+    eps: Epsilon,
+    channel: ChannelProfile,
+    plan: &hermes_core::DeploymentPlan,
+    trials: u64,
+) -> Result<(), CliError> {
+    let io = |e: std::io::Error| err(format!("write failed: {e}"));
+    let (mut committed, mut healed, mut rolled_back) = (0u64, 0u64, 0u64);
+    for seed in 0..trials {
+        let run_once = |seed: u64| {
+            let injector = FaultInjector::new(seed, FaultProfile::chaos());
+            let mut rt = DeploymentRuntime::new(net.clone(), eps, injector, RetryPolicy::default())
+                .with_channel_profile(channel);
+            let outcome = rt.rollout(tdg, plan.clone());
+            (outcome, rt)
+        };
+        let (outcome, rt) = run_once(seed);
+        let (outcome2, rt2) = run_once(seed);
+        if outcome != outcome2 || rt.log().to_json() != rt2.log().to_json() {
+            return Err(err(format!("invariant violated: seed {seed} is not reproducible")));
+        }
+        match &outcome {
+            RolloutOutcome::Committed { epoch, healed: was_healed } => {
+                if *was_healed {
+                    healed += 1;
+                } else {
+                    committed += 1;
+                }
+                let active = rt.active_plan().ok_or_else(|| {
+                    err(format!("invariant violated: seed {seed} committed with no active plan"))
+                })?;
+                let down = rt.network().down_switches();
+                for switch in active.occupied_switches() {
+                    if !down.contains(&switch)
+                        && rt.agent(switch).is_some_and(|a| a.active_epoch() != Some(*epoch))
+                    {
+                        return Err(err(format!(
+                            "invariant violated: seed {seed} committed epoch {epoch} but \
+                             switch {switch} does not serve it"
+                        )));
+                    }
+                }
+            }
+            RolloutOutcome::RolledBack { epoch, .. } => {
+                rolled_back += 1;
+                for agent in rt.agents() {
+                    if agent.active_epoch() == Some(*epoch) {
+                        return Err(err(format!(
+                            "invariant violated: seed {seed} rolled epoch {epoch} back but an \
+                             agent still serves it"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+    if options.json {
+        writeln!(
+            out,
+            "{{\"trials\":{trials},\"committed\":{committed},\"healed\":{healed},\
+             \"rolled_back\":{rolled_back}}}"
+        )
+        .map_err(io)?;
+    } else {
+        writeln!(
+            out,
+            "trials {trials}: {committed} committed, {healed} healed, {rolled_back} rolled back"
+        )
+        .map_err(io)?;
+    }
+    Ok(())
 }
 
 /// Executes the parsed command, writing human-readable output to `out`.
@@ -308,11 +445,16 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
         "chaos" => {
             let net = parse_topology(&options.topology)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
+            let channel = parse_channel(&options.channel)?;
             let plan = GreedyHeuristic::new()
                 .deploy(&tdg, &net, &eps)
                 .map_err(|e| err(format!("Hermes failed: {e}")))?;
+            if let Some(trials) = options.trials {
+                return run_trials(options, out, &tdg, &net, eps, channel, &plan, trials);
+            }
             let injector = FaultInjector::new(options.seed, FaultProfile::chaos());
-            let mut runtime = DeploymentRuntime::new(net, eps, injector, RetryPolicy::default());
+            let mut runtime = DeploymentRuntime::new(net, eps, injector, RetryPolicy::default())
+                .with_channel_profile(channel);
             let outcome = runtime.rollout(&tdg, plan);
             writeln!(out, "seed {}: {}", options.seed, outcome).map_err(io)?;
             let log = runtime.log();
@@ -427,6 +569,41 @@ mod tests {
         assert!(parse_args(&args(&["chaos", "a.p4dsl", "--seed", "banana"])).is_err());
         // Default seed is 0 when the flag is absent.
         assert_eq!(parse_args(&args(&["chaos", "a.p4dsl"])).unwrap().seed, 0);
+        // Trials and channel flags.
+        let options = parse_args(&args(&[
+            "chaos",
+            "a.p4dsl",
+            "--trials",
+            "25",
+            "--channel",
+            "lossy",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(options.trials, Some(25));
+        assert_eq!(options.channel, "lossy");
+        assert!(parse_args(&args(&["chaos", "a.p4dsl", "--trials", "many"])).is_err());
+        assert_eq!(parse_args(&args(&["chaos", "a.p4dsl"])).unwrap().trials, None);
+        assert_eq!(parse_args(&args(&["chaos", "a.p4dsl"])).unwrap().channel, "none");
+    }
+
+    #[test]
+    fn channel_specs() {
+        assert!(parse_channel("none").unwrap().is_none());
+        let lossy = parse_channel("lossy").unwrap();
+        assert!(lossy.drop_prob > 0.0 && lossy.duplicate_prob > 0.0);
+        let custom = parse_channel("drop=0.2,dup=0.1,reorder=0.05,delay=0.3,span=500").unwrap();
+        assert_eq!(custom.drop_prob, 0.2);
+        assert_eq!(custom.duplicate_prob, 0.1);
+        assert_eq!(custom.reorder_prob, 0.05);
+        assert_eq!(custom.delay_prob, 0.3);
+        assert_eq!(custom.delay_span_us, 500);
+        // Omitted knobs stay zero.
+        assert_eq!(parse_channel("drop=0.5").unwrap().duplicate_prob, 0.0);
+        for bad in ["drop", "drop=high", "loss=0.1", "drop=1.5", "drop=-0.1", "drop=NaN"] {
+            assert!(parse_channel(bad).is_err(), "`{bad}` accepted");
+        }
+        assert!(parse_channel("drop=1.5").unwrap_err().0.contains("not a probability"));
     }
 
     #[test]
@@ -504,6 +681,30 @@ mod tests {
         let mut again = Vec::new();
         run(&options, &mut again).unwrap();
         assert_eq!(text, String::from_utf8(again).unwrap());
+
+        // chaos --trials sweeps seeds over a lossy channel and reports a
+        // summary; every run upholds the runtime invariants (or this
+        // errors).
+        let options = parse_args(&args(&[
+            "chaos",
+            file.to_str().unwrap(),
+            "--topology",
+            "linear:3",
+            "--trials",
+            "5",
+            "--channel",
+            "lossy",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("trials 5:"), "{text}");
+        let options = Options { json: true, ..options };
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"trials\":5"), "{text}");
     }
 
     #[test]

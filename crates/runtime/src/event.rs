@@ -11,6 +11,33 @@ use hermes_net::SwitchId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// The kind of control-plane message an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// Controller-to-agent prepare.
+    Prepare,
+    /// Controller-to-agent commit.
+    Commit,
+    /// Controller-to-agent abort.
+    Abort,
+    /// Controller-to-agent lease probe.
+    Probe,
+    /// Agent-to-controller reply.
+    Reply,
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MessageKind::Prepare => "prepare",
+            MessageKind::Commit => "commit",
+            MessageKind::Abort => "abort",
+            MessageKind::Probe => "probe",
+            MessageKind::Reply => "reply",
+        })
+    }
+}
+
 /// One runtime event. `at_us` is always the virtual-clock timestamp.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -143,6 +170,144 @@ pub enum Event {
         /// Virtual time.
         at_us: u64,
     },
+    /// The control channel lost a message.
+    MessageDropped {
+        /// What kind of message was lost.
+        kind: MessageKind,
+        /// Epoch stamp of the lost message.
+        epoch: u64,
+        /// Sequence stamp of the lost message.
+        seq: u64,
+        /// The switch the message targeted (or came from).
+        switch: SwitchId,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// The control channel transmitted a message twice.
+    MessageDuplicated {
+        /// What kind of message was duplicated.
+        kind: MessageKind,
+        /// Epoch stamp of the duplicated message.
+        epoch: u64,
+        /// Sequence stamp of the duplicated message.
+        seq: u64,
+        /// The switch the message targeted (or came from).
+        switch: SwitchId,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// The control channel held a message beyond its nominal latency.
+    MessageDelayed {
+        /// What kind of message was delayed.
+        kind: MessageKind,
+        /// Epoch stamp of the delayed message.
+        epoch: u64,
+        /// Sequence stamp of the delayed message.
+        seq: u64,
+        /// The switch the message targeted (or came from).
+        switch: SwitchId,
+        /// When the latest copy will arrive.
+        deliver_at_us: u64,
+        /// Virtual time (when it was sent).
+        at_us: u64,
+    },
+    /// An agent answered an exact `(epoch, seq)` replay from its cache
+    /// without re-executing.
+    ReplayAnswered {
+        /// The replayed epoch.
+        epoch: u64,
+        /// The replayed sequence number.
+        seq: u64,
+        /// The deduplicating switch.
+        switch: SwitchId,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// The runtime discarded a reply whose `(epoch, seq)` did not match
+    /// the request it was waiting for (a late answer to a superseded
+    /// attempt).
+    StaleReplyIgnored {
+        /// Epoch stamp of the stale reply.
+        epoch: u64,
+        /// Sequence stamp of the stale reply.
+        seq: u64,
+        /// The switch that sent it.
+        switch: SwitchId,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// An agent's fence refused a request for a terminated epoch.
+    EpochFenced {
+        /// The refusing switch.
+        switch: SwitchId,
+        /// The stale epoch the request carried.
+        stale_epoch: u64,
+        /// The agent's highest fenced epoch.
+        fenced: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A commit lease lapsed without renewal; the agent self-fenced and
+    /// stopped serving.
+    LeaseExpired {
+        /// The switch that stopped serving.
+        switch: SwitchId,
+        /// The epoch that stopped serving.
+        epoch: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A lease probe was acknowledged.
+    ProbeAcked {
+        /// The probed switch.
+        switch: SwitchId,
+        /// The epoch whose lease was renewed.
+        epoch: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A switch exhausted the probe retry budget without answering; the
+    /// runtime declares it down and feeds it to the healing path.
+    SwitchUnreachable {
+        /// The unreachable switch.
+        switch: SwitchId,
+        /// The epoch it was last known to serve.
+        epoch: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A switch acknowledged a commit; its config is now live (the
+    /// mixed-epoch window grows by this switch).
+    CommitAcked {
+        /// The committed epoch.
+        epoch: u64,
+        /// The acknowledging switch.
+        switch: SwitchId,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// The mixed-epoch window was replayed against the packet seeds and
+    /// found per-packet consistent.
+    MixedEpochChecked {
+        /// The epoch being committed.
+        epoch: u64,
+        /// Number of commit-prefix windows checked.
+        windows: usize,
+        /// Packet seeds replayed per window.
+        packets: usize,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Some commit order would let a packet observe two epochs end to
+    /// end; the transaction rolls back before any commit is issued.
+    MixedEpochViolated {
+        /// The refused epoch.
+        epoch: u64,
+        /// Rendered violation.
+        detail: String,
+        /// Virtual time.
+        at_us: u64,
+    },
     /// Healing finished and the healed plan is serving.
     RecoveryCompleted {
         /// The healed epoch now active.
@@ -175,6 +340,18 @@ impl Event {
             | Event::HealingStarted { at_us, .. }
             | Event::HealingPlanned { at_us, .. }
             | Event::HealingFailed { at_us, .. }
+            | Event::MessageDropped { at_us, .. }
+            | Event::MessageDuplicated { at_us, .. }
+            | Event::MessageDelayed { at_us, .. }
+            | Event::ReplayAnswered { at_us, .. }
+            | Event::StaleReplyIgnored { at_us, .. }
+            | Event::EpochFenced { at_us, .. }
+            | Event::LeaseExpired { at_us, .. }
+            | Event::ProbeAcked { at_us, .. }
+            | Event::SwitchUnreachable { at_us, .. }
+            | Event::CommitAcked { at_us, .. }
+            | Event::MixedEpochChecked { at_us, .. }
+            | Event::MixedEpochViolated { at_us, .. }
             | Event::RecoveryCompleted { at_us, .. } => *at_us,
         }
     }

@@ -10,6 +10,42 @@ use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// A fault or channel profile carried a field that is not a probability.
+///
+/// Probabilities must be finite and inside `[0.0, 1.0]`; NaN, negative,
+/// and `> 1.0` values are rejected at construction so a typo in an
+/// experiment config fails loudly instead of silently skewing (or
+/// saturating) a fault schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileError {
+    /// Name of the offending field.
+    pub field: String,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` = {} is not a probability (must be in [0.0, 1.0] and not NaN)",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Checks that every `(name, value)` pair is a probability.
+pub(crate) fn validate_probabilities(fields: &[(&str, f64)]) -> Result<(), ProfileError> {
+    for &(field, value) in fields {
+        if !(0.0..=1.0).contains(&value) {
+            return Err(ProfileError { field: field.to_string(), value });
+        }
+    }
+    Ok(())
+}
+
 /// Per-draw fault probabilities. All probabilities are evaluated
 /// independently per prepare attempt, in a fixed order (crash, reject,
 /// link, slow, partial), so a profile change never silently reshuffles an
@@ -43,6 +79,23 @@ impl FaultProfile {
             partial_prob: 0.0,
             post_commit_crash_prob: 0.0,
         }
+    }
+
+    /// Validates that every field is a probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] naming the first NaN, negative, or `> 1.0`
+    /// field.
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        validate_probabilities(&[
+            ("crash_prob", self.crash_prob),
+            ("reject_prob", self.reject_prob),
+            ("link_down_prob", self.link_down_prob),
+            ("slow_prob", self.slow_prob),
+            ("partial_prob", self.partial_prob),
+            ("post_commit_crash_prob", self.post_commit_crash_prob),
+        ])
     }
 
     /// The default chaos mix used by soak tests and the `chaos` CLI:
@@ -111,6 +164,7 @@ impl fmt::Display for Fault {
 /// Seeded source of all runtime failures.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
+    seed: u64,
     rng: StdRng,
     profile: FaultProfile,
 }
@@ -118,8 +172,24 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// An injector drawing from `profile` with a deterministic schedule
     /// fully determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile carries a non-probability field; use
+    /// [`FaultInjector::try_new`] to handle that as a value.
     pub fn new(seed: u64, profile: FaultProfile) -> Self {
-        FaultInjector { rng: StdRng::seed_from_u64(seed), profile }
+        FaultInjector::try_new(seed, profile).expect("invalid fault profile")
+    }
+
+    /// Fallible constructor: validates `profile` before accepting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError`] for NaN, negative, or `> 1.0`
+    /// probabilities.
+    pub fn try_new(seed: u64, profile: FaultProfile) -> Result<Self, ProfileError> {
+        profile.validate()?;
+        Ok(FaultInjector { seed, rng: StdRng::seed_from_u64(seed), profile })
     }
 
     /// An injector that never faults (for plain installs).
@@ -130,6 +200,12 @@ impl FaultInjector {
     /// The profile this injector draws from.
     pub fn profile(&self) -> &FaultProfile {
         &self.profile
+    }
+
+    /// The seed this injector (and every stream derived from it) was
+    /// built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Decides the fate of one prepare attempt on a switch whose config
@@ -204,6 +280,35 @@ mod tests {
         let mut inj = FaultInjector::disabled();
         assert!((0..100).all(|_| inj.on_prepare(&net, 3, 200).is_none()));
         assert!(inj.post_commit_crash(&net.switch_ids().collect::<Vec<_>>()).is_none());
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected_with_a_typed_error() {
+        type Mutator = fn(&mut FaultProfile, f64);
+        let cases: [(Mutator, &str); 6] = [
+            (|p, v| p.crash_prob = v, "crash_prob"),
+            (|p, v| p.reject_prob = v, "reject_prob"),
+            (|p, v| p.link_down_prob = v, "link_down_prob"),
+            (|p, v| p.slow_prob = v, "slow_prob"),
+            (|p, v| p.partial_prob = v, "partial_prob"),
+            (|p, v| p.post_commit_crash_prob = v, "post_commit_crash_prob"),
+        ];
+        for (mutate, field) in cases {
+            for bad in [f64::NAN, -0.01, 1.01, f64::INFINITY, f64::NEG_INFINITY] {
+                let mut profile = FaultProfile::none();
+                mutate(&mut profile, bad);
+                let e = FaultInjector::try_new(0, profile)
+                    .expect_err(&format!("{field} = {bad} must be rejected"));
+                assert_eq!(e.field, field);
+                assert!(e.value.is_nan() == bad.is_nan() && (bad.is_nan() || e.value == bad));
+                assert!(e.to_string().contains(field), "{e}");
+            }
+        }
+        // Boundary values are fine.
+        let mut edge = FaultProfile::none();
+        edge.reject_prob = 1.0;
+        assert!(FaultInjector::try_new(0, edge).is_ok());
+        assert!(FaultProfile::chaos().validate().is_ok());
     }
 
     #[test]

@@ -5,21 +5,33 @@
 //! (hermes-core) and per-switch configs (hermes-backend). This crate adds
 //! the operational layer in between a plan and a running network:
 //!
-//! - [`agent`] — emulated per-switch install agents with
-//!   prepare/commit/abort semantics (staged configs never serve traffic).
+//! - [`agent`] — emulated per-switch install agents, each a
+//!   message-driven state machine: `(epoch, seq)`-stamped requests are
+//!   deduplicated and answered idempotently, stale epochs are fenced (an
+//!   agent that missed an abort can never activate the abandoned epoch),
+//!   and a commit-time lease makes an unrenewed agent self-fence instead
+//!   of serving as a zombie.
+//! - [`channel`] — the seeded, lossy [`ControlChannel`] every
+//!   prepare/commit/abort/probe travels: a [`ChannelProfile`] decides per
+//!   message whether it is dropped, duplicated, reordered, or delayed,
+//!   deterministically per seed.
 //! - [`fault`] — a seeded, deterministic [`FaultInjector`] modelling
 //!   install rejections, switch crashes, link failures, slow responses,
-//!   and partial-stage installs.
+//!   and partial-stage installs. Profiles are validated at construction.
 //! - [`runtime`] — [`DeploymentRuntime`], which installs a plan as a
 //!   two-phase transaction with bounded retry and exponential backoff on
-//!   a virtual clock, rolls back atomically when the transaction cannot
-//!   commit, and — when a switch dies after commit — heals by re-running
-//!   the incremental deployer with surviving placements pinned and
-//!   revalidating (ε-verifier + packet-level equivalence) before
-//!   activating the healed plan.
+//!   a virtual clock, refuses same-program plan changes whose mixed-epoch
+//!   commit window would break Reitblatt-style per-packet consistency
+//!   ([`hermes_backend::check_transition`]), rolls back atomically when
+//!   the transaction cannot commit, and — when a switch dies after commit
+//!   or stops answering probes — heals by re-running the incremental
+//!   deployer with surviving placements pinned and revalidating
+//!   (ε-verifier + packet-level equivalence) before activating the healed
+//!   plan.
 //! - [`event`] — the structured, deterministic [`EventLog`] recording
-//!   epochs, retries, rollbacks, recovery latency, and `A_max`
-//!   before/after healing. Same seed, byte-identical JSON.
+//!   epochs, retries, message fates, fencing, leases, rollbacks, recovery
+//!   latency, and `A_max` before/after healing. Same seed, byte-identical
+//!   JSON.
 //!
 //! # Example
 //!
@@ -54,11 +66,15 @@
 #![forbid(unsafe_code)]
 
 pub mod agent;
+pub mod channel;
 pub mod event;
 pub mod fault;
 pub mod runtime;
 
-pub use agent::{AgentError, SwitchAgent};
-pub use event::{Event, EventLog};
-pub use fault::{Fault, FaultInjector, FaultProfile};
+pub use agent::{
+    AgentError, HandleNote, Reply, ReplyEnvelope, Request, RequestEnvelope, SwitchAgent,
+};
+pub use channel::{ChannelProfile, ControlChannel, Message, SendReceipt};
+pub use event::{Event, EventLog, MessageKind};
+pub use fault::{Fault, FaultInjector, FaultProfile, ProfileError};
 pub use runtime::{DeploymentRuntime, RetryPolicy, RolloutOutcome};

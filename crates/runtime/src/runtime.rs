@@ -1,29 +1,46 @@
 //! The failure-aware deployment runtime.
 //!
 //! [`DeploymentRuntime`] installs a verified [`DeploymentPlan`] onto a
-//! fleet of emulated [`SwitchAgent`]s as a two-phase transaction:
+//! fleet of emulated [`SwitchAgent`]s as a two-phase transaction whose
+//! every prepare/commit/abort/probe travels a lossy [`ControlChannel`]:
 //!
-//! 1. **Prepare** — each occupied switch stages its config. Installs can
-//!    fail through the seeded [`FaultInjector`]; transient faults are
+//! 1. **Prepare** — each occupied switch stages its config through
+//!    `(epoch, seq)`-stamped request/reply exchanges. Installs can fail
+//!    through the seeded [`FaultInjector`], and the channel can drop,
+//!    duplicate, reorder, or delay any message; transient failures are
 //!    retried with exponential backoff plus deterministic jitter on a
-//!    virtual clock.
-//! 2. **Commit** — only when every switch staged (and the plan still
-//!    validates against the possibly-degraded network) do all agents
-//!    atomically activate. Otherwise the transaction aborts and the
-//!    previous plan keeps serving — rollback is a no-op on the data plane
-//!    because staged configs never serve traffic.
+//!    virtual clock, and agents deduplicate replays and answer
+//!    idempotently.
+//! 2. **Commit** — only when every switch staged, the plan still
+//!    validates against the possibly-degraded network, and — for a
+//!    same-program plan change — every mixed-epoch window of the commit
+//!    order preserves per-packet consistency
+//!    ([`hermes_backend::check_transition`]) does the runtime start
+//!    committing switch by switch. Each acked commit starts a lease the
+//!    runtime renews with probes; a switch that stops answering is waited
+//!    out (its lease lapses, so an alive-but-unreachable agent has
+//!    provably self-fenced) and declared `Down`, feeding the existing
+//!    healing path. Before any commit is sent the transaction can still
+//!    abort cleanly — the previous plan keeps serving, and epoch fencing
+//!    guarantees an aborted epoch can never activate later, even on an
+//!    agent that missed the abort.
 //!
 //! If a switch crashes *after* commit, the runtime marks it down in the
 //! [`Network`], re-runs the incremental deployer with all surviving
 //! placements pinned ([`RedeployOptions::excluding`]), revalidates the
 //! healed plan (ε-verifier + packet-level equivalence), and transitions to
 //! it — recording the recovery latency and `A_max` before/after in the
-//! event log.
+//! event log. Healing deliberately skips the mixed-epoch gate: a dead
+//! switch already broke per-packet consistency, and repairing service
+//! outranks preserving a guarantee the failure voided.
 
-use crate::agent::SwitchAgent;
-use crate::event::{Event, EventLog};
+use crate::agent::{
+    AgentError, HandleNote, Reply, ReplyEnvelope, Request, RequestEnvelope, SwitchAgent,
+};
+use crate::channel::{ChannelProfile, ControlChannel, Message, SendReceipt};
+use crate::event::{Event, EventLog, MessageKind};
 use crate::fault::{Fault, FaultInjector};
-use hermes_backend::{validate_plan, DeploymentArtifacts};
+use hermes_backend::{check_transition, validate_plan, DeploymentArtifacts, EpochTransition};
 use hermes_core::{verify, DeploymentPlan, Epsilon, IncrementalDeployer, RedeployOptions};
 use hermes_net::{Network, SwitchId};
 use hermes_tdg::Tdg;
@@ -31,19 +48,25 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Retry/backoff policy for the prepare phase.
+/// Retry/backoff/lease policy for the transaction protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
-    /// Maximum prepare attempts per switch (including the first).
+    /// Maximum attempts per request kind per switch (including the first).
     pub max_attempts: u32,
     /// Backoff before attempt `n + 1` starts at `base_delay_us << (n - 1)`.
     pub base_delay_us: u64,
     /// Backoff (before jitter) is capped here.
     pub max_delay_us: u64,
-    /// Responses slower than this count as a timed-out attempt.
+    /// An exchange whose reply has not arrived after this long counts as
+    /// a timed-out attempt.
     pub timeout_us: u64,
-    /// Virtual cost of one round-trip to an agent.
+    /// Virtual cost of one well-behaved round-trip to an agent (the
+    /// channel's one-way latency is half of this).
     pub rpc_cost_us: u64,
+    /// Commit-window lease duration: an agent whose lease is not renewed
+    /// for this long self-fences, and the runtime waits this long before
+    /// declaring an unresponsive switch down.
+    pub lease_us: u64,
 }
 
 impl Default for RetryPolicy {
@@ -54,6 +77,7 @@ impl Default for RetryPolicy {
             max_delay_us: 2_000,
             timeout_us: 200,
             rpc_cost_us: 50,
+            lease_us: 20_000,
         }
     }
 }
@@ -125,31 +149,71 @@ pub struct DeploymentRuntime {
     net: Network,
     agents: BTreeMap<SwitchId, SwitchAgent>,
     injector: FaultInjector,
+    channel: ControlChannel,
     policy: RetryPolicy,
     eps: Epsilon,
     packet_seeds: Vec<u64>,
     clock_us: u64,
     epoch: u64,
+    seq: u64,
     log: EventLog,
     active: Option<ActiveDeployment>,
 }
 
 impl DeploymentRuntime {
-    /// A runtime fronting `net` with one agent per switch.
+    /// A runtime fronting `net` with one agent per switch and a perfect
+    /// control channel ([`ChannelProfile::none`]); use
+    /// [`DeploymentRuntime::with_channel_profile`] to make it lossy.
     pub fn new(net: Network, eps: Epsilon, injector: FaultInjector, policy: RetryPolicy) -> Self {
         let agents = net.switch_ids().map(|s| (s, SwitchAgent::new(s))).collect();
+        let channel = ControlChannel::new(
+            injector.seed(),
+            ChannelProfile::none(),
+            (policy.rpc_cost_us / 2).max(1),
+        );
         DeploymentRuntime {
             net,
             agents,
             injector,
+            channel,
             policy,
             eps,
             packet_seeds: vec![0, 1, 2, 3],
             clock_us: 0,
             epoch: 0,
+            seq: 0,
             log: EventLog::new(),
             active: None,
         }
+    }
+
+    /// Builder-style variant of [`DeploymentRuntime::set_channel_profile`].
+    #[must_use]
+    pub fn with_channel_profile(mut self, profile: ChannelProfile) -> Self {
+        self.set_channel_profile(profile);
+        self
+    }
+
+    /// Replaces the control channel with one drawing from `profile`,
+    /// seeded from the fault injector's seed (any in-flight messages are
+    /// discarded — configure the channel before rolling out).
+    pub fn set_channel_profile(&mut self, profile: ChannelProfile) {
+        self.channel = ControlChannel::new(
+            self.injector.seed(),
+            profile,
+            (self.policy.rpc_cost_us / 2).max(1),
+        );
+    }
+
+    /// The control channel's misbehavior profile.
+    pub fn channel_profile(&self) -> &ChannelProfile {
+        self.channel.profile()
+    }
+
+    /// Total control-plane messages handed to the channel so far (both
+    /// directions, before drop/duplicate decisions).
+    pub fn messages_sent(&self) -> u64 {
+        self.channel.messages_sent()
     }
 
     /// The substrate network, including any failure state accumulated so
@@ -183,16 +247,30 @@ impl DeploymentRuntime {
         &self.eps
     }
 
+    /// The per-switch agents, in switch order (soak tests inspect their
+    /// fencing/lease state to assert protocol invariants).
+    pub fn agents(&self) -> impl Iterator<Item = &SwitchAgent> {
+        self.agents.values()
+    }
+
+    /// One switch's agent, if the switch exists.
+    pub fn agent(&self, switch: SwitchId) -> Option<&SwitchAgent> {
+        self.agents.get(&switch)
+    }
+
     /// Overrides the packet seeds used for pre-activation equivalence
-    /// checks.
+    /// checks and mixed-epoch windows.
     pub fn set_packet_seeds(&mut self, seeds: Vec<u64>) {
         self.packet_seeds = seeds;
     }
 
     /// Replaces the fault injector, e.g. to run one clean rollout and then
-    /// turn chaos on for the next epoch.
+    /// turn chaos on for the next epoch. The control channel is reseeded
+    /// from the new injector's seed, keeping its current profile.
     pub fn set_injector(&mut self, injector: FaultInjector) {
+        let profile = *self.channel.profile();
         self.injector = injector;
+        self.set_channel_profile(profile);
     }
 
     /// Marks a switch as failed (operator- or injector-initiated) without
@@ -205,8 +283,8 @@ impl DeploymentRuntime {
         self.log.push(Event::SwitchDown { switch, at_us: self.clock_us });
     }
 
-    /// Installs `plan` for `tdg` as a two-phase transaction, healing a
-    /// post-commit switch failure if one is injected. Exactly one of two
+    /// Installs `plan` for `tdg` as a two-phase transaction, healing
+    /// post-commit switch failures if any occur. Exactly one of two
     /// terminal states results: a committed, validated plan is serving, or
     /// the transaction rolled back and the previous plan is untouched.
     pub fn rollout(&mut self, tdg: &Tdg, plan: DeploymentPlan) -> RolloutOutcome {
@@ -234,10 +312,18 @@ impl DeploymentRuntime {
             return self.roll_back(epoch, "pre-install validation failed".to_string());
         }
 
-        if let Err(reason) = self.install_transaction(tdg, &plan, &artifacts, epoch) {
-            return self.roll_back(epoch, reason);
+        match self.install_transaction(tdg, &plan, &artifacts, epoch, true) {
+            Err(reason) => return self.roll_back(epoch, reason),
+            Ok(dead) => {
+                self.activate(epoch, tdg.clone(), plan, artifacts);
+                if !dead.is_empty() {
+                    // Some switches were lost during the commit window
+                    // itself (unreachable or lease-lapsed): the committed
+                    // deployment is already degraded.
+                    return self.heal(prior);
+                }
+            }
         }
-        self.activate(epoch, tdg.clone(), plan, artifacts);
 
         // The committed deployment may immediately lose a switch.
         let occupied: Vec<SwitchId> = self
@@ -256,92 +342,119 @@ impl DeploymentRuntime {
     }
 
     /// Re-homes the MATs lost to down switches and transitions to the
-    /// healed plan. On any failure the runtime rolls back to `previous`
-    /// (the last-known-good deployment before the failing rollout).
+    /// healed plan, looping if the heal's own commit window loses more
+    /// switches. On any failure the runtime rolls back to `previous` (the
+    /// last-known-good deployment before the failing rollout).
     fn heal(&mut self, previous: Option<ActiveDeployment>) -> RolloutOutcome {
-        let Some(active) = self.active.clone() else {
-            return RolloutOutcome::RolledBack {
-                epoch: self.epoch,
-                reason: "nothing to heal".to_string(),
-            };
-        };
         let healing_started_us = self.clock_us;
-        self.epoch += 1;
-        let epoch = self.epoch;
-        let down = self.net.down_switches();
-        self.log.push(Event::HealingStarted { epoch, down: down.clone(), at_us: self.clock_us });
-        let a_max_before = active.plan.max_inter_switch_bytes(&active.tdg);
-
-        let opts = RedeployOptions::excluding(down);
-        let outcome = match IncrementalDeployer::new().redeploy_with(
-            &active.tdg,
-            &active.plan,
-            &active.tdg,
-            &self.net,
-            &self.eps,
-            &opts,
-        ) {
-            Ok(outcome) => outcome,
-            Err(e) => {
-                self.log.push(Event::HealingFailed {
-                    epoch,
-                    reason: e.to_string(),
-                    at_us: self.clock_us,
-                });
-                return self.roll_back_to(previous, epoch, format!("healing infeasible: {e}"));
-            }
-        };
-        self.log.push(Event::HealingPlanned {
-            epoch,
-            reused: outcome.reused,
-            placed: outcome.placed,
-            full_redeploy: outcome.full_redeploy,
-            at_us: self.clock_us,
-        });
-
-        // Revalidate on the degraded network before activating.
-        let (report, artifacts) =
-            validate_plan(&active.tdg, &self.net, &outcome.plan, &self.eps, &self.packet_seeds);
-        if !report.is_ok() {
-            self.log.push(Event::HealingFailed {
+        let a_max_before =
+            self.active.as_ref().map_or(0, |a| a.plan.max_inter_switch_bytes(&a.tdg));
+        loop {
+            let Some(active) = self.active.clone() else {
+                return RolloutOutcome::RolledBack {
+                    epoch: self.epoch,
+                    reason: "nothing to heal".to_string(),
+                };
+            };
+            self.epoch += 1;
+            let epoch = self.epoch;
+            let down = self.net.down_switches();
+            self.log.push(Event::HealingStarted {
                 epoch,
-                reason: report.to_string(),
+                down: down.clone(),
                 at_us: self.clock_us,
             });
-            return self.roll_back_to(previous, epoch, "healed plan failed validation".to_string());
+
+            let opts = RedeployOptions::excluding(down);
+            let outcome = match IncrementalDeployer::new().redeploy_with(
+                &active.tdg,
+                &active.plan,
+                &active.tdg,
+                &self.net,
+                &self.eps,
+                &opts,
+            ) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    self.log.push(Event::HealingFailed {
+                        epoch,
+                        reason: e.to_string(),
+                        at_us: self.clock_us,
+                    });
+                    return self.roll_back_to(previous, epoch, format!("healing infeasible: {e}"));
+                }
+            };
+            self.log.push(Event::HealingPlanned {
+                epoch,
+                reused: outcome.reused,
+                placed: outcome.placed,
+                full_redeploy: outcome.full_redeploy,
+                at_us: self.clock_us,
+            });
+
+            // Revalidate on the degraded network before activating. The
+            // mixed-epoch gate is skipped (see module docs): the dead
+            // switch already broke consistency, healing repairs service.
+            let (report, artifacts) =
+                validate_plan(&active.tdg, &self.net, &outcome.plan, &self.eps, &self.packet_seeds);
+            if !report.is_ok() {
+                self.log.push(Event::HealingFailed {
+                    epoch,
+                    reason: report.to_string(),
+                    at_us: self.clock_us,
+                });
+                return self.roll_back_to(
+                    previous,
+                    epoch,
+                    "healed plan failed validation".to_string(),
+                );
+            }
+            match self.install_transaction(&active.tdg, &outcome.plan, &artifacts, epoch, false) {
+                Err(reason) => return self.roll_back_to(previous, epoch, reason),
+                Ok(dead) => {
+                    let a_max_after = outcome.plan.max_inter_switch_bytes(&active.tdg);
+                    self.activate(epoch, active.tdg, outcome.plan, artifacts);
+                    if dead.is_empty() {
+                        self.log.push(Event::RecoveryCompleted {
+                            epoch,
+                            recovery_us: self.clock_us - healing_started_us,
+                            a_max_before,
+                            a_max_after,
+                            at_us: self.clock_us,
+                        });
+                        return RolloutOutcome::Committed { epoch, healed: true };
+                    }
+                    // The heal itself lost switches mid-commit: heal again
+                    // (each pass kills at least one more switch, so this
+                    // terminates — eventually redeploy becomes infeasible
+                    // and the runtime rolls back).
+                }
+            }
         }
-        if let Err(reason) = self.install_transaction(&active.tdg, &outcome.plan, &artifacts, epoch)
-        {
-            return self.roll_back_to(previous, epoch, reason);
-        }
-        let a_max_after = outcome.plan.max_inter_switch_bytes(&active.tdg);
-        self.activate(epoch, active.tdg, outcome.plan, artifacts);
-        self.log.push(Event::RecoveryCompleted {
-            epoch,
-            recovery_us: self.clock_us - healing_started_us,
-            a_max_before,
-            a_max_after,
-            at_us: self.clock_us,
-        });
-        RolloutOutcome::Committed { epoch, healed: true }
     }
 
-    /// Phase 1 (prepare with retry) + mid-transaction revalidation +
-    /// phase 2 (commit). On error every staged agent has been aborted and
-    /// nothing was activated.
+    /// Phase 1 (prepare with retry) + mid-transaction revalidation + the
+    /// mixed-epoch gate + phase 2 (commit with retry, leases, and
+    /// unreachable detection).
+    ///
+    /// `Err` means the transaction aborted *before any commit was sent*:
+    /// every staged agent received an abort (best-effort; fencing covers
+    /// the lost ones) and nothing was activated. `Ok(dead)` means the
+    /// commit phase ran; `dead` lists switches declared down during it.
     fn install_transaction(
         &mut self,
         tdg: &Tdg,
         plan: &DeploymentPlan,
         artifacts: &DeploymentArtifacts,
         epoch: u64,
-    ) -> Result<(), String> {
+        check_mixed: bool,
+    ) -> Result<Vec<SwitchId>, String> {
         let mut prepared: Vec<SwitchId> = Vec::new();
         for (&switch, config) in &artifacts.switches {
-            match self.prepare_with_retry(switch, config.clone(), epoch) {
+            match self.prepare_with_retry(switch, config, epoch) {
                 Ok(()) => prepared.push(switch),
                 Err(reason) => {
-                    self.abort_prepared(&prepared);
+                    self.abort_prepared(&prepared, epoch);
                     return Err(reason);
                 }
             }
@@ -351,105 +464,364 @@ impl DeploymentRuntime {
         // still hold on what is actually left before anything activates.
         let violations = verify(tdg, &self.net, plan, &self.eps);
         if !violations.is_empty() {
-            self.abort_prepared(&prepared);
+            self.abort_prepared(&prepared, epoch);
             return Err(format!("plan no longer valid at commit time: {}", violations[0]));
         }
-        for &switch in &prepared {
-            let agent = self.agents.get_mut(&switch).expect("agents cover all switches");
-            if let Err(e) = agent.commit(epoch) {
-                // Should be unreachable (prepare succeeded, network
-                // revalidated) — but if an agent still refuses, abort the
-                // remainder rather than activate a torn deployment.
-                self.abort_prepared(&prepared);
-                return Err(format!("commit refused by {switch}: {e}"));
+        // Mixed-epoch gate: a same-program plan change is committed switch
+        // by switch, so every prefix of the commit order must keep packets
+        // on a single observable epoch. Checked BEFORE the first commit —
+        // afterwards a clean abort is no longer possible.
+        if check_mixed {
+            if let Some(active) = &self.active {
+                if active.tdg == *tdg && active.plan != *plan {
+                    let transition = EpochTransition {
+                        tdg,
+                        old_plan: &active.plan,
+                        old_artifacts: &active.artifacts,
+                        new_plan: plan,
+                        new_artifacts: artifacts,
+                    };
+                    match check_transition(&transition, &prepared, &self.packet_seeds) {
+                        Ok(windows) => self.log.push(Event::MixedEpochChecked {
+                            epoch,
+                            windows,
+                            packets: self.packet_seeds.len(),
+                            at_us: self.clock_us,
+                        }),
+                        Err(v) => {
+                            self.log.push(Event::MixedEpochViolated {
+                                epoch,
+                                detail: v.to_string(),
+                                at_us: self.clock_us,
+                            });
+                            self.abort_prepared(&prepared, epoch);
+                            return Err(format!(
+                                "mixed-epoch window would break per-packet consistency: {v}"
+                            ));
+                        }
+                    }
+                }
             }
         }
+
+        let mut committed: Vec<SwitchId> = Vec::new();
+        let mut dead: Vec<SwitchId> = Vec::new();
+        let mut lease_refreshed_us = self.clock_us;
+        for &switch in &prepared {
+            // Keep already-committed agents' leases alive through a long
+            // commit window.
+            if self.clock_us.saturating_sub(lease_refreshed_us) > self.policy.lease_us / 4 {
+                self.renew_leases(&committed, epoch);
+                lease_refreshed_us = self.clock_us;
+            }
+            if self.commit_with_retry(switch, epoch) {
+                committed.push(switch);
+            } else {
+                self.declare_unreachable(switch, epoch, &committed);
+                lease_refreshed_us = self.clock_us;
+                dead.push(switch);
+            }
+        }
+        // Commit-window supervision ends: any lease that lapsed without
+        // renewal means that agent stopped serving — it is down, not
+        // committed. Everyone else transitions to steady state.
+        let now = self.clock_us;
+        for &switch in &committed {
+            let expired =
+                self.agents.get_mut(&switch).expect("agents cover all switches").expire_lease(now);
+            if let Some(lapsed) = expired {
+                self.log.push(Event::LeaseExpired { switch, epoch: lapsed, at_us: now });
+                self.fail_switch(switch);
+                dead.push(switch);
+            } else {
+                self.agents.get_mut(&switch).expect("agents cover all switches").release_lease();
+            }
+        }
+        dead.sort_unstable();
         self.log.push(Event::Committed { epoch, at_us: self.clock_us });
-        Ok(())
+        Ok(dead)
     }
 
     /// One switch's prepare with bounded retry and exponential backoff.
     fn prepare_with_retry(
         &mut self,
         switch: SwitchId,
-        config: hermes_backend::SwitchConfig,
+        config: &hermes_backend::SwitchConfig,
         epoch: u64,
     ) -> Result<(), String> {
-        let stage_count = config.stages.len();
         for attempt in 1..=self.policy.max_attempts {
-            self.clock_us += self.policy.rpc_cost_us;
             self.log.push(Event::PrepareAttempt { epoch, switch, attempt, at_us: self.clock_us });
-            if self.agents[&switch].is_crashed() {
-                return Err(format!("switch {switch} is down"));
-            }
-            let fault = self.injector.on_prepare(&self.net, stage_count, self.policy.timeout_us);
-            match fault {
-                None => {
-                    self.agents
-                        .get_mut(&switch)
-                        .expect("agents cover all switches")
-                        .prepare(epoch, config)
-                        .map_err(|e| format!("prepare on {switch} failed: {e}"))?;
+            match self.exchange(
+                switch,
+                epoch,
+                Request::Prepare(Box::new(config.clone())),
+                MessageKind::Prepare,
+            ) {
+                Some(Reply::Ack { .. }) => {
                     self.log.push(Event::Prepared { epoch, switch, at_us: self.clock_us });
                     return Ok(());
                 }
-                Some(fault) => {
-                    self.log.push(Event::FaultInjected {
-                        epoch,
-                        switch,
-                        fault: fault.clone(),
-                        at_us: self.clock_us,
-                    });
-                    match fault {
-                        Fault::SwitchCrash => {
-                            self.fail_switch(switch);
-                            return Err(format!("switch {switch} crashed during prepare"));
-                        }
-                        Fault::LinkDown { a, b } => {
-                            // The install attempt itself is lost with the
-                            // link; the degradation is caught by the
-                            // commit-time revalidation.
-                            self.net.fail_link(a, b);
-                        }
-                        Fault::SlowResponse { .. } => {
-                            self.clock_us += self.policy.timeout_us;
-                        }
-                        Fault::RejectInstall | Fault::PartialInstall { .. } => {
-                            // A partial install leaves staged garbage the
-                            // retry overwrites; abort to model wiping it.
-                            self.agents
-                                .get_mut(&switch)
-                                .expect("agents cover all switches")
-                                .abort();
-                        }
+                Some(Reply::Nack { error: AgentError::Crashed, .. }) => {
+                    return Err(format!("switch {switch} is down"));
+                }
+                // Transient refusal (install fault) or timeout: retry.
+                Some(Reply::Nack { .. }) | None => {}
+            }
+            if attempt == self.policy.max_attempts {
+                return Err(format!(
+                    "switch {switch} failed all {} prepare attempts",
+                    self.policy.max_attempts
+                ));
+            }
+            self.schedule_retry(switch, epoch, attempt);
+        }
+        unreachable!("loop returns on success or final attempt")
+    }
+
+    /// One switch's commit with bounded retry; unanswered commits are
+    /// resolved by probing (the commit may have landed with its ack
+    /// lost). Returns `true` iff the switch provably serves `epoch`.
+    fn commit_with_retry(&mut self, switch: SwitchId, epoch: u64) -> bool {
+        for attempt in 1..=self.policy.max_attempts {
+            match self.exchange(switch, epoch, Request::Commit, MessageKind::Commit) {
+                Some(Reply::Ack { .. }) => {
+                    self.log.push(Event::CommitAcked { epoch, switch, at_us: self.clock_us });
+                    return true;
+                }
+                // A commit nack (fenced, mismatch, crashed) is final: this
+                // switch cannot serve the epoch.
+                Some(Reply::Nack { .. }) => return false,
+                None => {}
+            }
+            if attempt < self.policy.max_attempts {
+                self.schedule_retry(switch, epoch, attempt);
+            }
+        }
+        for _ in 1..=self.policy.max_attempts {
+            match self.exchange(switch, epoch, Request::Probe, MessageKind::Probe) {
+                Some(Reply::Ack { .. }) => {
+                    self.log.push(Event::ProbeAcked { switch, epoch, at_us: self.clock_us });
+                    self.log.push(Event::CommitAcked { epoch, switch, at_us: self.clock_us });
+                    return true;
+                }
+                Some(Reply::Nack { .. }) => return false,
+                None => {}
+            }
+        }
+        false
+    }
+
+    /// Burns backoff time (with deterministic jitter) before retrying.
+    fn schedule_retry(&mut self, switch: SwitchId, epoch: u64, failed_attempt: u32) {
+        let delay_us = self.policy.backoff_us(failed_attempt + 1)
+            + self.injector.jitter_us(self.policy.base_delay_us);
+        self.clock_us += delay_us;
+        self.log.push(Event::RetryScheduled {
+            epoch,
+            switch,
+            next_attempt: failed_attempt + 1,
+            delay_us,
+            at_us: self.clock_us,
+        });
+    }
+
+    /// Single-attempt lease-renewal probes to every committed switch. A
+    /// lost probe is tolerated — the final lease sweep catches agents
+    /// whose leases genuinely lapsed.
+    fn renew_leases(&mut self, committed: &[SwitchId], epoch: u64) {
+        for &switch in committed {
+            if self.agents[&switch].is_crashed() {
+                continue;
+            }
+            if let Some(Reply::Ack { .. }) =
+                self.exchange(switch, epoch, Request::Probe, MessageKind::Probe)
+            {
+                self.log.push(Event::ProbeAcked { switch, epoch, at_us: self.clock_us });
+            }
+        }
+    }
+
+    /// A switch answered neither commits nor probes. Wait out its lease —
+    /// after `lease_us` of silence an alive-but-unreachable agent has
+    /// provably self-fenced, so declaring it down cannot leave a zombie
+    /// serving the epoch — then mark it down. Committed neighbors are
+    /// probed immediately before and after the wait so *their* leases
+    /// survive it.
+    fn declare_unreachable(&mut self, switch: SwitchId, epoch: u64, committed: &[SwitchId]) {
+        self.renew_leases(committed, epoch);
+        self.clock_us += self.policy.lease_us;
+        let expired = self
+            .agents
+            .get_mut(&switch)
+            .expect("agents cover all switches")
+            .expire_lease(self.clock_us);
+        if let Some(lapsed) = expired {
+            self.log.push(Event::LeaseExpired { switch, epoch: lapsed, at_us: self.clock_us });
+        }
+        self.log.push(Event::SwitchUnreachable { switch, epoch, at_us: self.clock_us });
+        if !self.agents[&switch].is_crashed() {
+            self.fail_switch(switch);
+        }
+        self.renew_leases(committed, epoch);
+    }
+
+    /// Sends one request and runs the virtual-clock message pump until its
+    /// reply arrives or the exchange times out. In-flight messages for
+    /// other exchanges (duplicates, delayed stragglers) are delivered
+    /// along the way; stale replies are discarded.
+    fn exchange(
+        &mut self,
+        switch: SwitchId,
+        epoch: u64,
+        body: Request,
+        kind: MessageKind,
+    ) -> Option<Reply> {
+        self.seq += 1;
+        let seq = self.seq;
+        let req = RequestEnvelope { epoch, seq, switch, body };
+        let receipt = self.channel.send(self.clock_us, Message::Request(req));
+        self.log_receipt(&receipt, kind, epoch, seq, switch);
+        let deadline = self.clock_us + self.policy.timeout_us;
+        while let Some((at, msg)) = self.channel.pop_due(deadline) {
+            self.clock_us = self.clock_us.max(at);
+            match msg {
+                Message::Request(delivered) => self.deliver_request(delivered),
+                Message::Reply(rep) => {
+                    if rep.seq == seq && rep.epoch == epoch && rep.switch == switch {
+                        return Some(rep.body);
                     }
-                    if attempt == self.policy.max_attempts {
-                        return Err(format!(
-                            "switch {switch} failed all {} prepare attempts (last: {fault})",
-                            self.policy.max_attempts
-                        ));
-                    }
-                    let delay_us = self.policy.backoff_us(attempt + 1)
-                        + self.injector.jitter_us(self.policy.base_delay_us);
-                    self.clock_us += delay_us;
-                    self.log.push(Event::RetryScheduled {
-                        epoch,
-                        switch,
-                        next_attempt: attempt + 1,
-                        delay_us,
+                    self.log.push(Event::StaleReplyIgnored {
+                        epoch: rep.epoch,
+                        seq: rep.seq,
+                        switch: rep.switch,
                         at_us: self.clock_us,
                     });
                 }
             }
         }
-        unreachable!("loop returns on success or final attempt")
+        self.clock_us = deadline;
+        None
     }
 
-    fn abort_prepared(&mut self, prepared: &[SwitchId]) {
-        for &switch in prepared {
-            if let Some(agent) = self.agents.get_mut(&switch) {
-                agent.abort();
+    /// Delivers one request to its agent: decides the install fate (fault
+    /// injection happens at delivery, once per fresh attempt — replays and
+    /// crashed agents never draw), runs the agent state machine, and sends
+    /// the reply back through the channel.
+    fn deliver_request(&mut self, req: RequestEnvelope) {
+        let now = self.clock_us;
+        let lease_us = self.policy.lease_us;
+        let (crashed, seen) = {
+            let agent = &self.agents[&req.switch];
+            (agent.is_crashed(), agent.has_seen(req.epoch, req.seq))
+        };
+        let mut extra_delay_us = 0u64;
+        let mut install_failure: Option<AgentError> = None;
+        if !crashed && !seen {
+            if let Request::Prepare(config) = &req.body {
+                if let Some(fault) =
+                    self.injector.on_prepare(&self.net, config.stages.len(), self.policy.timeout_us)
+                {
+                    self.log.push(Event::FaultInjected {
+                        epoch: req.epoch,
+                        switch: req.switch,
+                        fault: fault.clone(),
+                        at_us: now,
+                    });
+                    match fault {
+                        Fault::SwitchCrash => self.fail_switch(req.switch),
+                        Fault::LinkDown { a, b } => {
+                            // The install attempt is lost with the link;
+                            // the degradation is caught by the commit-time
+                            // revalidation.
+                            self.net.fail_link(a, b);
+                            install_failure = Some(AgentError::InstallRejected);
+                        }
+                        Fault::SlowResponse { delay_us } => extra_delay_us = delay_us,
+                        Fault::RejectInstall | Fault::PartialInstall { .. } => {
+                            // Nothing (or only garbage, wiped on the spot)
+                            // was staged; the attempt failed transiently.
+                            install_failure = Some(AgentError::InstallRejected);
+                        }
+                    }
+                }
             }
+        }
+        let reply = if let Some(error) = install_failure {
+            // The install machinery failed before the agent's state
+            // machine ran: nothing staged, nothing cached — a duplicate
+            // delivery is a fresh install attempt.
+            let active_epoch = self.agents[&req.switch].active_epoch();
+            ReplyEnvelope {
+                epoch: req.epoch,
+                seq: req.seq,
+                switch: req.switch,
+                body: Reply::Nack { error, active_epoch },
+            }
+        } else {
+            let (reply, notes) = self
+                .agents
+                .get_mut(&req.switch)
+                .expect("agents cover all switches")
+                .handle(&req, now, lease_us);
+            let fenced = self.agents[&req.switch].fenced_epoch();
+            for note in notes {
+                match note {
+                    HandleNote::Replayed => self.log.push(Event::ReplayAnswered {
+                        epoch: req.epoch,
+                        seq: req.seq,
+                        switch: req.switch,
+                        at_us: now,
+                    }),
+                    HandleNote::FencedStale { stale_epoch } => self.log.push(Event::EpochFenced {
+                        switch: req.switch,
+                        stale_epoch,
+                        fenced,
+                        at_us: now,
+                    }),
+                    HandleNote::LeaseExpired { epoch } => {
+                        self.log.push(Event::LeaseExpired { switch: req.switch, epoch, at_us: now })
+                    }
+                    // The runtime-side CommitAcked / ProbeAcked events
+                    // (emitted when the ack arrives back) cover these.
+                    HandleNote::Activated | HandleNote::LeaseRenewed => {}
+                }
+            }
+            reply
+        };
+        let receipt = self.channel.send(now + extra_delay_us, Message::Reply(reply));
+        self.log_receipt(&receipt, MessageKind::Reply, req.epoch, req.seq, req.switch);
+    }
+
+    /// Logs the channel's misbehavior (if any) for one send.
+    fn log_receipt(
+        &mut self,
+        receipt: &SendReceipt,
+        kind: MessageKind,
+        epoch: u64,
+        seq: u64,
+        switch: SwitchId,
+    ) {
+        let at_us = self.clock_us;
+        if receipt.dropped {
+            self.log.push(Event::MessageDropped { kind, epoch, seq, switch, at_us });
+            return;
+        }
+        if receipt.duplicated {
+            self.log.push(Event::MessageDuplicated { kind, epoch, seq, switch, at_us });
+        }
+        if receipt.delayed {
+            let deliver_at_us = receipt.deliveries.iter().copied().max().unwrap_or(at_us);
+            self.log.push(Event::MessageDelayed { kind, epoch, seq, switch, deliver_at_us, at_us });
+        }
+    }
+
+    /// Best-effort aborts to every prepared switch, fencing the epoch.
+    /// Lost aborts are safe: aborts only happen before the first commit
+    /// is sent, so the epoch can never activate anywhere — and any agent
+    /// that hears a later epoch fences this one on its own.
+    fn abort_prepared(&mut self, prepared: &[SwitchId], epoch: u64) {
+        for &switch in prepared {
+            let _ = self.exchange(switch, epoch, Request::Abort, MessageKind::Abort);
         }
     }
 
@@ -478,13 +850,16 @@ impl DeploymentRuntime {
 
     /// Aborts epoch `epoch` and restores `previous` as the active
     /// deployment, force-reactivating its configs on every surviving
-    /// agent (the last-known-good rollback after a failed heal).
+    /// agent out of band (the last-known-good rollback after a failed
+    /// heal). In-flight messages are discarded — the epochs they belong
+    /// to are dead, and agents fence them anyway.
     fn roll_back_to(
         &mut self,
         previous: Option<ActiveDeployment>,
         epoch: u64,
         reason: String,
     ) -> RolloutOutcome {
+        self.channel.clear();
         for (&switch, agent) in &mut self.agents {
             let config = previous.as_ref().and_then(|p| p.artifacts.switches.get(&switch)).cloned();
             let prev_epoch = previous.as_ref().map_or(0, |p| p.epoch);
@@ -524,12 +899,20 @@ mod tests {
         assert_eq!(rt.active_plan(), Some(&plan));
         assert_eq!(rt.active_epoch(), Some(1));
         assert_eq!(rt.log().count(|e| matches!(e, Event::Committed { .. })), 1);
-        // One attempt per occupied switch, no retries.
+        // One attempt per occupied switch, no retries, a perfect channel.
         assert_eq!(
             rt.log().count(|e| matches!(e, Event::PrepareAttempt { .. })),
             plan.occupied_switch_count()
         );
         assert_eq!(rt.log().count(|e| matches!(e, Event::RetryScheduled { .. })), 0);
+        assert_eq!(rt.log().count(|e| matches!(e, Event::MessageDropped { .. })), 0);
+        // Every occupied switch's agent serves epoch 1 with its lease
+        // released (steady state).
+        for switch in plan.occupied_switches() {
+            let agent = rt.agent(switch).unwrap();
+            assert_eq!(agent.active_epoch(), Some(1));
+            assert_eq!(agent.lease_until(), None);
+        }
     }
 
     #[test]
@@ -572,12 +955,18 @@ mod tests {
             RetryPolicy::default(),
         );
         assert!(rt.rollout(&tdg, plan.clone()).is_committed());
-        rt.injector =
-            FaultInjector::new(1, FaultProfile { reject_prob: 1.0, ..FaultProfile::none() });
+        rt.set_injector(FaultInjector::new(
+            1,
+            FaultProfile { reject_prob: 1.0, ..FaultProfile::none() },
+        ));
         let outcome = rt.rollout(&tdg, plan.clone());
         assert!(!outcome.is_committed());
         assert_eq!(rt.active_epoch(), Some(1), "previous epoch keeps serving");
         assert_eq!(rt.active_plan(), Some(&plan));
+        // And no agent was left serving (or able to activate) epoch 2.
+        for agent in rt.agents() {
+            assert_ne!(agent.active_epoch(), Some(2));
+        }
     }
 
     #[test]
@@ -630,5 +1019,103 @@ mod tests {
         for seed in [0u64, 7, 13] {
             assert_eq!(run(seed), run(seed), "seed {seed} diverged");
         }
+    }
+
+    #[test]
+    fn lossy_channel_rollout_is_bimodal_and_reproducible() {
+        let (tdg, net, plan) = workload();
+        let run = |seed: u64| {
+            let mut rt = DeploymentRuntime::new(
+                net.clone(),
+                Epsilon::loose(),
+                FaultInjector::new(seed, FaultProfile::none()),
+                RetryPolicy::default(),
+            )
+            .with_channel_profile(ChannelProfile::lossy());
+            let outcome = rt.rollout(&tdg, plan.clone());
+            (outcome, rt)
+        };
+        let mut committed = 0;
+        for seed in 0..20u64 {
+            let (outcome, rt) = run(seed);
+            match outcome {
+                RolloutOutcome::Committed { epoch, .. } => {
+                    committed += 1;
+                    for switch in rt.active_plan().unwrap().occupied_switches() {
+                        if !rt.network().down_switches().contains(&switch) {
+                            assert_eq!(rt.agent(switch).unwrap().active_epoch(), Some(epoch));
+                        }
+                    }
+                }
+                RolloutOutcome::RolledBack { epoch, .. } => {
+                    for agent in rt.agents() {
+                        assert_ne!(
+                            agent.active_epoch(),
+                            Some(epoch),
+                            "no agent may serve a rolled-back epoch"
+                        );
+                    }
+                }
+            }
+            let (_, rt2) = run(seed);
+            assert_eq!(rt.log().to_json(), rt2.log().to_json(), "seed {seed} not reproducible");
+        }
+        assert!(committed > 0, "retries should beat the lossy channel for some seed");
+    }
+
+    #[test]
+    fn mixed_epoch_gate_rolls_back_moved_mats() {
+        let (tdg, net, plan) = workload();
+        let mut rt = DeploymentRuntime::new(
+            net.clone(),
+            Epsilon::loose(),
+            FaultInjector::disabled(),
+            RetryPolicy::default(),
+        );
+        assert!(rt.rollout(&tdg, plan.clone()).is_committed());
+        // A same-program plan that re-homes the MATs of one occupied
+        // switch: committing it gradually would double- or skip-execute
+        // the moved MATs mid-window.
+        let exclude = *plan.occupied_switches().iter().next().unwrap();
+        let moved = IncrementalDeployer::new()
+            .redeploy_with(
+                &tdg,
+                &plan,
+                &tdg,
+                &net,
+                &Epsilon::loose(),
+                &RedeployOptions::excluding([exclude]),
+            )
+            .expect("residual capacity fits the moved MATs")
+            .plan;
+        assert_ne!(moved, plan, "the transition must actually move something");
+        match rt.rollout(&tdg, moved) {
+            RolloutOutcome::RolledBack { reason, .. } => {
+                assert!(reason.contains("per-packet consistency"), "{reason}");
+            }
+            other => panic!("moved MATs must be refused, got: {other}"),
+        }
+        assert_eq!(rt.log().count(|e| matches!(e, Event::MixedEpochViolated { .. })), 1);
+        assert_eq!(rt.active_epoch(), Some(1), "the old epoch keeps serving");
+        // The abandoned epoch is fenced on every agent that staged it.
+        for agent in rt.agents() {
+            assert_ne!(agent.active_epoch(), Some(2));
+            assert_ne!(agent.staged_epoch(), Some(2));
+        }
+    }
+
+    #[test]
+    fn identical_plan_rerollout_skips_the_gate_and_commits() {
+        let (tdg, net, plan) = workload();
+        let mut rt = DeploymentRuntime::new(
+            net,
+            Epsilon::loose(),
+            FaultInjector::disabled(),
+            RetryPolicy::default(),
+        );
+        assert!(rt.rollout(&tdg, plan.clone()).is_committed());
+        assert!(rt.rollout(&tdg, plan).is_committed());
+        assert_eq!(rt.log().count(|e| matches!(e, Event::MixedEpochChecked { .. })), 0);
+        assert_eq!(rt.active_epoch(), Some(2));
     }
 }

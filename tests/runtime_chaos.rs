@@ -15,7 +15,7 @@ use hermes::core::{DeploymentAlgorithm, Epsilon, GreedyHeuristic, ProgramAnalyze
 use hermes::dataplane::library;
 use hermes::net::{topology, Network};
 use hermes::runtime::{
-    DeploymentRuntime, FaultInjector, FaultProfile, RetryPolicy, RolloutOutcome,
+    ChannelProfile, DeploymentRuntime, FaultInjector, FaultProfile, RetryPolicy, RolloutOutcome,
 };
 use hermes::tdg::Tdg;
 
@@ -93,6 +93,82 @@ fn soak_linear() {
 #[test]
 fn soak_fattree() {
     soak(&topology::fat_tree(4, 10.0), "fattree:4");
+}
+
+/// Lossy soak: chaos faults *and* a channel that drops, duplicates,
+/// reorders, and delays control messages. Every seed must still terminate
+/// in one of the two states, no agent may ever serve a fenced
+/// (rolled-back) epoch, and the event log must stay byte-reproducible.
+fn lossy_soak(net: &Network, label: &str) {
+    let tdg = workload();
+    let eps = Epsilon::loose();
+    let plan = GreedyHeuristic::new().deploy(&tdg, net, &eps).expect("healthy topology deploys");
+    let run_once = |seed: u64| {
+        let injector = FaultInjector::new(seed, FaultProfile::chaos());
+        let mut rt = DeploymentRuntime::new(net.clone(), eps, injector, RetryPolicy::default())
+            .with_channel_profile(ChannelProfile::lossy());
+        let outcome = rt.rollout(&tdg, plan.clone());
+        (rt, outcome)
+    };
+    let mut committed = 0u64;
+    let mut rolled_back = 0u64;
+    for seed in 0..SEEDS {
+        let (rt, outcome) = run_once(seed);
+        match outcome {
+            RolloutOutcome::Committed { epoch, .. } => {
+                committed += 1;
+                let active =
+                    rt.active_plan().unwrap_or_else(|| panic!("{label} seed {seed}: no plan"));
+                let (report, _) =
+                    validate_plan(&tdg, rt.network(), active, rt.epsilon(), &[0, 1, 2, 3]);
+                assert!(report.is_ok(), "{label} seed {seed}: {report}");
+                // Every live occupied switch provably serves the final
+                // epoch — a lost commit ack may not leave a switch behind.
+                let down = rt.network().down_switches();
+                for switch in active.occupied_switches() {
+                    if !down.contains(&switch) {
+                        assert_eq!(
+                            rt.agent(switch).and_then(|a| a.active_epoch()),
+                            Some(epoch),
+                            "{label} seed {seed}: switch {switch} missed epoch {epoch}"
+                        );
+                    }
+                }
+            }
+            RolloutOutcome::RolledBack { epoch, .. } => {
+                rolled_back += 1;
+                assert!(rt.active_plan().is_none(), "{label} seed {seed}: rollback left a plan");
+                // The fencing invariant: even an agent that never heard
+                // the abort must not serve the abandoned epoch.
+                for agent in rt.agents() {
+                    assert_ne!(
+                        agent.active_epoch(),
+                        Some(epoch),
+                        "{label} seed {seed}: an agent serves fenced epoch {epoch}"
+                    );
+                }
+            }
+        }
+        let (rt2, outcome2) = run_once(seed);
+        assert_eq!(outcome, outcome2, "{label} seed {seed}: outcome not reproducible");
+        assert_eq!(
+            rt.log().to_json(),
+            rt2.log().to_json(),
+            "{label} seed {seed}: event log not reproducible"
+        );
+    }
+    assert!(committed > 0, "{label}: no seed survived the lossy channel");
+    assert!(rolled_back > 0, "{label}: chaos + loss never forced a rollback");
+}
+
+#[test]
+fn lossy_soak_linear() {
+    lossy_soak(&topology::linear(4, 10.0), "lossy linear:4");
+}
+
+#[test]
+fn lossy_soak_fattree() {
+    lossy_soak(&topology::fat_tree(4, 10.0), "lossy fattree:4");
 }
 
 /// A rollback in a later epoch leaves the earlier committed plan serving,
