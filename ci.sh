@@ -17,4 +17,17 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> solver property suite"
+cargo test -q --release --test solver_portfolio
+
+echo "==> portfolio determinism smoke (fixed seed, 2 threads, 2 s budget)"
+smoke_a="$(cargo run -q --release -p hermes-bench --bin portfolio -- --smoke)"
+smoke_b="$(cargo run -q --release -p hermes-bench --bin portfolio -- --smoke)"
+if [[ "$smoke_a" != "$smoke_b" ]]; then
+  echo "portfolio smoke is nondeterministic:" >&2
+  diff <(printf '%s\n' "$smoke_a") <(printf '%s\n' "$smoke_b") >&2 || true
+  exit 1
+fi
+echo "smoke output stable: $smoke_a"
+
 echo "CI OK"

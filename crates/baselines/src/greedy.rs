@@ -9,10 +9,37 @@
 
 use hermes_core::{
     materialize, stage_feasible, DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon,
+    SearchContext, SolveOutcome, SolveStats, Solver,
 };
 use hermes_net::Network;
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// One-shot construction wrapped as a [`Solver`]: deploy once, publish the
+/// objective as an incumbent, and claim optimality only at zero overhead.
+pub(crate) fn one_shot_solve(
+    algo: &dyn DeploymentAlgorithm,
+    tdg: &Tdg,
+    net: &Network,
+    eps: &Epsilon,
+    ctx: &SearchContext,
+) -> Result<SolveOutcome, DeployError> {
+    let start = Instant::now();
+    let plan = algo.deploy(tdg, net, eps)?;
+    let objective = plan.max_inter_switch_bytes(tdg);
+    ctx.publish_incumbent(objective);
+    Ok(SolveOutcome {
+        plan,
+        objective,
+        proven_optimal: objective == 0,
+        stats: SolveStats {
+            nodes_explored: 0,
+            wall: start.elapsed(),
+            proven_bound: (objective == 0).then_some(0),
+        },
+    })
+}
 
 /// Tie-breaking order inside a dependency level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +85,30 @@ impl DeploymentAlgorithm for FirstFitByLevelAndSize {
         eps: &Epsilon,
     ) -> Result<DeploymentPlan, DeployError> {
         first_fit(tdg, net, eps, LevelOrder::ByLevelAndSize)
+    }
+}
+
+impl Solver for FirstFitByLevel {
+    fn solve(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        ctx: &SearchContext,
+    ) -> Result<SolveOutcome, DeployError> {
+        one_shot_solve(self, tdg, net, eps, ctx)
+    }
+}
+
+impl Solver for FirstFitByLevelAndSize {
+    fn solve(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        ctx: &SearchContext,
+    ) -> Result<SolveOutcome, DeployError> {
+        one_shot_solve(self, tdg, net, eps, ctx)
     }
 }
 
@@ -163,12 +214,9 @@ mod tests {
     use super::*;
     use hermes_core::{verify, GreedyHeuristic, ProgramAnalyzer};
     use hermes_dataplane::library;
-    use hermes_net::topology;
 
     fn testbed_inputs() -> (Tdg, Network) {
-        let tdg = ProgramAnalyzer::new().analyze(&library::real_programs());
-        let net = topology::linear(3, 10.0);
-        (tdg, net)
+        hermes_core::test_support::linear_testbed(&library::real_programs())
     }
 
     #[test]

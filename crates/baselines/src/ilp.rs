@@ -24,14 +24,17 @@
 
 use hermes_core::{
     materialize, DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, GreedyHeuristic,
-    SplitStrategy,
+    SearchContext, SolveOutcome, Solver, SplitStrategy,
 };
-use hermes_milp::{solve, Direction, LinExpr, Model, Sense, SolveStatus, SolverConfig, VarId};
+use hermes_milp::{
+    solve_with_controls, Direction, LinExpr, Model, Sense, SolveControls, SolveStatus,
+    SolverConfig, VarId,
+};
 use hermes_net::{shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crate::greedy::{FirstFitByLevel, FirstFitByLevelAndSize};
+use crate::greedy::{one_shot_solve, FirstFitByLevel, FirstFitByLevelAndSize};
 
 /// Which published objective an [`IlpBaseline`] encodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +130,45 @@ impl DeploymentAlgorithm for IlpBaseline {
         net: &Network,
         eps: &Epsilon,
     ) -> Result<DeploymentPlan, DeployError> {
+        self.deploy_inner(tdg, net, eps, None)
+    }
+}
+
+impl Solver for IlpBaseline {
+    fn solve(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        ctx: &SearchContext,
+    ) -> Result<SolveOutcome, DeployError> {
+        let start = Instant::now();
+        let plan = self.deploy_inner(tdg, net, eps, Some(ctx))?;
+        let objective = plan.max_inter_switch_bytes(tdg);
+        ctx.publish_incumbent(objective);
+        Ok(SolveOutcome {
+            plan,
+            objective,
+            // These frameworks optimize their own published objective, not
+            // A_max, so only zero overhead is ever proven optimal.
+            proven_optimal: objective == 0,
+            stats: hermes_core::SolveStats {
+                nodes_explored: 0,
+                wall: start.elapsed(),
+                proven_bound: (objective == 0).then_some(0),
+            },
+        })
+    }
+}
+
+impl IlpBaseline {
+    fn deploy_inner(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        ctx: Option<&SearchContext>,
+    ) -> Result<DeploymentPlan, DeployError> {
         let component = net.largest_component();
         let candidates: Vec<SwitchId> =
             net.programmable_switches().into_iter().filter(|s| component.contains(s)).collect();
@@ -142,7 +184,21 @@ impl DeploymentAlgorithm for IlpBaseline {
         if binaries > self.config.max_binaries || rank_cells > self.config.max_rank_cells {
             return self.surrogate(tdg, net, eps);
         }
-        match solve_assignment(tdg, net, eps, &candidates, self.objective, &self.config) {
+        // Budget: the context when racing, the configured limit otherwise.
+        // The shared incumbent is NOT passed down — it bounds A_max, which
+        // is not what these models minimize.
+        let controls = match ctx {
+            Some(ctx) => SolveControls {
+                deadline: ctx.deadline(),
+                stop: Some(ctx.cancel_token().as_flag()),
+                upper_bound: None,
+            },
+            None => SolveControls {
+                deadline: Some(Instant::now() + self.config.time_limit),
+                ..Default::default()
+            },
+        };
+        match solve_assignment(tdg, net, eps, &candidates, self.objective, &controls) {
             Some(assign) => materialize(tdg, net, &candidates, &assign)
                 .filter(|p| p.end_to_end_latency_us() <= eps.max_latency_us)
                 .map(Ok)
@@ -150,9 +206,7 @@ impl DeploymentAlgorithm for IlpBaseline {
             None => self.surrogate(tdg, net, eps),
         }
     }
-}
 
-impl IlpBaseline {
     /// Greedy fallback used beyond the size guard or when the ILP returns
     /// nothing within budget. Each surrogate mimics the objective's shape.
     fn surrogate(
@@ -188,7 +242,7 @@ fn solve_assignment(
     eps: &Epsilon,
     candidates: &[SwitchId],
     objective: IlpObjective,
-    config: &IlpConfig,
+    controls: &SolveControls,
 ) -> Option<Vec<usize>> {
     let q = candidates.len();
     let n = tdg.node_count();
@@ -337,7 +391,7 @@ fn solve_assignment(
         }
     }
 
-    let solution = solve(&model, &SolverConfig::with_time_limit(config.time_limit)).ok()?;
+    let solution = solve_with_controls(&model, &SolverConfig::default(), controls).ok()?;
     match solution.status {
         SolveStatus::Optimal | SolveStatus::Feasible => {}
         _ => return None,
@@ -431,6 +485,18 @@ impl DeploymentAlgorithm for Sonata {
     }
 }
 
+impl Solver for Sonata {
+    fn solve(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        ctx: &SearchContext,
+    ) -> Result<SolveOutcome, DeployError> {
+        one_shot_solve(self, tdg, net, eps, ctx)
+    }
+}
+
 /// Greedy pack-left of one program's nodes given fixed prior placements.
 /// (Sonata's per-query planning is tiny, so a direct greedy matching its
 /// pack-left ILP optimum is used; the network-wide ILPs above exercise the
@@ -485,19 +551,16 @@ fn solve_program_packing(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hermes_core::{verify, ProgramAnalyzer};
+    use hermes_core::verify;
     use hermes_dataplane::library;
-    use hermes_net::topology;
 
     fn small_inputs() -> (Tdg, Network) {
         // Three programs keep the ILPs tiny enough for exact solves.
-        let tdg = ProgramAnalyzer::new().analyze(&[
+        hermes_core::test_support::linear_testbed(&[
             library::l3_router(),
             library::acl(),
             library::cm_sketch(),
-        ]);
-        let net = topology::linear(3, 10.0);
-        (tdg, net)
+        ])
     }
 
     fn fast() -> IlpConfig {

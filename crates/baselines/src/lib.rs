@@ -21,7 +21,7 @@ pub mod ilp;
 pub use greedy::{FirstFitByLevel, FirstFitByLevelAndSize};
 pub use ilp::{IlpBaseline, IlpConfig, IlpObjective, Sonata};
 
-use hermes_core::{DeploymentAlgorithm, GreedyHeuristic, OptimalSolver};
+use hermes_core::{Budgeted, DeploymentAlgorithm, GreedyHeuristic, OptimalSolver};
 use std::time::Duration;
 
 /// The full algorithm suite of the paper's evaluation, in its figure
@@ -41,7 +41,7 @@ pub fn standard_suite(ilp_budget: Duration) -> Vec<Box<dyn DeploymentAlgorithm>>
         Box::new(FirstFitByLevel),
         Box::new(FirstFitByLevelAndSize),
         Box::new(GreedyHeuristic::new()),
-        Box::new(OptimalSolver::new(ilp_budget)),
+        Box::new(Budgeted::new(OptimalSolver::default(), ilp_budget)),
     ]
 }
 

@@ -11,7 +11,8 @@ use hermes_backend::config::generate;
 use hermes_backend::simulate::{simulate_plan, PlanFlowConfig};
 use hermes_baselines::{FirstFitByLevel, FirstFitByLevelAndSize, IlpBaseline, IlpConfig, Sonata};
 use hermes_core::{
-    explain, verify, DeploymentAlgorithm, Epsilon, GreedyHeuristic, OptimalSolver, ProgramAnalyzer,
+    explain, verify, Budgeted, DeploymentAlgorithm, Epsilon, GreedyHeuristic, MilpHermes,
+    OptimalSolver, Portfolio, ProgramAnalyzer,
 };
 use hermes_dataplane::lint::lint_composition;
 use hermes_dataplane::parser::parse_programs;
@@ -126,16 +127,61 @@ pub fn parse_channel(spec: &str) -> Result<ChannelProfile, CliError> {
     Ok(profile)
 }
 
-/// Looks an algorithm up by CLI name.
+/// The valid `--solver` names, in display order. Aliases (`hermes`,
+/// `optimal`, `ilp`, `min-stage`, `flightplan`) are accepted but not
+/// listed.
+pub const SOLVER_NAMES: &[&str] = &[
+    "greedy",
+    "exact",
+    "milp",
+    "portfolio",
+    "ffl",
+    "ffls",
+    "ms",
+    "sonata",
+    "speed",
+    "mtp",
+    "fp",
+    "p4all",
+];
+
+/// `--solver` got a name outside the valid set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownSolverError {
+    /// The rejected name, as given.
+    pub given: String,
+}
+
+impl fmt::Display for UnknownSolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown solver `{}` (valid: {})", self.given, SOLVER_NAMES.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownSolverError {}
+
+impl From<UnknownSolverError> for CliError {
+    fn from(e: UnknownSolverError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Looks a solver up by `--solver` name; every returned solver's budget
+/// flows through a `SearchContext` built from `time_limit`.
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] on unknown names.
-pub fn algorithm(name: &str, budget: Duration) -> Result<Box<dyn DeploymentAlgorithm>, CliError> {
-    let config = IlpConfig { time_limit: budget, ..Default::default() };
+/// Returns [`UnknownSolverError`] listing the valid set on unknown names.
+pub fn solver(
+    name: &str,
+    time_limit: Duration,
+) -> Result<Box<dyn DeploymentAlgorithm>, UnknownSolverError> {
+    let config = IlpConfig { time_limit, ..Default::default() };
     Ok(match name.to_ascii_lowercase().as_str() {
-        "hermes" => Box::new(GreedyHeuristic::new()),
-        "optimal" => Box::new(OptimalSolver::new(budget)),
+        "greedy" | "hermes" => Box::new(GreedyHeuristic::new()),
+        "exact" | "optimal" => Box::new(Budgeted::new(OptimalSolver::default(), time_limit)),
+        "milp" | "ilp" => Box::new(Budgeted::new(MilpHermes::default(), time_limit)),
+        "portfolio" => Box::new(Budgeted::new(Portfolio::greedy_exact(), time_limit)),
         "ffl" => Box::new(FirstFitByLevel),
         "ffls" => Box::new(FirstFitByLevelAndSize),
         "ms" | "min-stage" => Box::new(IlpBaseline::min_stage(config)),
@@ -144,11 +190,7 @@ pub fn algorithm(name: &str, budget: Duration) -> Result<Box<dyn DeploymentAlgor
         "mtp" => Box::new(IlpBaseline::mtp(config)),
         "fp" | "flightplan" => Box::new(IlpBaseline::flightplan(config)),
         "p4all" => Box::new(IlpBaseline::p4all(config)),
-        other => {
-            return Err(err(format!(
-                "unknown algorithm `{other}` (hermes, optimal, ffl, ffls, ms, sonata, speed, mtp, fp, p4all)"
-            )))
-        }
+        other => return Err(UnknownSolverError { given: other.to_owned() }),
     })
 }
 
@@ -161,14 +203,14 @@ pub struct Options {
     pub files: Vec<String>,
     /// Topology spec (deploy/simulate).
     pub topology: String,
-    /// Algorithm name.
-    pub algorithm: String,
+    /// Solver name (see [`SOLVER_NAMES`]).
+    pub solver: String,
     /// ε₁ in microseconds.
     pub eps1: f64,
     /// ε₂.
     pub eps2: usize,
-    /// Solver budget in seconds.
-    pub budget_secs: u64,
+    /// Solver time limit in seconds.
+    pub time_limit_secs: u64,
     /// Emit Graphviz dot (analyze).
     pub dot: bool,
     /// Emit JSON artifacts (deploy) or the event log (chaos).
@@ -187,10 +229,10 @@ impl Default for Options {
             command: String::new(),
             files: Vec::new(),
             topology: "linear:3".to_owned(),
-            algorithm: "hermes".to_owned(),
+            solver: "greedy".to_owned(),
             eps1: f64::INFINITY,
             eps2: usize::MAX,
-            budget_secs: 10,
+            time_limit_secs: 10,
             dot: false,
             json: false,
             seed: 0,
@@ -206,14 +248,16 @@ hermes — network-wide data plane program deployment
 
 USAGE:
   hermes analyze  <files…> [--dot]
-  hermes deploy   <files…> [--topology SPEC] [--algorithm NAME]
-                  [--eps1 US] [--eps2 N] [--budget SECS] [--json]
-  hermes simulate <files…> [--topology SPEC] [--algorithm NAME]
-  hermes chaos    <files…> [--topology SPEC] [--seed N] [--trials N]
-                  [--channel SPEC] [--eps1 US] [--eps2 N] [--json]
+  hermes deploy   <files…> [--topology SPEC] [--solver NAME]
+                  [--eps1 US] [--eps2 N] [--time-limit SECS] [--json]
+  hermes simulate <files…> [--topology SPEC] [--solver NAME]
+  hermes chaos    <files…> [--topology SPEC] [--solver NAME] [--seed N]
+                  [--trials N] [--channel SPEC] [--eps1 US] [--eps2 N]
+                  [--json]
 
 TOPOLOGY SPECS:  linear:N  star:N  fattree:K  wan:1..10  waxman:N,A,B,SEED
-ALGORITHMS:      hermes optimal ffl ffls ms sonata speed mtp fp p4all
+SOLVERS:         greedy exact milp portfolio ffl ffls ms sonata speed mtp
+                 fp p4all
 CHANNEL SPECS:   none  lossy  drop=P,dup=P,reorder=P,delay=P,span=US
 ";
 
@@ -236,7 +280,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         };
         match arg.as_str() {
             "--topology" => options.topology = value(&mut iter)?,
-            "--algorithm" => options.algorithm = value(&mut iter)?,
+            // `--algorithm` is the pre-unification spelling, kept as alias.
+            "--solver" | "--algorithm" => {
+                let name = value(&mut iter)?;
+                solver(&name, Duration::from_secs(1)).map_err(|e| err(e.to_string()))?;
+                options.solver = name;
+            }
             "--eps1" => {
                 options.eps1 =
                     value(&mut iter)?.parse().map_err(|_| err("--eps1 needs a number"))?
@@ -245,9 +294,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 options.eps2 =
                     value(&mut iter)?.parse().map_err(|_| err("--eps2 needs an integer"))?
             }
-            "--budget" => {
-                options.budget_secs =
-                    value(&mut iter)?.parse().map_err(|_| err("--budget needs seconds"))?
+            // `--budget` is the pre-unification spelling, kept as alias.
+            "--time-limit" | "--budget" => {
+                options.time_limit_secs =
+                    value(&mut iter)?.parse().map_err(|_| err("--time-limit needs seconds"))?
             }
             "--seed" => {
                 options.seed =
@@ -399,7 +449,7 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
         "deploy" => {
             let net = parse_topology(&options.topology)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
-            let algo = algorithm(&options.algorithm, Duration::from_secs(options.budget_secs))?;
+            let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
             let plan = algo
                 .deploy(&tdg, &net, &eps)
                 .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
@@ -423,7 +473,7 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
         "simulate" => {
             let net = parse_topology(&options.topology)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
-            let algo = algorithm(&options.algorithm, Duration::from_secs(options.budget_secs))?;
+            let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
             let plan = algo
                 .deploy(&tdg, &net, &eps)
                 .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
@@ -446,9 +496,10 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             let net = parse_topology(&options.topology)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
             let channel = parse_channel(&options.channel)?;
-            let plan = GreedyHeuristic::new()
+            let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
+            let plan = algo
                 .deploy(&tdg, &net, &eps)
-                .map_err(|e| err(format!("Hermes failed: {e}")))?;
+                .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
             if let Some(trials) = options.trials {
                 return run_trials(options, out, &tdg, &net, eps, channel, &plan, trials);
             }
@@ -505,20 +556,41 @@ mod tests {
             "a.p4dsl",
             "--topology",
             "wan:3",
-            "--algorithm",
+            "--solver",
             "ffl",
             "--eps2",
             "4",
+            "--time-limit",
+            "7",
             "--json",
         ]))
         .unwrap();
         assert_eq!(options.command, "deploy");
         assert_eq!(options.files, vec!["a.p4dsl"]);
         assert_eq!(options.topology, "wan:3");
-        assert_eq!(options.algorithm, "ffl");
+        assert_eq!(options.solver, "ffl");
         assert_eq!(options.eps2, 4);
+        assert_eq!(options.time_limit_secs, 7);
         assert!(options.json);
         assert!(options.eps1.is_infinite());
+    }
+
+    #[test]
+    fn legacy_flag_spellings_still_parse() {
+        let options =
+            parse_args(&args(&["deploy", "a.p4dsl", "--algorithm", "hermes", "--budget", "3"]))
+                .unwrap();
+        assert_eq!(options.solver, "hermes");
+        assert_eq!(options.time_limit_secs, 3);
+    }
+
+    #[test]
+    fn unknown_solver_is_rejected_at_parse_time_with_the_valid_set() {
+        let e = parse_args(&args(&["deploy", "a.p4dsl", "--solver", "gurobi"])).unwrap_err();
+        assert!(e.0.contains("unknown solver `gurobi`"), "{e}");
+        for name in SOLVER_NAMES {
+            assert!(e.0.contains(name), "error does not list `{name}`: {e}");
+        }
     }
 
     #[test]
@@ -607,13 +679,20 @@ mod tests {
     }
 
     #[test]
-    fn algorithm_lookup() {
-        for name in
-            ["hermes", "optimal", "ffl", "ffls", "ms", "sonata", "speed", "mtp", "fp", "p4all"]
-        {
-            assert!(algorithm(name, Duration::from_secs(1)).is_ok(), "{name}");
+    fn solver_lookup() {
+        for name in SOLVER_NAMES {
+            assert!(solver(name, Duration::from_secs(1)).is_ok(), "{name}");
         }
-        assert!(algorithm("gurobi", Duration::from_secs(1)).is_err());
+        // Aliases from before the unification keep working.
+        for alias in ["hermes", "optimal", "ilp", "min-stage", "flightplan"] {
+            assert!(solver(alias, Duration::from_secs(1)).is_ok(), "{alias}");
+        }
+        let e = match solver("gurobi", Duration::from_secs(1)) {
+            Err(e) => e,
+            Ok(_) => panic!("`gurobi` accepted"),
+        };
+        assert_eq!(e.given, "gurobi");
+        assert!(e.to_string().contains("portfolio"), "{e}");
     }
 
     #[test]

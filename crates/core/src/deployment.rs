@@ -230,6 +230,15 @@ pub enum DeployError {
     },
     /// The network has no programmable switch.
     NoProgrammableSwitch,
+    /// An exhaustive search finished its whole space without beating the
+    /// incumbent bound published by another solver: that bound is thereby
+    /// *proven optimal*, but this solver holds no plan of its own. A
+    /// portfolio turns this into an optimality certificate for the
+    /// bound-holder's plan.
+    NoImprovementProven {
+        /// The externally published bound proven unimprovable.
+        bound: u64,
+    },
 }
 
 impl fmt::Display for DeployError {
@@ -242,6 +251,9 @@ impl fmt::Display for DeployError {
                 write!(f, "no feasible placement: {reason}")
             }
             DeployError::NoProgrammableSwitch => f.write_str("network has no programmable switch"),
+            DeployError::NoImprovementProven { bound } => {
+                write!(f, "search exhausted: the published bound of {bound} B is optimal")
+            }
         }
     }
 }
@@ -278,33 +290,12 @@ pub trait DeploymentAlgorithm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hermes_dataplane::action::Action;
-    use hermes_dataplane::fields::Field;
-    use hermes_dataplane::mat::{Mat, MatchKind};
-    use hermes_dataplane::program::Program;
     use hermes_net::topology;
     use hermes_tdg::AnalysisMode;
 
+    /// Paper-literal chain with the plan-metrics tests' 0.2-unit MATs.
     fn chain_tdg(bytes: &[u32]) -> Tdg {
-        let n = bytes.len() + 1;
-        let mut b = Program::builder("p");
-        for i in 0..n {
-            let mut mat = Mat::builder(format!("t{i}")).resource(0.2);
-            if i > 0 {
-                mat = mat.match_field(
-                    Field::metadata(format!("m{}", i - 1), bytes[i - 1]),
-                    MatchKind::Exact,
-                );
-            }
-            let writes = if i < bytes.len() {
-                vec![Field::metadata(format!("m{i}"), bytes[i])]
-            } else {
-                vec![]
-            };
-            mat = mat.action(Action::writing("w", writes));
-            b = b.table(mat.build().unwrap());
-        }
-        Tdg::from_program(&b.build().unwrap(), AnalysisMode::PaperLiteral)
+        crate::test_support::chain_tdg_mode(bytes, 0.2, AnalysisMode::PaperLiteral)
     }
 
     /// NodeIds are dense program-order indices for a single-program TDG;

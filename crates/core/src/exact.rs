@@ -13,91 +13,122 @@
 //!   recirculate through a switch), checked incrementally;
 //! - identical switches under loose ε-bounds are interchangeable, so the
 //!   search only ever opens one fresh switch at a time (symmetry breaking);
-//! - the greedy heuristic provides the initial incumbent.
+//! - the pruning bound is the *minimum* of the solver's own best leaf and
+//!   the shared incumbent of its [`SearchContext`] — in a
+//!   [`crate::solver::Portfolio`] race the greedy racer's early bound
+//!   prunes this search;
+//! - in stand-alone (seeded) mode the greedy heuristic provides the
+//!   initial incumbent.
 //!
-//! A wall-clock limit bounds the worst case; the outcome reports whether
-//! optimality was proven, which the execution-time experiment (Exp#3) uses
-//! to flag timed-out ILP-style runs.
+//! The [`SearchContext`] deadline bounds the worst case; the outcome
+//! reports whether optimality was proven, which the execution-time
+//! experiment (Exp#3) uses to flag timed-out ILP-style runs.
 
 use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute};
 use crate::heuristic::GreedyHeuristic;
+use crate::solver::{SearchContext, SolveOutcome, SolveStats, Solver, DEFAULT_DEPLOY_BUDGET};
 use crate::stage_assign::assign_stages;
 use hermes_net::{shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// Result of an exact solve.
-#[derive(Debug, Clone, PartialEq)]
-pub struct OptimalOutcome {
-    /// The best plan found.
-    pub plan: DeploymentPlan,
-    /// Its `A_max` in bytes.
-    pub objective: u64,
-    /// `true` iff the search space was exhausted before the time limit.
-    pub proven_optimal: bool,
-    /// Branch-and-bound nodes visited.
-    pub nodes_explored: u64,
-}
-
-/// Exact `A_max` minimizer with a time limit.
+/// Exact `A_max` minimizer driven entirely by a [`SearchContext`] (no
+/// private time budget).
 #[derive(Debug, Clone)]
 pub struct OptimalSolver {
-    /// Wall-clock budget; on expiry the best incumbent is returned with
-    /// `proven_optimal == false`.
-    pub time_limit: Duration,
+    /// When `true` (the default), the greedy heuristic seeds the incumbent
+    /// before the search, so a deadline expiry still returns a plan. A
+    /// portfolio uses [`OptimalSolver::bare`] instead — the greedy racer
+    /// already publishes that incumbent, and re-deriving it here would
+    /// erase the portfolio's wall-clock advantage.
+    pub seed_with_heuristic: bool,
 }
 
 impl Default for OptimalSolver {
     fn default() -> Self {
-        OptimalSolver { time_limit: Duration::from_secs(30) }
+        OptimalSolver { seed_with_heuristic: true }
     }
 }
 
 impl OptimalSolver {
-    /// Solver with the given time budget.
-    pub fn new(time_limit: Duration) -> Self {
-        OptimalSolver { time_limit }
+    /// The stand-alone configuration (greedy-seeded incumbent).
+    pub fn new() -> Self {
+        OptimalSolver::default()
     }
 
-    /// Runs the exact search.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DeployError`] when not even the heuristic incumbent nor
-    /// any exhaustive assignment is feasible.
-    pub fn solve(
+    /// The portfolio configuration: no internal heuristic seed; the
+    /// incumbent bound arrives through the shared [`SearchContext`].
+    pub fn bare() -> Self {
+        OptimalSolver { seed_with_heuristic: false }
+    }
+}
+
+impl Solver for OptimalSolver {
+    fn solve(
         &self,
         tdg: &Tdg,
         net: &Network,
         eps: &Epsilon,
-    ) -> Result<OptimalOutcome, DeployError> {
+        ctx: &SearchContext,
+    ) -> Result<SolveOutcome, DeployError> {
+        let start = Instant::now();
         let candidates = net.programmable_switches();
         if candidates.is_empty() {
             return Err(DeployError::NoProgrammableSwitch);
         }
         if tdg.node_count() == 0 {
-            return Ok(OptimalOutcome {
+            ctx.publish_incumbent(0);
+            return Ok(SolveOutcome {
                 plan: DeploymentPlan::new(),
                 objective: 0,
                 proven_optimal: true,
-                nodes_explored: 0,
+                stats: SolveStats {
+                    nodes_explored: 0,
+                    wall: start.elapsed(),
+                    proven_bound: Some(0),
+                },
             });
         }
 
-        // Seed with the heuristic.
-        let seed = GreedyHeuristic::new().deploy(tdg, net, eps).ok();
-        let mut best_plan = seed.clone();
-        let mut best: u64 =
-            seed.as_ref().map(|p| p.max_inter_switch_bytes(tdg)).unwrap_or(u64::MAX);
-        // A zero-overhead incumbent is already optimal.
-        if best == 0 {
-            return Ok(OptimalOutcome {
-                plan: best_plan.expect("zero overhead implies a plan"),
-                objective: 0,
-                proven_optimal: true,
-                nodes_explored: 0,
-            });
+        // Stand-alone mode: seed with the heuristic so deadline expiry
+        // still has a plan to return.
+        let mut seed_plan: Option<(u64, DeploymentPlan)> = None;
+        if self.seed_with_heuristic {
+            if let Ok(plan) = GreedyHeuristic::new().deploy(tdg, net, eps) {
+                let objective = plan.max_inter_switch_bytes(tdg);
+                ctx.publish_incumbent(objective);
+                if objective == 0 {
+                    // A zero-overhead incumbent is already optimal.
+                    return Ok(SolveOutcome {
+                        plan,
+                        objective: 0,
+                        proven_optimal: true,
+                        stats: SolveStats {
+                            nodes_explored: 0,
+                            wall: start.elapsed(),
+                            proven_bound: Some(0),
+                        },
+                    });
+                }
+                seed_plan = Some((objective, plan));
+            }
+        }
+        if ctx.incumbent_bound() == 0 {
+            // Nothing can beat a zero bound published elsewhere.
+            return match seed_plan {
+                Some((objective, plan)) => Ok(SolveOutcome {
+                    plan,
+                    objective,
+                    proven_optimal: false,
+                    stats: SolveStats {
+                        nodes_explored: 0,
+                        wall: start.elapsed(),
+                        proven_bound: Some(0),
+                    },
+                }),
+                None => Err(DeployError::NoImprovementProven { bound: 0 }),
+            };
         }
 
         let order = tdg.topo_order().expect("TDGs are DAGs");
@@ -120,31 +151,43 @@ impl OptimalSolver {
             pair_bytes: vec![0u64; q * q],
             order_edges: vec![0u32; q * q],
             current_max: 0,
-            best,
+            best: seed_plan.as_ref().map(|(obj, _)| *obj).unwrap_or(u64::MAX),
             best_assign: None,
             explored: 0,
-            deadline: Instant::now() + self.time_limit,
-            timed_out: false,
+            ctx,
+            stopped: false,
         };
         search.dfs(0);
-        best = search.best;
-        let timed_out = search.timed_out;
+        let exhausted = !search.stopped;
         let explored = search.explored;
+        let own_best = search.best;
 
+        let mut best_plan = seed_plan;
         if let Some(assign) = search.best_assign {
             if let Some(plan) = materialize(tdg, net, &candidates, &assign) {
-                best_plan = Some(plan);
+                best_plan = Some((plan.max_inter_switch_bytes(tdg).min(own_best), plan));
             }
         }
+        // Exhaustion proves that no plan strictly below the final
+        // effective bound (own best ∧ shared bound) was missed.
+        let shared = ctx.incumbent_bound();
+        let proven_bound = exhausted.then_some(own_best.min(shared));
         match best_plan {
-            Some(plan) => Ok(OptimalOutcome {
-                objective: plan.max_inter_switch_bytes(tdg).min(best),
+            Some((objective, plan)) => Ok(SolveOutcome {
                 plan,
-                proven_optimal: !timed_out,
-                nodes_explored: explored,
+                objective,
+                proven_optimal: exhausted && objective <= shared,
+                stats: SolveStats { nodes_explored: explored, wall: start.elapsed(), proven_bound },
             }),
+            None if exhausted && shared != crate::solver::NO_BOUND => {
+                Err(DeployError::NoImprovementProven { bound: shared })
+            }
             None => Err(DeployError::NoFeasiblePlacement {
-                reason: "exhausted assignment search without a feasible plan".to_owned(),
+                reason: if exhausted {
+                    "exhausted assignment search without a feasible plan".to_owned()
+                } else {
+                    "search budget expired before any feasible plan".to_owned()
+                },
             }),
         }
     }
@@ -161,7 +204,8 @@ impl DeploymentAlgorithm for OptimalSolver {
         net: &Network,
         eps: &Epsilon,
     ) -> Result<DeploymentPlan, DeployError> {
-        self.solve(tdg, net, eps).map(|o| o.plan)
+        self.solve(tdg, net, eps, &SearchContext::with_time_limit(DEFAULT_DEPLOY_BUDGET))
+            .map(|o| o.plan)
     }
 
     fn is_exhaustive(&self) -> bool {
@@ -184,21 +228,27 @@ struct Search<'a> {
     best: u64,
     best_assign: Option<Vec<usize>>,
     explored: u64,
-    deadline: Instant,
-    timed_out: bool,
+    ctx: &'a SearchContext,
+    stopped: bool,
 }
 
 impl Search<'_> {
+    /// The pruning bound: own best leaf ∧ the best bound any cooperating
+    /// solver has published.
+    fn bound(&self) -> u64 {
+        self.best.min(self.ctx.incumbent_bound())
+    }
+
     fn dfs(&mut self, depth: usize) {
-        if self.timed_out {
+        if self.stopped {
             return;
         }
         self.explored += 1;
-        if Instant::now() >= self.deadline {
-            self.timed_out = true;
+        if self.ctx.should_stop() {
+            self.stopped = true;
             return;
         }
-        if self.current_max >= self.best {
+        if self.current_max >= self.bound() {
             return; // the running A_max only ever grows
         }
         if depth == self.order.len() {
@@ -273,7 +323,7 @@ impl Search<'_> {
                 self.order_edges[key] -= 1;
             }
             self.current_max = old_max;
-            if self.timed_out {
+            if self.stopped {
                 return;
             }
         }
@@ -317,9 +367,10 @@ impl Search<'_> {
             return;
         }
         let objective = plan.max_inter_switch_bytes(self.tdg);
-        if objective < self.best {
+        if objective < self.bound() {
             self.best = objective;
             self.best_assign = Some(self.assign.clone());
+            self.ctx.publish_incumbent(objective);
         }
     }
 }
@@ -369,52 +420,22 @@ pub fn materialize(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::test_support::{chain_tdg, tiny_switches};
     use hermes_dataplane::action::Action;
     use hermes_dataplane::fields::Field;
     use hermes_dataplane::mat::{Mat, MatchKind};
     use hermes_dataplane::program::Program;
     use hermes_net::Switch;
     use hermes_tdg::AnalysisMode;
+    use std::time::Duration;
 
-    fn chain_tdg(bytes: &[u32], resource: f64) -> Tdg {
-        let n = bytes.len() + 1;
-        let mut b = Program::builder("p");
-        for i in 0..n {
-            let mut mat = Mat::builder(format!("t{i}")).resource(resource);
-            if i > 0 {
-                mat = mat.match_field(
-                    Field::metadata(format!("m{}", i - 1), bytes[i - 1]),
-                    MatchKind::Exact,
-                );
-            }
-            let writes = if i < bytes.len() {
-                vec![Field::metadata(format!("m{i}"), bytes[i])]
-            } else {
-                vec![]
-            };
-            mat = mat.action(Action::writing("w", writes));
-            b = b.table(mat.build().unwrap());
-        }
-        Tdg::from_program(&b.build().unwrap(), AnalysisMode::Intersection)
-    }
-
-    fn tiny_switches(n: usize, stages: usize, cap: f64) -> Network {
-        let mut net = Network::new();
-        let ids: Vec<SwitchId> = (0..n)
-            .map(|i| {
-                net.add_switch(Switch {
-                    name: format!("s{i}"),
-                    programmable: true,
-                    stages,
-                    stage_capacity: cap,
-                    latency_us: 1.0,
-                })
-            })
-            .collect();
-        for w in ids.windows(2) {
-            net.add_link(w[0], w[1], 10.0).unwrap();
-        }
-        net
+    fn solve_default(tdg: &Tdg, net: &Network, eps: &Epsilon) -> Result<SolveOutcome, DeployError> {
+        OptimalSolver::default().solve(
+            tdg,
+            net,
+            eps,
+            &SearchContext::with_time_limit(Duration::from_secs(30)),
+        )
     }
 
     #[test]
@@ -423,7 +444,7 @@ mod tests {
         // 1-byte edge.
         let tdg = chain_tdg(&[1, 4], 0.5);
         let net = tiny_switches(2, 2, 0.5);
-        let out = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose()).unwrap();
+        let out = solve_default(&tdg, &net, &Epsilon::loose()).unwrap();
         assert!(out.proven_optimal);
         assert_eq!(out.objective, 1);
         assert_eq!(out.plan.max_inter_switch_bytes(&tdg), 1);
@@ -433,7 +454,7 @@ mod tests {
     fn zero_overhead_when_everything_fits() {
         let tdg = chain_tdg(&[8, 8], 0.2);
         let net = tiny_switches(2, 12, 1.0);
-        let out = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose()).unwrap();
+        let out = solve_default(&tdg, &net, &Epsilon::loose()).unwrap();
         assert_eq!(out.objective, 0);
         assert!(out.proven_optimal);
     }
@@ -474,7 +495,7 @@ mod tests {
         let eps = Epsilon::loose();
         let heuristic =
             GreedyHeuristic::new().deploy(&tdg, &net, &eps).unwrap().max_inter_switch_bytes(&tdg);
-        let out = OptimalSolver::default().solve(&tdg, &net, &eps).unwrap();
+        let out = solve_default(&tdg, &net, &eps).unwrap();
         assert!(out.proven_optimal);
         assert!(out.objective <= heuristic, "optimal {} > heuristic {heuristic}", out.objective);
     }
@@ -484,7 +505,7 @@ mod tests {
         let tdg = chain_tdg(&[1, 4, 2, 8], 0.5);
         let net = tiny_switches(3, 2, 0.5);
         let eps = Epsilon::loose();
-        let out = OptimalSolver::default().solve(&tdg, &net, &eps).unwrap();
+        let out = solve_default(&tdg, &net, &eps).unwrap();
         let violations = crate::verify::verify(&tdg, &net, &out.plan, &eps);
         assert!(violations.is_empty(), "{violations:?}");
     }
@@ -494,21 +515,42 @@ mod tests {
         let tdg = chain_tdg(&[1, 1, 1], 0.5);
         let net = tiny_switches(3, 2, 0.5);
         let eps = Epsilon::new(f64::INFINITY, 2);
-        let out = OptimalSolver::default().solve(&tdg, &net, &eps).unwrap();
+        let out = solve_default(&tdg, &net, &eps).unwrap();
         assert!(out.plan.occupied_switch_count() <= 2);
     }
 
     #[test]
-    fn time_limit_reports_unproven() {
+    fn expired_deadline_reports_unproven() {
         // A larger instance with a 0 ms budget still returns the heuristic
         // incumbent but cannot prove optimality. (Plenty of switches: the
         // greedy splitter may oversegment a monotone chain.)
         let tdg = chain_tdg(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11], 0.5);
         let net = tiny_switches(12, 2, 0.5);
-        let solver = OptimalSolver::new(Duration::from_millis(0));
-        let out = solver.solve(&tdg, &net, &Epsilon::loose()).unwrap();
+        let ctx = SearchContext::with_time_limit(Duration::ZERO);
+        let out = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose(), &ctx).unwrap();
         assert!(!out.proven_optimal);
         assert!(!out.plan.placements().is_empty());
+    }
+
+    #[test]
+    fn bare_solver_with_expired_deadline_has_no_plan() {
+        let tdg = chain_tdg(&[1, 2, 3], 0.5);
+        let net = tiny_switches(3, 2, 0.5);
+        let ctx = SearchContext::with_time_limit(Duration::ZERO);
+        let err = OptimalSolver::bare().solve(&tdg, &net, &Epsilon::loose(), &ctx).unwrap_err();
+        assert!(matches!(err, DeployError::NoFeasiblePlacement { .. }));
+    }
+
+    #[test]
+    fn bare_solver_proves_an_external_bound() {
+        // Publish the true optimum externally: the bare search exhausts
+        // without improving on it and returns the proof.
+        let tdg = chain_tdg(&[1, 4], 0.5);
+        let net = tiny_switches(2, 2, 0.5);
+        let ctx = SearchContext::unbounded();
+        ctx.publish_incumbent(1);
+        let err = OptimalSolver::bare().solve(&tdg, &net, &Epsilon::loose(), &ctx).unwrap_err();
+        assert_eq!(err, DeployError::NoImprovementProven { bound: 1 });
     }
 
     #[test]
@@ -516,7 +558,7 @@ mod tests {
         let mut net = Network::new();
         net.add_switch(Switch::legacy("l"));
         let tdg = chain_tdg(&[1], 0.5);
-        let err = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose()).unwrap_err();
+        let err = solve_default(&tdg, &net, &Epsilon::loose()).unwrap_err();
         assert_eq!(err, DeployError::NoProgrammableSwitch);
     }
 
@@ -524,8 +566,16 @@ mod tests {
     fn empty_tdg_trivial() {
         let tdg = Tdg::new(AnalysisMode::PaperLiteral);
         let net = tiny_switches(2, 2, 0.5);
-        let out = OptimalSolver::default().solve(&tdg, &net, &Epsilon::loose()).unwrap();
+        let out = solve_default(&tdg, &net, &Epsilon::loose()).unwrap();
         assert_eq!(out.objective, 0);
         assert!(out.proven_optimal);
+    }
+
+    #[test]
+    fn deploy_api_still_works() {
+        let tdg = chain_tdg(&[1, 4], 0.5);
+        let net = tiny_switches(2, 2, 0.5);
+        let plan = OptimalSolver::default().deploy(&tdg, &net, &Epsilon::loose()).unwrap();
+        assert_eq!(plan.max_inter_switch_bytes(&tdg), 1);
     }
 }

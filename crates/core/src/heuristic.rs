@@ -13,10 +13,12 @@
 //!    candidate and wire consecutive segments with latency-shortest paths.
 
 use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute};
+use crate::solver::{SearchContext, SolveOutcome, SolveStats, Solver};
 use crate::stage_assign::{assign_stages, fits_total_capacity, stage_feasible};
 use hermes_net::{nearest_programmable, shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// How the splitter chooses the cut position (ablation hook; the paper's
 /// strategy is [`SplitStrategy::MinMetadata`]).
@@ -405,6 +407,48 @@ impl DeploymentAlgorithm for GreedyHeuristic {
         net: &Network,
         eps: &Epsilon,
     ) -> Result<DeploymentPlan, DeployError> {
+        self.deploy_inner(tdg, net, eps, None)
+    }
+}
+
+impl Solver for GreedyHeuristic {
+    fn solve(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        ctx: &SearchContext,
+    ) -> Result<SolveOutcome, DeployError> {
+        let start = Instant::now();
+        let plan = self.deploy_inner(tdg, net, eps, Some(ctx))?;
+        let objective = plan.max_inter_switch_bytes(tdg);
+        ctx.publish_incumbent(objective);
+        Ok(SolveOutcome {
+            plan,
+            objective,
+            // Zero bytes is a global lower bound, so a zero-overhead plan
+            // is optimal; otherwise the heuristic proves nothing.
+            proven_optimal: objective == 0,
+            stats: SolveStats {
+                nodes_explored: 0,
+                wall: start.elapsed(),
+                proven_bound: (objective == 0).then_some(0),
+            },
+        })
+    }
+}
+
+impl GreedyHeuristic {
+    /// The full deploy pipeline; when racing in a portfolio (`ctx` set),
+    /// the pre-refinement plan's objective is published as an incumbent
+    /// before the refinement pass starts hill-climbing.
+    fn deploy_inner(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        ctx: Option<&SearchContext>,
+    ) -> Result<DeploymentPlan, DeployError> {
         let programmable = net.programmable_switches();
         if programmable.is_empty() {
             return Err(DeployError::NoProgrammableSwitch);
@@ -440,7 +484,7 @@ impl DeploymentAlgorithm for GreedyHeuristic {
                     continue;
                 }
                 if let Some(plan) = self.try_place(tdg, net, eps, &segments, &candidates) {
-                    return Ok(self.maybe_refine(tdg, net, plan, eps));
+                    return Ok(self.maybe_refine(tdg, net, plan, eps, ctx));
                 }
             }
             if pass == 0 {
@@ -456,7 +500,7 @@ impl DeploymentAlgorithm for GreedyHeuristic {
         // cost of overhead-oblivious cuts — which the refinement pass then
         // claws back move by move.
         if let Some(plan) = self.first_fit_fallback(tdg, net, eps) {
-            return Ok(self.maybe_refine(tdg, net, plan, eps));
+            return Ok(self.maybe_refine(tdg, net, plan, eps, ctx));
         }
         Err(DeployError::NoFeasiblePlacement {
             reason: format!(
@@ -473,14 +517,20 @@ impl DeploymentAlgorithm for GreedyHeuristic {
 impl GreedyHeuristic {
     /// Local-search refinement is part of the full Hermes pipeline; the
     /// ablation split strategies stay unrefined so their comparisons
-    /// isolate the splitting objective.
+    /// isolate the splitting objective. With a [`SearchContext`] present
+    /// the unrefined plan's objective is published *before* refinement —
+    /// the "publish early" half of the anytime-portfolio contract.
     fn maybe_refine(
         &self,
         tdg: &Tdg,
         net: &Network,
         plan: DeploymentPlan,
         eps: &Epsilon,
+        ctx: Option<&SearchContext>,
     ) -> DeploymentPlan {
+        if let Some(ctx) = ctx {
+            ctx.publish_incumbent(plan.max_inter_switch_bytes(tdg));
+        }
         match self.strategy {
             SplitStrategy::MinMetadata => crate::refine::refine(tdg, net, plan, eps, REFINE_BUDGET),
             _ => plan,

@@ -12,12 +12,14 @@
 
 use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute};
 use crate::heuristic::{placement_order, GreedyHeuristic};
+use crate::solver::{Portfolio, SearchContext, Solver};
 use crate::stage_assign::{assign_stages, stage_feasible};
 use hermes_net::{nearest_programmable, shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::time::Duration;
 
 /// Result of an incremental redeploy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,12 +55,26 @@ pub struct RedeployOptions {
     /// are dropped and their MATs re-homed into residual capacity
     /// elsewhere; the full-redeploy fallback also avoids them.
     pub exclude: BTreeSet<SwitchId>,
+    /// When set, the full-redeploy fallback races the greedy heuristic
+    /// against the exact search ([`Portfolio::greedy_exact`]) under this
+    /// wall-clock budget instead of running the heuristic alone: the
+    /// heuristic guarantees a fast answer, and the exact search improves
+    /// on it whenever the instance is small enough to finish in time.
+    /// `None` (the default) keeps the plain heuristic fallback.
+    pub exact_budget_ms: Option<u64>,
 }
 
 impl RedeployOptions {
     /// Options for healing after the given switches failed.
     pub fn excluding(switches: impl IntoIterator<Item = SwitchId>) -> Self {
-        RedeployOptions { exclude: switches.into_iter().collect() }
+        RedeployOptions { exclude: switches.into_iter().collect(), ..Default::default() }
+    }
+
+    /// Builder: race greedy vs exact under `budget` on full redeploys.
+    #[must_use]
+    pub fn with_exact_budget(mut self, budget: Duration) -> Self {
+        self.exact_budget_ms = Some(budget.as_millis().try_into().unwrap_or(u64::MAX));
+        self
     }
 
     /// `true` iff `s` may host MATs under these options and is up in `net`.
@@ -119,16 +135,25 @@ impl IncrementalDeployer {
         match self.try_pinned(old_tdg, old_plan, new_tdg, net, eps, opts) {
             Some(outcome) => Ok(outcome),
             None => {
-                // The greedy fallback only knows programmability, so mask
+                // The fallback solvers only know programmability, so mask
                 // excluded switches out of a scratch copy of the network.
-                let plan = if opts.exclude.is_empty() {
-                    self.fallback.deploy(new_tdg, net, eps)?
+                let masked;
+                let deploy_net = if opts.exclude.is_empty() {
+                    net
                 } else {
-                    let mut masked = net.clone();
+                    let mut scratch = net.clone();
                     for &s in &opts.exclude {
-                        masked.switch_mut(s).programmable = false;
+                        scratch.switch_mut(s).programmable = false;
                     }
-                    self.fallback.deploy(new_tdg, &masked, eps)?
+                    masked = scratch;
+                    &masked
+                };
+                let plan = match opts.exact_budget_ms {
+                    None => self.fallback.deploy(new_tdg, deploy_net, eps)?,
+                    Some(ms) => {
+                        let ctx = SearchContext::with_time_limit(Duration::from_millis(ms));
+                        Portfolio::greedy_exact().solve(new_tdg, deploy_net, eps, &ctx)?.plan
+                    }
                 };
                 Ok(IncrementalOutcome {
                     placed: new_tdg.node_count(),
@@ -394,6 +419,50 @@ mod tests {
             };
             assert!(!out.plan.occupied_switches().contains(&s), "excluded {s} must stay empty");
         }
+    }
+
+    #[test]
+    fn exact_budget_races_portfolio_on_full_redeploy() {
+        // Two independent chains whose fabricated old plan crosses them
+        // over the switches in opposite directions: the old visit order is
+        // cyclic, so pinning always aborts and the fallback runs. With an
+        // exact budget, the fallback is the greedy-vs-exact portfolio.
+        use crate::deployment::StagePlacement;
+        let programs = hermes_dataplane::parser::parse_programs(
+            "program p1 { metadata m.a: 4;
+               table a { actions { w { m.a = hash(m.a); } } resource 0.2; }
+               table b { key { m.a: exact; } actions { n { } } resource 0.2; } }
+             program p2 { metadata m.c: 4;
+               table c { actions { w { m.c = hash(m.c); } } resource 0.2; }
+               table d { key { m.c: exact; } actions { n { } } resource 0.2; } }",
+        )
+        .unwrap();
+        let tdg = ProgramAnalyzer::new().analyze(&programs);
+        assert_eq!((tdg.node_count(), tdg.edge_count()), (4, 2));
+        let net = topology::linear(2, 10.0);
+        let switches: Vec<_> = net.programmable_switches();
+        let (s0, s1) = (switches[0], switches[1]);
+        let nodes: Vec<_> = tdg.node_ids().collect();
+        // a -> s0, b -> s1 (forward), c -> s1, d -> s0 (backward): cyclic.
+        let mut fake = DeploymentPlan::new();
+        for (i, &node) in nodes.iter().enumerate() {
+            let switch = if matches!(i, 0 | 3) { s0 } else { s1 };
+            fake.place(StagePlacement { node, switch, stage: 0, fraction: 0.2 });
+        }
+        let eps = Epsilon::loose();
+        let deployer = IncrementalDeployer::new();
+        let raced = RedeployOptions::default().with_exact_budget(Duration::from_secs(5));
+        assert_eq!(raced.exact_budget_ms, Some(5_000));
+        let out = deployer.redeploy_with(&tdg, &fake, &tdg, &net, &eps, &raced).unwrap();
+        assert!(out.full_redeploy, "cyclic old order must force the fallback");
+        assert!(verify(&tdg, &net, &out.plan, &eps).is_empty());
+        let base = deployer
+            .redeploy_with(&tdg, &fake, &tdg, &net, &eps, &RedeployOptions::default())
+            .unwrap();
+        assert!(
+            out.plan.max_inter_switch_bytes(&tdg) <= base.plan.max_inter_switch_bytes(&tdg),
+            "the race can only improve on the heuristic"
+        );
     }
 
     #[test]

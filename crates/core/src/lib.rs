@@ -13,6 +13,13 @@
 //!   ([`heuristic`], Algorithm 2), all producing [`DeploymentPlan`]s whose
 //!   constraints are checked by a single verifier ([`verify()`]).
 //!
+//! Every solver implements the [`Solver`] trait ([`solver`]): it takes a
+//! [`SearchContext`] carrying a deadline, a cooperative cancel token, and
+//! a shared incumbent bound, and returns a uniform [`SolveOutcome`]. The
+//! [`Portfolio`] runner races several solvers on threads — the heuristic
+//! publishes incumbents early, the exact searches prune against them —
+//! and picks a deterministic winner.
+//!
 //! # Quick start
 //!
 //! ```
@@ -41,7 +48,9 @@ pub mod incremental;
 pub mod milp_formulation;
 pub mod refine;
 pub mod report;
+pub mod solver;
 pub mod stage_assign;
+pub mod test_support;
 pub mod verify;
 
 pub use analyzer::ProgramAnalyzer;
@@ -49,11 +58,15 @@ pub use deployment::{
     DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanMetrics, PlanRoute,
     StagePlacement,
 };
-pub use exact::{materialize, OptimalOutcome, OptimalSolver};
+pub use exact::{materialize, OptimalSolver};
 pub use heuristic::{placement_order, GreedyHeuristic, SplitStrategy};
 pub use incremental::{IncrementalDeployer, IncrementalOutcome, RedeployOptions};
 pub use milp_formulation::{build_p1, MilpHermes, P1Variables};
 pub use refine::refine;
 pub use report::{diff, explain, PlanDiff};
+pub use solver::{
+    Budgeted, CancelToken, Portfolio, RaceReport, RacerReport, SearchContext, SolveOutcome,
+    SolveStats, Solver, DEFAULT_DEPLOY_BUDGET, NO_BOUND,
+};
 pub use stage_assign::{assign_stages, fits_total_capacity, stage_feasible, StageAssignError};
 pub use verify::{verify, Violation};

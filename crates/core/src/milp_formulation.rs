@@ -22,10 +22,16 @@
 
 use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon};
 use crate::exact::materialize;
-use hermes_milp::{solve, Direction, LinExpr, Model, Sense, SolveStatus, SolverConfig, VarId};
+use crate::solver::{
+    SearchContext, SolveOutcome, SolveStats, Solver, DEFAULT_DEPLOY_BUDGET, NO_BOUND,
+};
+use hermes_milp::{
+    solve_with_controls, Direction, LinExpr, Model, Sense, SolveControls, SolveStatus,
+    SolverConfig, VarId,
+};
 use hermes_net::{shortest_path, Network, SwitchId};
 use hermes_tdg::Tdg;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Variable handles of a built P#1 model.
 #[derive(Debug, Clone)]
@@ -226,35 +232,100 @@ impl DeploymentAlgorithm for MilpHermes {
         net: &Network,
         eps: &Epsilon,
     ) -> Result<DeploymentPlan, DeployError> {
+        let budget = self.config.time_limit.unwrap_or(DEFAULT_DEPLOY_BUDGET);
+        let ctx = SearchContext::with_time_limit(budget);
+        Solver::solve(self, tdg, net, eps, &ctx).map(|outcome| outcome.plan)
+    }
+}
+
+impl Solver for MilpHermes {
+    fn solve(
+        &self,
+        tdg: &Tdg,
+        net: &Network,
+        eps: &Epsilon,
+        ctx: &SearchContext,
+    ) -> Result<SolveOutcome, DeployError> {
+        let start = Instant::now();
         if net.programmable_switches().is_empty() {
             return Err(DeployError::NoProgrammableSwitch);
         }
         if tdg.node_count() == 0 {
-            return Ok(DeploymentPlan::new());
+            ctx.publish_incumbent(0);
+            return Ok(SolveOutcome {
+                plan: DeploymentPlan::new(),
+                objective: 0,
+                proven_optimal: true,
+                stats: SolveStats {
+                    nodes_explored: 0,
+                    wall: start.elapsed(),
+                    proven_bound: Some(0),
+                },
+            });
         }
         let (model, vars) = build_p1(tdg, net, eps);
-        let solution = solve(&model, &self.config)
+        // The context owns the budget: a configured time limit only applies
+        // on the legacy `deploy` path, never underneath a `SearchContext`.
+        let mut config = self.config.clone();
+        config.time_limit = None;
+        let controls = SolveControls {
+            deadline: ctx.deadline(),
+            stop: Some(ctx.cancel_token().as_flag()),
+            upper_bound: Some(ctx.shared_incumbent()),
+        };
+        let solution = solve_with_controls(&model, &config, &controls)
             .map_err(|e| DeployError::NoFeasiblePlacement { reason: format!("milp error: {e}") })?;
+        let nodes_explored = solution.nodes_explored as u64;
         match solution.status {
-            SolveStatus::Optimal | SolveStatus::Feasible => {}
-            other => {
-                return Err(DeployError::NoFeasiblePlacement {
-                    reason: format!("milp terminated with {other:?}"),
+            SolveStatus::Optimal | SolveStatus::Feasible => {
+                let assign: Vec<usize> = (0..tdg.node_count())
+                    .map(|a| {
+                        (0..vars.candidates.len())
+                            .find(|&c| solution.value(vars.placement[a][c]) > 0.5)
+                            .expect("Eq. 6 places every node")
+                    })
+                    .collect();
+                let plan = materialize(tdg, net, &vars.candidates, &assign).ok_or_else(|| {
+                    DeployError::NoFeasiblePlacement {
+                        reason: "stage assignment failed for the MILP placement".to_owned(),
+                    }
+                })?;
+                let objective = plan.max_inter_switch_bytes(tdg);
+                ctx.publish_incumbent(objective);
+                let proven_optimal = solution.status == SolveStatus::Optimal;
+                let proven_bound = if proven_optimal {
+                    Some(objective)
+                } else if solution.exhausted {
+                    // Exhausted, but the externally published bound undercut
+                    // our incumbent: nothing below the shared bound exists.
+                    Some(ctx.incumbent_bound().min(objective))
+                } else {
+                    None
+                };
+                Ok(SolveOutcome {
+                    plan,
+                    objective,
+                    proven_optimal,
+                    stats: SolveStats { nodes_explored, wall: start.elapsed(), proven_bound },
                 })
             }
-        }
-        let assign: Vec<usize> = (0..tdg.node_count())
-            .map(|a| {
-                (0..vars.candidates.len())
-                    .find(|&c| solution.value(vars.placement[a][c]) > 0.5)
-                    .expect("Eq. 6 places every node")
-            })
-            .collect();
-        materialize(tdg, net, &vars.candidates, &assign).ok_or_else(|| {
-            DeployError::NoFeasiblePlacement {
-                reason: "stage assignment failed for the MILP placement".to_owned(),
+            SolveStatus::LimitReached if solution.exhausted => {
+                // The tree was fully explored under an externally published
+                // bound without finding an incumbent of our own: the bound
+                // is a certificate, not a failure.
+                let bound = ctx.incumbent_bound();
+                if bound == NO_BOUND {
+                    Err(DeployError::NoFeasiblePlacement {
+                        reason: "milp search exhausted without an incumbent".to_owned(),
+                    })
+                } else {
+                    Err(DeployError::NoImprovementProven { bound })
+                }
             }
-        })
+            other => Err(DeployError::NoFeasiblePlacement {
+                reason: format!("milp terminated with {other:?}"),
+            }),
+        }
     }
 }
 
@@ -262,53 +333,7 @@ impl DeploymentAlgorithm for MilpHermes {
 mod tests {
     use super::*;
     use crate::exact::OptimalSolver;
-    use hermes_dataplane::action::Action;
-    use hermes_dataplane::fields::Field;
-    use hermes_dataplane::mat::{Mat, MatchKind};
-    use hermes_dataplane::program::Program;
-    use hermes_net::Switch;
-    use hermes_tdg::AnalysisMode;
-
-    fn chain_tdg(bytes: &[u32], resource: f64) -> Tdg {
-        let n = bytes.len() + 1;
-        let mut b = Program::builder("p");
-        for i in 0..n {
-            let mut mat = Mat::builder(format!("t{i}")).resource(resource);
-            if i > 0 {
-                mat = mat.match_field(
-                    Field::metadata(format!("m{}", i - 1), bytes[i - 1]),
-                    MatchKind::Exact,
-                );
-            }
-            let writes = if i < bytes.len() {
-                vec![Field::metadata(format!("m{i}"), bytes[i])]
-            } else {
-                vec![]
-            };
-            mat = mat.action(Action::writing("w", writes));
-            b = b.table(mat.build().unwrap());
-        }
-        Tdg::from_program(&b.build().unwrap(), AnalysisMode::Intersection)
-    }
-
-    fn tiny_switches(n: usize, stages: usize, cap: f64) -> Network {
-        let mut net = Network::new();
-        let ids: Vec<SwitchId> = (0..n)
-            .map(|i| {
-                net.add_switch(Switch {
-                    name: format!("s{i}"),
-                    programmable: true,
-                    stages,
-                    stage_capacity: cap,
-                    latency_us: 1.0,
-                })
-            })
-            .collect();
-        for w in ids.windows(2) {
-            net.add_link(w[0], w[1], 10.0).unwrap();
-        }
-        net
-    }
+    use crate::test_support::{chain_tdg, tiny_switches};
 
     #[test]
     fn milp_matches_exact_on_figure1() {
@@ -316,9 +341,35 @@ mod tests {
         let net = tiny_switches(2, 2, 0.5);
         let eps = Epsilon::loose();
         let milp_plan = MilpHermes::default().deploy(&tdg, &net, &eps).unwrap();
-        let exact = OptimalSolver::default().solve(&tdg, &net, &eps).unwrap();
+        let exact = OptimalSolver::default()
+            .solve(&tdg, &net, &eps, &SearchContext::with_time_limit(Duration::from_secs(30)))
+            .unwrap();
         assert_eq!(milp_plan.max_inter_switch_bytes(&tdg), exact.objective);
         assert_eq!(milp_plan.max_inter_switch_bytes(&tdg), 1);
+    }
+
+    #[test]
+    fn milp_solve_reports_proven_optimality() {
+        let tdg = chain_tdg(&[1, 4], 0.5);
+        let net = tiny_switches(2, 2, 0.5);
+        let ctx = SearchContext::with_time_limit(Duration::from_secs(30));
+        let outcome = MilpHermes::default().solve(&tdg, &net, &Epsilon::loose(), &ctx).unwrap();
+        assert!(outcome.proven_optimal);
+        assert_eq!(outcome.objective, 1);
+        assert_eq!(outcome.stats.proven_bound, Some(1));
+        assert_eq!(ctx.incumbent_bound(), 1, "the milp publishes its incumbent");
+    }
+
+    #[test]
+    fn milp_proves_an_externally_published_optimum() {
+        // Publishing the known optimum up front leaves the MILP nothing to
+        // improve: it must exhaust and certify the bound, not fail.
+        let tdg = chain_tdg(&[1, 4], 0.5);
+        let net = tiny_switches(2, 2, 0.5);
+        let ctx = SearchContext::with_time_limit(Duration::from_secs(30));
+        ctx.publish_incumbent(1);
+        let err = MilpHermes::default().solve(&tdg, &net, &Epsilon::loose(), &ctx).unwrap_err();
+        assert_eq!(err, DeployError::NoImprovementProven { bound: 1 });
     }
 
     #[test]

@@ -37,9 +37,11 @@ pub mod export;
 pub mod model;
 pub mod simplex;
 
-pub use branch::{solve, MipSolution, SolveStatus, SolverConfig};
+pub use branch::{
+    solve, solve_with_controls, MipSolution, SolveControls, SolveStatus, SolverConfig,
+};
 pub use export::write_lp;
 pub use model::{
     Constraint, Direction, LinExpr, Model, ModelError, Sense, VarId, VarKind, Variable,
 };
-pub use simplex::{solve_lp, solve_relaxation, LpResult, LpStatus};
+pub use simplex::{solve_lp, solve_relaxation, solve_relaxation_interruptible, LpResult, LpStatus};

@@ -17,6 +17,9 @@ pub enum LpStatus {
     Infeasible,
     /// The objective is unbounded in the optimization direction.
     Unbounded,
+    /// The solve was interrupted by its stop callback before convergence;
+    /// no result fields are meaningful.
+    Interrupted,
 }
 
 /// Result of an LP relaxation solve.
@@ -50,6 +53,26 @@ pub fn solve_relaxation(
     model: &Model,
     lower: &[f64],
     upper: &[f64],
+) -> Result<LpResult, ModelError> {
+    solve_relaxation_interruptible(model, lower, upper, None)
+}
+
+/// [`solve_relaxation`] with a cooperative stop callback, polled once per
+/// simplex iteration. A single relaxation of a large model can run for
+/// seconds, so deadline-honouring callers (the branch-and-bound under a
+/// [`crate::SolveControls`] deadline) must be able to interrupt *inside*
+/// the pivot loop, not just between tree nodes. When the callback fires
+/// the result carries [`LpStatus::Interrupted`].
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the model fails validation or an overridden
+/// lower bound is not finite.
+pub fn solve_relaxation_interruptible(
+    model: &Model,
+    lower: &[f64],
+    upper: &[f64],
+    stop: Option<&dyn Fn() -> bool>,
 ) -> Result<LpResult, ModelError> {
     model.validate()?;
     let n = model.variables().len();
@@ -182,9 +205,16 @@ pub fn solve_relaxation(
         for &a in &artificial_cols {
             phase1[a] = 1.0;
         }
-        let feasible = run_simplex(&mut tab, &mut basis, &phase1, used_cols, total_cols);
+        let end = run_simplex(&mut tab, &mut basis, &phase1, used_cols, total_cols, stop);
+        if end == SimplexEnd::Interrupted {
+            return Ok(LpResult {
+                status: LpStatus::Interrupted,
+                objective: 0.0,
+                values: Vec::new(),
+            });
+        }
         let phase1_obj = current_objective(&tab, &basis, &phase1, total_cols);
-        if !feasible || phase1_obj > 1e-6 {
+        if end == SimplexEnd::Unbounded || phase1_obj > 1e-6 {
             return Ok(LpResult {
                 status: LpStatus::Infeasible,
                 objective: 0.0,
@@ -211,9 +241,22 @@ pub fn solve_relaxation(
     for &a in &artificial_cols {
         phase2[a] = 1e30;
     }
-    let bounded = run_simplex(&mut tab, &mut basis, &phase2, used_cols, total_cols);
-    if !bounded {
-        return Ok(LpResult { status: LpStatus::Unbounded, objective: 0.0, values: Vec::new() });
+    match run_simplex(&mut tab, &mut basis, &phase2, used_cols, total_cols, stop) {
+        SimplexEnd::Interrupted => {
+            return Ok(LpResult {
+                status: LpStatus::Interrupted,
+                objective: 0.0,
+                values: Vec::new(),
+            });
+        }
+        SimplexEnd::Unbounded => {
+            return Ok(LpResult {
+                status: LpStatus::Unbounded,
+                objective: 0.0,
+                values: Vec::new(),
+            });
+        }
+        SimplexEnd::Optimal => {}
     }
 
     // Extract solution in original variable space.
@@ -232,19 +275,34 @@ pub fn solve_relaxation(
     Ok(LpResult { status: LpStatus::Optimal, objective, values })
 }
 
-/// Runs the simplex loop minimizing `costs`. Returns `false` when the
-/// problem is unbounded in the current phase.
+/// How a phase of the simplex loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimplexEnd {
+    /// No entering column remains (or the iteration valve tripped).
+    Optimal,
+    /// The problem is unbounded in the current phase.
+    Unbounded,
+    /// The stop callback fired mid-loop.
+    Interrupted,
+}
+
+/// Runs the simplex loop minimizing `costs`, polling `stop` each iteration
+/// (one pivot costs O(rows × cols) — vastly more than the callback).
 fn run_simplex(
     tab: &mut [Vec<f64>],
     basis: &mut [usize],
     costs: &[f64],
     used_cols: usize,
     rhs_col: usize,
-) -> bool {
+    stop: Option<&dyn Fn() -> bool>,
+) -> SimplexEnd {
     let m = tab.len();
     let max_iters = 50 * (m + used_cols).max(100);
     let bland_after = 10 * (m + used_cols).max(50);
     for iter in 0..max_iters {
+        if stop.is_some_and(|s| s()) {
+            return SimplexEnd::Interrupted;
+        }
         // Reduced costs: c_j - c_B B^-1 A_j, computed from the tableau form.
         let mut entering = None;
         let mut best = -1e-7; // entering needs a meaningfully negative reduced cost
@@ -266,7 +324,7 @@ fn run_simplex(
             }
         }
         let Some(col) = entering else {
-            return true; // optimal
+            return SimplexEnd::Optimal;
         };
         // Ratio test.
         let mut leaving = None;
@@ -284,12 +342,12 @@ fn run_simplex(
             }
         }
         let Some(row) = leaving else {
-            return false; // unbounded
+            return SimplexEnd::Unbounded;
         };
         pivot(tab, basis, row, col, rhs_col);
     }
     // Iteration safety valve: treat as converged (best effort).
-    true
+    SimplexEnd::Optimal
 }
 
 #[allow(clippy::needless_range_loop)] // dense-tableau row ops read and write `tab` by column index
@@ -442,6 +500,20 @@ mod tests {
         let r = solve_lp(&m).unwrap();
         assert_eq!(r.status, LpStatus::Optimal);
         assert!((r.values[1] - 2.0).abs() < 1e-6, "y = {}", r.values[1]);
+    }
+
+    #[test]
+    fn stop_callback_interrupts_the_pivot_loop() {
+        let mut m = Model::new("lp");
+        let x = m.continuous("x", 0.0, f64::INFINITY);
+        let y = m.continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::from(x) + LinExpr::from(y), Sense::Le, 4.0);
+        m.set_objective(Direction::Maximize, LinExpr::from(x) + LinExpr::from(y) * 2.0);
+        let stop = || true;
+        let r =
+            solve_relaxation_interruptible(&m, &[0.0, 0.0], &[10.0, 10.0], Some(&stop)).unwrap();
+        assert_eq!(r.status, LpStatus::Interrupted);
+        assert!(r.values.is_empty());
     }
 
     #[test]

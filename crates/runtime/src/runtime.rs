@@ -158,6 +158,7 @@ pub struct DeploymentRuntime {
     seq: u64,
     log: EventLog,
     active: Option<ActiveDeployment>,
+    recovery_budget_ms: Option<u64>,
 }
 
 impl DeploymentRuntime {
@@ -184,7 +185,18 @@ impl DeploymentRuntime {
             seq: 0,
             log: EventLog::new(),
             active: None,
+            recovery_budget_ms: None,
         }
+    }
+
+    /// Builder: when healing falls back to a full redeploy, race the
+    /// greedy heuristic against the exact search under `budget` (the
+    /// recovery deadline) instead of running the heuristic alone. Off by
+    /// default — healing then uses the plain heuristic fallback.
+    #[must_use]
+    pub fn with_recovery_budget(mut self, budget: std::time::Duration) -> Self {
+        self.recovery_budget_ms = Some(budget.as_millis().try_into().unwrap_or(u64::MAX));
+        self
     }
 
     /// Builder-style variant of [`DeploymentRuntime::set_channel_profile`].
@@ -365,7 +377,8 @@ impl DeploymentRuntime {
                 at_us: self.clock_us,
             });
 
-            let opts = RedeployOptions::excluding(down);
+            let mut opts = RedeployOptions::excluding(down);
+            opts.exact_budget_ms = self.recovery_budget_ms;
             let outcome = match IncrementalDeployer::new().redeploy_with(
                 &active.tdg,
                 &active.plan,
@@ -1001,6 +1014,35 @@ mod tests {
             }
         }
         assert!(healed_seen, "no seed in 0..20 healed successfully");
+    }
+
+    #[test]
+    fn recovery_budget_heals_with_the_portfolio_fallback() {
+        // Same crash scenario as above, with healing allowed to race the
+        // exact search under a recovery deadline. Every heal must still
+        // produce a verified plan avoiding the dead switches.
+        let (tdg, net, plan) = workload();
+        let profile = FaultProfile { post_commit_crash_prob: 1.0, ..FaultProfile::none() };
+        let mut healed_seen = false;
+        for seed in 0..10u64 {
+            let mut rt = DeploymentRuntime::new(
+                net.clone(),
+                Epsilon::loose(),
+                FaultInjector::new(seed, profile),
+                RetryPolicy::default(),
+            )
+            .with_recovery_budget(std::time::Duration::from_secs(2));
+            if let RolloutOutcome::Committed { healed, .. } = rt.rollout(&tdg, plan.clone()) {
+                assert!(healed);
+                healed_seen = true;
+                let active = rt.active_plan().unwrap();
+                for down in rt.network().down_switches() {
+                    assert!(!active.occupied_switches().contains(&down));
+                }
+                assert!(verify(&tdg, rt.network(), active, &Epsilon::loose()).is_empty());
+            }
+        }
+        assert!(healed_seen, "no seed in 0..10 healed successfully");
     }
 
     #[test]

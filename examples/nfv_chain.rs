@@ -10,6 +10,7 @@
 
 use hermes::core::{
     verify, DeploymentAlgorithm, Epsilon, GreedyHeuristic, OptimalSolver, ProgramAnalyzer,
+    SearchContext, Solver,
 };
 use hermes::dataplane::library;
 use hermes::net::topology::{random_wan, WanConfig};
@@ -55,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Certify the loose-bound result against the exact solver.
     let eps = Epsilon::loose();
     let heuristic = GreedyHeuristic::new().deploy(&tdg, &net, &eps)?;
-    let optimal = OptimalSolver::new(Duration::from_secs(10)).solve(&tdg, &net, &eps)?;
+    let ctx = SearchContext::with_time_limit(Duration::from_secs(10));
+    let optimal = OptimalSolver::new().solve(&tdg, &net, &eps, &ctx)?;
     println!(
         "\nloose bounds: heuristic A_max = {} B, optimal A_max = {} B ({})",
         heuristic.max_inter_switch_bytes(&tdg),

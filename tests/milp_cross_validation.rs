@@ -5,6 +5,7 @@
 
 use hermes::core::{
     verify, DeploymentAlgorithm, Epsilon, GreedyHeuristic, MilpHermes, OptimalSolver,
+    SearchContext, Solver,
 };
 use hermes::dataplane::action::Action;
 use hermes::dataplane::fields::Field;
@@ -67,7 +68,8 @@ fn solvers_agree_on_random_small_instances() {
     let mut compared = 0;
     for seed in 0..8u64 {
         let (tdg, net) = random_instance(seed);
-        let exact = match OptimalSolver::new(Duration::from_secs(20)).solve(&tdg, &net, &eps) {
+        let ctx = SearchContext::with_time_limit(Duration::from_secs(20));
+        let exact = match OptimalSolver::new().solve(&tdg, &net, &eps, &ctx) {
             Ok(o) => o,
             Err(_) => continue, // instance infeasible: nothing to compare
         };
