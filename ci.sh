@@ -20,6 +20,12 @@ cargo test -q
 echo "==> solver property suite"
 cargo test -q --release --test solver_portfolio
 
+echo "==> hot-path equivalence suite"
+cargo test -q --release --test eval_equivalence
+
+echo "==> hot-path evaluator smoke"
+cargo run -q --release -p hermes-bench --bin hotpath -- --smoke
+
 echo "==> portfolio determinism smoke (fixed seed, 2 threads, 2 s budget)"
 smoke_a="$(cargo run -q --release -p hermes-bench --bin portfolio -- --smoke)"
 smoke_b="$(cargo run -q --release -p hermes-bench --bin portfolio -- --smoke)"

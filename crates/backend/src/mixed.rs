@@ -150,20 +150,43 @@ pub fn check_window(
 ///
 /// # Errors
 ///
-/// Returns the first violating window's [`MixedEpochViolation`].
+/// Returns the first violating window's [`MixedEpochViolation`] — the
+/// same window the sequential prefix loop would report. Windows are
+/// replayed in parallel (they are independent of each other); the scan
+/// over the collected results stays in commit order, so the outcome is
+/// deterministic regardless of thread scheduling.
 pub fn check_transition(
     t: &EpochTransition<'_>,
     commit_order: &[SwitchId],
     packet_seeds: &[u64],
 ) -> Result<usize, MixedEpochViolation> {
-    let mut committed = BTreeSet::new();
-    let mut windows = 0;
-    for &switch in commit_order {
-        committed.insert(switch);
-        check_window(t, &committed, packet_seeds)?;
-        windows += 1;
+    let prefixes: Vec<BTreeSet<SwitchId>> =
+        (1..=commit_order.len()).map(|n| commit_order[..n].iter().copied().collect()).collect();
+    if prefixes.is_empty() {
+        return Ok(0);
     }
-    Ok(windows)
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(prefixes.len());
+    let mut results: Vec<Result<(), MixedEpochViolation>> = vec![Ok(()); prefixes.len()];
+    if workers <= 1 {
+        for (slot, committed) in results.iter_mut().zip(&prefixes) {
+            *slot = check_window(t, committed, packet_seeds);
+        }
+    } else {
+        let chunk = prefixes.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (res_chunk, pre_chunk) in results.chunks_mut(chunk).zip(prefixes.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, committed) in res_chunk.iter_mut().zip(pre_chunk) {
+                        *slot = check_window(t, committed, packet_seeds);
+                    }
+                });
+            }
+        });
+    }
+    for r in results {
+        r?;
+    }
+    Ok(prefixes.len())
 }
 
 #[cfg(test)]

@@ -99,19 +99,48 @@ impl DeploymentPlan {
         self.routes.iter().find(|r| r.from == from && r.to == to)
     }
 
+    /// The full node -> switch mapping as a dense array indexed by
+    /// [`NodeId::index`] (`None` = unplaced), built in one pass over the
+    /// placements. Callers that look up many nodes should use this instead
+    /// of per-node [`DeploymentPlan::switch_of`] scans.
+    pub fn switch_assignment(&self, node_count: usize) -> Vec<Option<SwitchId>> {
+        let mut assign = vec![None; node_count];
+        for p in &self.placements {
+            let slot = &mut assign[p.node.index()];
+            if slot.is_none() {
+                *slot = Some(p.switch);
+            }
+        }
+        assign
+    }
+
     /// Per ordered switch pair `(u, v)`, the metadata bytes delivered from
     /// MATs on `u` to dependent MATs on `v` (the inner sum of Eq. 1).
     pub fn inter_switch_bytes(&self, tdg: &Tdg) -> BTreeMap<(SwitchId, SwitchId), u64> {
-        let mut by_pair: BTreeMap<(SwitchId, SwitchId), u64> = BTreeMap::new();
+        let mut by_pair = BTreeMap::new();
+        self.inter_switch_bytes_into(tdg, &mut by_pair);
+        by_pair
+    }
+
+    /// [`DeploymentPlan::inter_switch_bytes`] into a caller-owned map:
+    /// `out` is cleared and refilled, so probe-heavy paths reuse one
+    /// allocation across calls. The node -> switch mapping is resolved once
+    /// up front instead of per edge endpoint.
+    pub fn inter_switch_bytes_into(
+        &self,
+        tdg: &Tdg,
+        out: &mut BTreeMap<(SwitchId, SwitchId), u64>,
+    ) {
+        out.clear();
+        let assign = self.switch_assignment(tdg.node_count());
         for e in tdg.edges() {
-            let (Some(u), Some(v)) = (self.switch_of(e.from), self.switch_of(e.to)) else {
+            let (Some(u), Some(v)) = (assign[e.from.index()], assign[e.to.index()]) else {
                 continue;
             };
             if u != v {
-                *by_pair.entry((u, v)).or_insert(0) += u64::from(e.bytes);
+                *out.entry((u, v)).or_insert(0) += u64::from(e.bytes);
             }
         }
-        by_pair
     }
 
     /// `A_max` — the maximum metadata bytes any packet carries between a

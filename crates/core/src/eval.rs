@@ -1,0 +1,482 @@
+//! Incremental placement evaluator: O(delta) objective maintenance.
+//!
+//! The branch-and-bound search and the local-search refiner both explore
+//! sequences of placements that differ by one node at a time, yet the seed
+//! implementation recomputed `A_max`, switch-order acyclicity, and
+//! per-switch occupancy from scratch (or with per-candidate heap
+//! allocations) at every step. [`IncrementalEval`] owns all of that state
+//! and maintains it under [`IncrementalEval::place`] /
+//! [`IncrementalEval::unplace`]:
+//!
+//! - **per-ordered-pair byte totals** — `pair_bytes[a*q + b]` sums
+//!   `A(u, v)` over TDG edges `u -> v` with `u` on switch `a`, `v` on
+//!   switch `b` (`a != b`);
+//! - **the running objective** `A_max = max pair_bytes` — kept with a
+//!   count of pairs currently *at* the max, so increments are O(1) and the
+//!   O(q²) rescan only happens when the last maximal pair is removed;
+//! - **per-switch order-edge counts** `order_edges[a*q + b]` — the number
+//!   of dependency edges forcing switch `a` before switch `b`; a Kahn pass
+//!   over the q×q matrix runs only when an edge count crosses 0↔1 in the
+//!   direction that could flip acyclicity;
+//! - **occupancy** — per-switch node counts and used capacity, with the
+//!   capacity snapped back to exactly `0.0` when a switch empties so
+//!   floating-point residue cannot leak across branches.
+//!
+//! All buffers (CSR adjacency, the two q×q matrices, Kahn scratch) are
+//! allocated at construction; steady-state `place`/`unplace` perform no
+//! heap allocation.
+
+use hermes_tdg::Tdg;
+
+/// Marker for an unplaced node in [`IncrementalEval::assignment`].
+pub const UNASSIGNED: usize = usize::MAX;
+
+/// Incrementally maintained evaluation state for a (partial) assignment of
+/// TDG nodes to `q` switch slots.
+///
+/// Slots are dense indices `0..q`; mapping them to concrete
+/// [`hermes_net::SwitchId`]s is the caller's concern (the exact solver uses
+/// its candidate array, the refiner the plan's switch list).
+#[derive(Debug, Clone)]
+pub struct IncrementalEval {
+    q: usize,
+    /// CSR over in-edges: for node `v`, `in_adj[in_off[v]..in_off[v+1]]`
+    /// holds `(u, bytes)` for each TDG edge `u -> v`.
+    in_off: Vec<u32>,
+    in_adj: Vec<(u32, u32)>,
+    /// CSR over out-edges, same layout.
+    out_off: Vec<u32>,
+    out_adj: Vec<(u32, u32)>,
+    resource: Vec<f64>,
+    assign: Vec<usize>,
+    used_capacity: Vec<f64>,
+    nodes_on: Vec<u32>,
+    occupied: usize,
+    pair_bytes: Vec<u64>,
+    order_edges: Vec<u32>,
+    amax: u64,
+    at_max: u32,
+    acyclic: bool,
+    // Kahn scratch, reused across checks.
+    kahn_indegree: Vec<u32>,
+    kahn_stack: Vec<u32>,
+}
+
+impl IncrementalEval {
+    /// Builds an empty evaluator for placing `tdg`'s nodes onto `q` slots.
+    pub fn new(tdg: &Tdg, q: usize) -> Self {
+        let n = tdg.node_count();
+        let mut in_off = vec![0u32; n + 1];
+        let mut out_off = vec![0u32; n + 1];
+        for e in tdg.edges() {
+            in_off[e.to.index() + 1] += 1;
+            out_off[e.from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_off[i + 1] += in_off[i];
+            out_off[i + 1] += out_off[i];
+        }
+        let mut in_adj = vec![(0u32, 0u32); tdg.edge_count()];
+        let mut out_adj = vec![(0u32, 0u32); tdg.edge_count()];
+        let mut in_cursor = in_off.clone();
+        let mut out_cursor = out_off.clone();
+        for e in tdg.edges() {
+            let (u, v) = (e.from.index(), e.to.index());
+            let uc = u32::try_from(u).expect("node count fits u32");
+            let vc = u32::try_from(v).expect("node count fits u32");
+            in_adj[in_cursor[v] as usize] = (uc, e.bytes);
+            in_cursor[v] += 1;
+            out_adj[out_cursor[u] as usize] = (vc, e.bytes);
+            out_cursor[u] += 1;
+        }
+        IncrementalEval {
+            q,
+            in_off,
+            in_adj,
+            out_off,
+            out_adj,
+            resource: tdg.nodes().iter().map(|nd| nd.mat.resource()).collect(),
+            assign: vec![UNASSIGNED; n],
+            used_capacity: vec![0.0; q],
+            nodes_on: vec![0; q],
+            occupied: 0,
+            pair_bytes: vec![0; q * q],
+            order_edges: vec![0; q * q],
+            amax: 0,
+            at_max: 0,
+            acyclic: true,
+            kahn_indegree: vec![0; q],
+            kahn_stack: Vec::with_capacity(q),
+        }
+    }
+
+    /// Number of switch slots.
+    pub fn slots(&self) -> usize {
+        self.q
+    }
+
+    /// The running objective: the largest per-ordered-pair byte total.
+    pub fn amax(&self) -> u64 {
+        self.amax
+    }
+
+    /// `true` iff the switch-order relation induced by cross-switch
+    /// dependency edges is acyclic (a deployable assignment).
+    pub fn is_acyclic(&self) -> bool {
+        self.acyclic
+    }
+
+    /// Number of slots currently holding at least one node.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Number of nodes on slot `c`.
+    pub fn nodes_on(&self, c: usize) -> u32 {
+        self.nodes_on[c]
+    }
+
+    /// Total resource of the nodes on slot `c`.
+    pub fn used_capacity(&self, c: usize) -> f64 {
+        self.used_capacity[c]
+    }
+
+    /// The current node -> slot assignment ([`UNASSIGNED`] = unplaced).
+    pub fn assignment(&self) -> &[usize] {
+        &self.assign
+    }
+
+    /// Cross-pair byte total for the ordered slot pair `(a, b)`.
+    pub fn pair_bytes(&self, a: usize, b: usize) -> u64 {
+        self.pair_bytes[a * self.q + b]
+    }
+
+    /// Places `node` on slot `c`, updating all derived state in
+    /// O(degree(node)) (plus a q×q Kahn pass only when a new switch-order
+    /// edge appears while the relation was acyclic).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `node` is already placed.
+    pub fn place(&mut self, node: usize, c: usize) {
+        debug_assert_eq!(self.assign[node], UNASSIGNED, "node {node} already placed");
+        self.assign[node] = c;
+        self.used_capacity[c] += self.resource[node];
+        self.nodes_on[c] += 1;
+        if self.nodes_on[c] == 1 {
+            self.occupied += 1;
+        }
+        let mut order_added = false;
+        for i in self.in_off[node]..self.in_off[node + 1] {
+            let (u, bytes) = self.in_adj[i as usize];
+            let uc = self.assign[u as usize];
+            if uc != UNASSIGNED && uc != c {
+                order_added |= self.add_edge(uc, c, bytes);
+            }
+        }
+        for i in self.out_off[node]..self.out_off[node + 1] {
+            let (v, bytes) = self.out_adj[i as usize];
+            let vc = self.assign[v as usize];
+            if vc != UNASSIGNED && vc != c {
+                order_added |= self.add_edge(c, vc, bytes);
+            }
+        }
+        // A fresh order edge is the only way an acyclic relation can gain a
+        // cycle; adding bytes to existing edges never changes reachability.
+        if order_added && self.acyclic {
+            self.acyclic = self.kahn_acyclic();
+        }
+    }
+
+    /// Reverts [`IncrementalEval::place`] for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `node` is not placed.
+    pub fn unplace(&mut self, node: usize) {
+        let c = self.assign[node];
+        debug_assert_ne!(c, UNASSIGNED, "node {node} not placed");
+        self.assign[node] = UNASSIGNED;
+        self.used_capacity[c] -= self.resource[node];
+        self.nodes_on[c] -= 1;
+        if self.nodes_on[c] == 0 {
+            self.occupied -= 1;
+            // Snap accumulated floating-point residue to a clean zero so
+            // emptiness tests (`used_capacity == 0.0`) stay exact.
+            self.used_capacity[c] = 0.0;
+        }
+        let mut order_removed = false;
+        for i in self.in_off[node]..self.in_off[node + 1] {
+            let (u, bytes) = self.in_adj[i as usize];
+            let uc = self.assign[u as usize];
+            if uc != UNASSIGNED && uc != c {
+                order_removed |= self.remove_edge(uc, c, bytes);
+            }
+        }
+        for i in self.out_off[node]..self.out_off[node + 1] {
+            let (v, bytes) = self.out_adj[i as usize];
+            let vc = self.assign[v as usize];
+            if vc != UNASSIGNED && vc != c {
+                order_removed |= self.remove_edge(c, vc, bytes);
+            }
+        }
+        // Losing an order edge is the only way a cyclic relation can
+        // become acyclic again.
+        if order_removed && !self.acyclic {
+            self.acyclic = self.kahn_acyclic();
+        }
+    }
+
+    /// Adds one dependency edge to ordered pair `(a, b)`; returns `true`
+    /// iff this created the pair's first order edge.
+    fn add_edge(&mut self, a: usize, b: usize, bytes: u32) -> bool {
+        let idx = a * self.q + b;
+        self.order_edges[idx] += 1;
+        if bytes > 0 {
+            let new = self.pair_bytes[idx] + u64::from(bytes);
+            self.pair_bytes[idx] = new;
+            if new > self.amax {
+                self.amax = new;
+                self.at_max = 1;
+            } else if new == self.amax {
+                // The pair arrived at the max (it was strictly below).
+                self.at_max += 1;
+            }
+        }
+        self.order_edges[idx] == 1
+    }
+
+    /// Removes one dependency edge from ordered pair `(a, b)`; returns
+    /// `true` iff this removed the pair's last order edge.
+    fn remove_edge(&mut self, a: usize, b: usize, bytes: u32) -> bool {
+        let idx = a * self.q + b;
+        self.order_edges[idx] -= 1;
+        if bytes > 0 {
+            let old = self.pair_bytes[idx];
+            self.pair_bytes[idx] = old - u64::from(bytes);
+            if old == self.amax {
+                self.at_max -= 1;
+                if self.at_max == 0 {
+                    self.rescan_max();
+                }
+            }
+        }
+        self.order_edges[idx] == 0
+    }
+
+    /// Full O(q²) rescan of the byte matrix; only reached when the last
+    /// pair at the maximum dropped below it.
+    fn rescan_max(&mut self) {
+        self.amax = 0;
+        self.at_max = 0;
+        for &b in &self.pair_bytes {
+            if b > self.amax {
+                self.amax = b;
+                self.at_max = 1;
+            } else if b == self.amax && b > 0 {
+                self.at_max += 1;
+            }
+        }
+        if self.amax == 0 {
+            self.at_max = 0;
+        }
+    }
+
+    /// Kahn's algorithm over the q×q order-edge matrix, using the
+    /// preallocated scratch buffers.
+    fn kahn_acyclic(&mut self) -> bool {
+        let q = self.q;
+        self.kahn_stack.clear();
+        for b in 0..q {
+            let mut indeg = 0u32;
+            for a in 0..q {
+                if self.order_edges[a * q + b] > 0 {
+                    indeg += 1;
+                }
+            }
+            self.kahn_indegree[b] = indeg;
+            if indeg == 0 {
+                self.kahn_stack.push(u32::try_from(b).expect("slot count fits u32"));
+            }
+        }
+        let mut visited = 0usize;
+        while let Some(a) = self.kahn_stack.pop() {
+            visited += 1;
+            let a = a as usize;
+            for b in 0..q {
+                if self.order_edges[a * q + b] > 0 {
+                    self.kahn_indegree[b] -= 1;
+                    if self.kahn_indegree[b] == 0 {
+                        self.kahn_stack.push(u32::try_from(b).expect("slot count fits u32"));
+                    }
+                }
+            }
+        }
+        visited == q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::chain_tdg;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::fields::Field;
+    use hermes_dataplane::mat::{Mat, MatchKind};
+    use hermes_dataplane::program::Program;
+    use hermes_tdg::AnalysisMode;
+
+    /// Reference objective: recompute the pair matrix from scratch.
+    fn scratch_amax(tdg: &Tdg, assign: &[usize], q: usize) -> u64 {
+        let mut pair = vec![0u64; q * q];
+        for e in tdg.edges() {
+            let (a, b) = (assign[e.from.index()], assign[e.to.index()]);
+            if a != UNASSIGNED && b != UNASSIGNED && a != b {
+                pair[a * q + b] += u64::from(e.bytes);
+            }
+        }
+        pair.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Reference acyclicity: Kahn over the from-scratch order matrix.
+    fn scratch_acyclic(tdg: &Tdg, assign: &[usize], q: usize) -> bool {
+        let mut edges = vec![false; q * q];
+        for e in tdg.edges() {
+            let (a, b) = (assign[e.from.index()], assign[e.to.index()]);
+            if a != UNASSIGNED && b != UNASSIGNED && a != b {
+                edges[a * q + b] = true;
+            }
+        }
+        let mut indeg = vec![0u32; q];
+        for a in 0..q {
+            for b in 0..q {
+                if edges[a * q + b] {
+                    indeg[b] += 1;
+                }
+            }
+        }
+        let mut stack: Vec<usize> = (0..q).filter(|&b| indeg[b] == 0).collect();
+        let mut seen = 0;
+        while let Some(a) = stack.pop() {
+            seen += 1;
+            for b in 0..q {
+                if edges[a * q + b] {
+                    indeg[b] -= 1;
+                    if indeg[b] == 0 {
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+        seen == q
+    }
+
+    fn check_against_reference(eval: &IncrementalEval, tdg: &Tdg, q: usize) {
+        assert_eq!(eval.amax(), scratch_amax(tdg, eval.assignment(), q));
+        assert_eq!(eval.is_acyclic(), scratch_acyclic(tdg, eval.assignment(), q));
+    }
+
+    #[test]
+    fn chain_split_objective_matches_reference() {
+        let tdg = chain_tdg(&[3, 7, 5], 0.2);
+        let q = 2;
+        let mut eval = IncrementalEval::new(&tdg, q);
+        eval.place(0, 0);
+        eval.place(1, 0);
+        eval.place(2, 1);
+        eval.place(3, 1);
+        assert_eq!(eval.amax(), 7);
+        assert!(eval.is_acyclic());
+        assert_eq!(eval.occupied(), 2);
+        check_against_reference(&eval, &tdg, q);
+        eval.unplace(2);
+        check_against_reference(&eval, &tdg, q);
+        eval.place(2, 0);
+        assert_eq!(eval.amax(), 5);
+        check_against_reference(&eval, &tdg, q);
+    }
+
+    #[test]
+    fn unplace_restores_previous_state_exactly() {
+        let tdg = chain_tdg(&[4, 4, 4, 4], 0.2);
+        let q = 3;
+        let mut eval = IncrementalEval::new(&tdg, q);
+        for (node, c) in [(0usize, 0usize), (1, 1), (2, 2), (3, 0)] {
+            eval.place(node, c);
+        }
+        let before = (eval.amax(), eval.is_acyclic(), eval.occupied());
+        eval.place(4, 1);
+        eval.unplace(4);
+        assert_eq!((eval.amax(), eval.is_acyclic(), eval.occupied()), before);
+        check_against_reference(&eval, &tdg, q);
+    }
+
+    #[test]
+    fn cycle_detected_and_cleared() {
+        // a -> b with a on s0, b on s1 gives order s0 < s1; putting a
+        // second edge c -> d with c on s1, d on s0 closes the cycle.
+        let mut b = Program::builder("p");
+        for (i, (m, w)) in
+            [(None, Some("x")), (Some("x"), None), (None, Some("y")), (Some("y"), None)]
+                .into_iter()
+                .enumerate()
+        {
+            let mut mat = Mat::builder(format!("t{i}")).resource(0.1);
+            if let Some(name) = m {
+                mat = mat.match_field(Field::metadata(name.to_owned(), 4), MatchKind::Exact);
+            }
+            let writes = w.map(|n| vec![Field::metadata(n.to_owned(), 4)]).unwrap_or_default();
+            mat = mat.action(Action::writing("w", writes));
+            b = b.table(mat.build().unwrap());
+        }
+        let tdg = Tdg::from_program(&b.build().unwrap(), AnalysisMode::PaperLiteral);
+        assert_eq!(tdg.edge_count(), 2);
+        let q = 2;
+        let mut eval = IncrementalEval::new(&tdg, q);
+        eval.place(0, 0);
+        eval.place(1, 1); // order s0 < s1
+        eval.place(2, 1);
+        assert!(eval.is_acyclic());
+        eval.place(3, 0); // order s1 < s0: cycle
+        assert!(!eval.is_acyclic());
+        check_against_reference(&eval, &tdg, q);
+        eval.unplace(3);
+        assert!(eval.is_acyclic());
+        check_against_reference(&eval, &tdg, q);
+    }
+
+    #[test]
+    fn emptied_slot_capacity_snaps_to_zero() {
+        let tdg = chain_tdg(&[4], 0.3);
+        let mut eval = IncrementalEval::new(&tdg, 2);
+        eval.place(0, 1);
+        eval.place(1, 1);
+        eval.unplace(0);
+        eval.unplace(1);
+        assert_eq!(eval.used_capacity(1), 0.0);
+        assert_eq!(eval.occupied(), 0);
+    }
+
+    #[test]
+    fn randomized_place_unplace_matches_scratch_reference() {
+        // Deterministic LCG over a star-ish TDG; every step cross-checks.
+        let tdg = chain_tdg(&[2, 9, 4, 1, 6, 3], 0.1);
+        let n = tdg.node_count();
+        let q = 3;
+        let mut eval = IncrementalEval::new(&tdg, q);
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for _ in 0..500 {
+            let node = rng() % n;
+            if eval.assignment()[node] == UNASSIGNED {
+                eval.place(node, rng() % q);
+            } else {
+                eval.unplace(node);
+            }
+            check_against_reference(&eval, &tdg, q);
+        }
+    }
+}

@@ -8,9 +8,18 @@
 //!
 //! - the running `A_max` is monotone in the partial assignment, so any
 //!   partial plan at or above the incumbent is cut;
-//! - per-switch resource totals are tracked incrementally;
-//! - the switch-level dependency graph must stay acyclic (packets never
-//!   recirculate through a switch), checked incrementally;
+//! - all per-step bookkeeping (pair bytes, the running `A_max`, per-switch
+//!   occupancy, switch-order acyclicity) lives in one shared
+//!   [`IncrementalEval`] updated in O(delta) per place/unplace;
+//! - each candidate switch carries a live incremental pipeline packing
+//!   with exact-snapshot undo (`Packing::push_logged` / `revert`): because
+//!   nodes are assigned in topological order, the per-switch packed state
+//!   is exactly the prefix of a full repack, so pushing the node *is* the
+//!   stage-feasibility check and rejects precisely the subtrees whose
+//!   leaves would fail stage assignment — no accepted leaf changes;
+//! - under an infinite latency bound with fully routable candidates,
+//!   leaves are accepted from the evaluator's running objective alone,
+//!   without materializing a plan;
 //! - identical switches under loose ε-bounds are interchangeable, so the
 //!   search only ever opens one fresh switch at a time (symmetry breaking);
 //! - the pruning bound is the *minimum* of the solver's own best leaf and
@@ -25,9 +34,10 @@
 //! experiment (Exp#3) uses to flag timed-out ILP-style runs.
 
 use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute};
+use crate::eval::IncrementalEval;
 use crate::heuristic::GreedyHeuristic;
 use crate::solver::{SearchContext, SolveOutcome, SolveStats, Solver, DEFAULT_DEPLOY_BUDGET};
-use crate::stage_assign::assign_stages;
+use crate::stage_assign::{assign_stages, Packing};
 use hermes_net::{shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::BTreeSet;
@@ -139,6 +149,23 @@ impl Solver for OptimalSolver {
                 a.stages == b.stages && (a.stage_capacity - b.stage_capacity).abs() < 1e-12
             });
 
+        // Leaf fast path precondition: with no latency bound and every
+        // ordered candidate pair routable, a stage-feasible full assignment
+        // is always materializable, so leaves can be scored from the
+        // evaluator's running objective without building a plan.
+        let all_pairs_routable = (0..q).all(|a| {
+            (0..q).all(|b| a == b || shortest_path(net, candidates[a], candidates[b]).is_some())
+        });
+        let total_caps: Vec<f64> =
+            candidates.iter().map(|&id| net.switch(id).total_capacity()).collect();
+        let packings: Vec<Packing> = candidates
+            .iter()
+            .map(|&id| {
+                let sw = net.switch(id);
+                Packing::new(sw.stages, sw.stage_capacity, tdg.node_count())
+            })
+            .collect();
+
         let mut search = Search {
             tdg,
             net,
@@ -146,11 +173,11 @@ impl Solver for OptimalSolver {
             order: &order,
             candidates: &candidates,
             symmetric,
-            assign: vec![usize::MAX; tdg.node_count()],
-            used_capacity: vec![0.0; q],
-            pair_bytes: vec![0u64; q * q],
-            order_edges: vec![0u32; q * q],
-            current_max: 0,
+            fast_leaves: eps.max_latency_us.is_infinite() && all_pairs_routable,
+            total_caps,
+            eval: IncrementalEval::new(tdg, q),
+            packings,
+            stage_log: Vec::with_capacity(64),
             best: seed_plan.as_ref().map(|(obj, _)| *obj).unwrap_or(u64::MAX),
             best_assign: None,
             explored: 0,
@@ -220,11 +247,19 @@ struct Search<'a> {
     order: &'a [NodeId],
     candidates: &'a [SwitchId],
     symmetric: bool,
-    assign: Vec<usize>,
-    used_capacity: Vec<f64>,
-    pair_bytes: Vec<u64>,
-    order_edges: Vec<u32>,
-    current_max: u64,
+    /// Leaves may be scored from `eval.amax()` without materializing.
+    fast_leaves: bool,
+    /// Per-candidate `stages * stage_capacity`.
+    total_caps: Vec<f64>,
+    eval: IncrementalEval,
+    /// Per-candidate incremental pipeline state: nodes reach each switch
+    /// in topological order, so the packed state always equals the prefix
+    /// state of a full repack — pushing is the exact stage-feasibility
+    /// check for the grown set, with O(slices) undo.
+    packings: Vec<Packing>,
+    /// Shared undo log for [`Packing::push_logged`]; each DFS frame
+    /// remembers its base index and reverts to it.
+    stage_log: Vec<(u32, f64)>,
     best: u64,
     best_assign: Option<Vec<usize>>,
     explored: u64,
@@ -244,11 +279,14 @@ impl Search<'_> {
             return;
         }
         self.explored += 1;
-        if self.ctx.should_stop() {
+        // Deadline checks are amortized: `Instant::now` costs more than a
+        // whole branch step, so poll at the root (catches an already
+        // expired budget) and then every 64 nodes.
+        if (self.explored == 1 || self.explored & 0x3F == 0) && self.ctx.should_stop() {
             self.stopped = true;
             return;
         }
-        if self.current_max >= self.bound() {
+        if self.eval.amax() >= self.bound() {
             return; // the running A_max only ever grows
         }
         if depth == self.order.len() {
@@ -260,107 +298,65 @@ impl Search<'_> {
         let resource = self.tdg.node(node).mat.resource();
 
         // Symmetry breaking: only the first unused switch may be opened.
-        let used_switches: usize = if self.symmetric {
-            self.assign[..].iter().filter(|&&a| a != usize::MAX).collect::<BTreeSet<_>>().len()
-        } else {
-            0
-        };
+        let used_switches = if self.symmetric { self.eval.occupied() } else { 0 };
 
         for c in 0..q {
             if self.symmetric && c > used_switches {
                 break;
             }
-            let sw = self.net.switch(self.candidates[c]);
-            if self.used_capacity[c] + resource > sw.total_capacity() + 1e-9 {
+            if self.eval.used_capacity(c) + resource > self.total_caps[c] + 1e-9 {
                 continue;
             }
             // ε₂: opening a new switch must stay within the bound.
-            let opens_new = self.used_capacity[c] == 0.0;
-            if opens_new {
-                let occupied = self.used_capacity.iter().filter(|&&u| u > 0.0).count();
-                if occupied + 1 > self.eps.max_switches {
-                    continue;
-                }
+            if self.eval.nodes_on(c) == 0 && self.eval.occupied() + 1 > self.eps.max_switches {
+                continue;
             }
-
-            // Collect the cross-switch deltas this choice induces.
-            let mut delta: Vec<(usize, u64)> = Vec::new();
-            for e in self.tdg.in_edges(node) {
-                let p = self.assign[e.from.index()];
-                if p == usize::MAX || p == c {
-                    continue;
-                }
-                delta.push((p * q + c, u64::from(e.bytes)));
-            }
-
-            // Apply order edges, then require the switch DAG to stay
-            // acyclic (no packet recirculation through a switch).
-            for &(key, _) in &delta {
-                self.order_edges[key] += 1;
-            }
-            if !self.switch_dag_acyclic() {
-                for &(key, _) in &delta {
-                    self.order_edges[key] -= 1;
-                }
+            // Stage-feasibility prune: pushing onto the switch's live
+            // packing is the exact check (its state equals the prefix
+            // state of a full repack), cutting precisely the subtrees
+            // whose leaves would fail `materialize`. A failed push rolls
+            // itself back and leaves the log untouched.
+            let log_base = self.stage_log.len();
+            if !self.packings[c].push_logged(self.tdg, node, &mut self.stage_log) {
                 continue;
             }
 
-            let old_max = self.current_max;
-            for &(key, bytes) in &delta {
-                self.pair_bytes[key] += bytes;
-                self.current_max = self.current_max.max(self.pair_bytes[key]);
+            self.eval.place(node.index(), c);
+            // The switch DAG must stay acyclic (no packet recirculation
+            // through a switch).
+            if !self.eval.is_acyclic() {
+                self.eval.unplace(node.index());
+                self.packings[c].revert(node, &mut self.stage_log, log_base);
+                continue;
             }
-            self.used_capacity[c] += resource;
-            self.assign[node.index()] = c;
 
             self.dfs(depth + 1);
 
             // Undo.
-            self.assign[node.index()] = usize::MAX;
-            self.used_capacity[c] -= resource;
-            for &(key, bytes) in &delta {
-                self.pair_bytes[key] -= bytes;
-                self.order_edges[key] -= 1;
-            }
-            self.current_max = old_max;
+            self.eval.unplace(node.index());
+            self.packings[c].revert(node, &mut self.stage_log, log_base);
             if self.stopped {
                 return;
             }
         }
     }
 
-    /// Kahn acyclicity check over the switch-level order edges. `q` is
-    /// tiny (bounded by the programmable switch count), so O(q²) is fine.
-    #[allow(clippy::needless_range_loop)] // `v` indexes both `indegree` and the flat edge matrix
-    fn switch_dag_acyclic(&self) -> bool {
-        let q = self.candidates.len();
-        let mut indegree = vec![0u32; q];
-        for u in 0..q {
-            for v in 0..q {
-                if self.order_edges[u * q + v] > 0 {
-                    indegree[v] += 1;
-                }
-            }
-        }
-        let mut stack: Vec<usize> = (0..q).filter(|&v| indegree[v] == 0).collect();
-        let mut seen = 0usize;
-        while let Some(u) = stack.pop() {
-            seen += 1;
-            for v in 0..q {
-                if self.order_edges[u * q + v] > 0 {
-                    indegree[v] -= 1;
-                    if indegree[v] == 0 {
-                        stack.push(v);
-                    }
-                }
-            }
-        }
-        seen == q
-    }
-
     fn accept_leaf(&mut self) {
+        if self.fast_leaves {
+            // Stage feasibility was enforced on every step and all routes
+            // exist, so the assignment is materializable by construction
+            // and the evaluator's running maximum *is* the plan objective.
+            let objective = self.eval.amax();
+            if objective < self.bound() {
+                self.best = objective;
+                self.best_assign = Some(self.eval.assignment().to_vec());
+                self.ctx.publish_incumbent(objective);
+            }
+            return;
+        }
         // Full assignment below the incumbent: validate stages + routes.
-        let Some(plan) = materialize(self.tdg, self.net, self.candidates, &self.assign) else {
+        let Some(plan) = materialize(self.tdg, self.net, self.candidates, self.eval.assignment())
+        else {
             return;
         };
         if plan.end_to_end_latency_us() > self.eps.max_latency_us {
@@ -369,7 +365,7 @@ impl Search<'_> {
         let objective = plan.max_inter_switch_bytes(self.tdg);
         if objective < self.bound() {
             self.best = objective;
-            self.best_assign = Some(self.assign.clone());
+            self.best_assign = Some(self.eval.assignment().to_vec());
             self.ctx.publish_incumbent(objective);
         }
     }

@@ -14,7 +14,8 @@
 
 use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanRoute};
 use crate::solver::{SearchContext, SolveOutcome, SolveStats, Solver};
-use crate::stage_assign::{assign_stages, fits_total_capacity, stage_feasible};
+use crate::stage_assign::{assign_stages, fits_total_capacity};
+use crate::stage_cache::StageFeasCache;
 use hermes_net::{nearest_programmable, shortest_path, Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::BTreeSet;
@@ -87,8 +88,11 @@ impl GreedyHeuristic {
         let order = placement_order(tdg);
         let all: BTreeSet<NodeId> = tdg.node_ids().collect();
         let mut segments = Vec::new();
-        self.split_rec(tdg, &order, all, stages, stage_capacity, &mut segments, 0)?;
-        Ok(coalesce(tdg, segments, stages, stage_capacity))
+        // One feasibility cache across the recursion *and* the coalescing
+        // pass: the bisection re-probes the same node sets at many depths.
+        let mut cache = StageFeasCache::new(tdg);
+        self.split_rec(tdg, &order, all, stages, stage_capacity, &mut segments, 0, &mut cache)?;
+        Ok(coalesce(tdg, segments, stages, stage_capacity, &mut cache))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -101,6 +105,7 @@ impl GreedyHeuristic {
         stage_capacity: f64,
         out: &mut Vec<BTreeSet<NodeId>>,
         depth: u64,
+        cache: &mut StageFeasCache,
     ) -> Result<(), DeployError> {
         if nodes.is_empty() {
             return Ok(());
@@ -108,7 +113,7 @@ impl GreedyHeuristic {
         // Algorithm 2 line 2: resource fit — tightened with a stage-assignment
         // probe so every returned segment is actually deployable.
         if fits_total_capacity(tdg, &nodes, stages, stage_capacity)
-            && stage_feasible(tdg, &nodes, stages, stage_capacity)
+            && cache.feasible_set(tdg, stages, stage_capacity, &nodes)
         {
             out.push(nodes);
             return Ok(());
@@ -166,8 +171,8 @@ impl GreedyHeuristic {
         let cut = cut.clamp(1, n - 1);
         let left: BTreeSet<NodeId> = local[..cut].iter().copied().collect();
         let right: BTreeSet<NodeId> = local[cut..].iter().copied().collect();
-        self.split_rec(tdg, topo, left, stages, stage_capacity, out, depth * 2 + 1)?;
-        self.split_rec(tdg, topo, right, stages, stage_capacity, out, depth * 2 + 2)?;
+        self.split_rec(tdg, topo, left, stages, stage_capacity, out, depth * 2 + 1, cache)?;
+        self.split_rec(tdg, topo, right, stages, stage_capacity, out, depth * 2 + 2, cache)?;
         Ok(())
     }
 }
@@ -306,10 +311,13 @@ impl GreedyHeuristic {
         thresholds.sort_unstable();
         thresholds.dedup();
 
+        // RefCell because both closures below need the memoized cache: the
+        // binary search re-probes many (from, to) ranges across thresholds.
+        let cache = std::cell::RefCell::new(StageFeasCache::new(tdg));
         let feasible_range = |from: usize, to: usize| -> bool {
             let set: BTreeSet<NodeId> = order[from..to].iter().copied().collect();
             fits_total_capacity(tdg, &set, stages, stage_capacity)
-                && stage_feasible(tdg, &set, stages, stage_capacity)
+                && cache.borrow_mut().feasible_set(tdg, stages, stage_capacity, &set)
         };
         // Greedy check: extend each segment as far as possible, ending only
         // at boundaries within the cost threshold. Feasibility of a range
@@ -371,6 +379,7 @@ fn coalesce(
     segments: Vec<BTreeSet<NodeId>>,
     stages: usize,
     stage_capacity: f64,
+    cache: &mut StageFeasCache,
 ) -> Vec<BTreeSet<NodeId>> {
     let mut out: Vec<BTreeSet<NodeId>> = Vec::with_capacity(segments.len());
     for seg in segments {
@@ -378,7 +387,7 @@ fn coalesce(
             let mut union = last.clone();
             union.extend(seg.iter().copied());
             if fits_total_capacity(tdg, &union, stages, stage_capacity)
-                && stage_feasible(tdg, &union, stages, stage_capacity)
+                && cache.feasible_set(tdg, stages, stage_capacity, &union)
             {
                 *last = union;
                 continue;
@@ -560,26 +569,30 @@ impl GreedyHeuristic {
         let candidates = net.programmable_switches();
         let mut assign = vec![usize::MAX; tdg.node_count()];
         let mut current = 0usize;
-        let mut on_current: BTreeSet<NodeId> = BTreeSet::new();
+        // The level order is a topological order, so every probe is an
+        // incremental "current switch ∪ {id}" extension — the cache's
+        // fast path — instead of a from-scratch repack per node.
+        let mut cache = StageFeasCache::new(tdg);
+        let mut words = vec![0u64; cache.word_len()];
+        let mut on_current = 0usize;
         for &id in &nodes {
             loop {
                 if current >= candidates.len() || current >= eps.max_switches {
                     return None;
                 }
                 let sw = net.switch(candidates[current]);
-                let mut attempt = on_current.clone();
-                attempt.insert(id);
-                if crate::stage_assign::stage_feasible(tdg, &attempt, sw.stages, sw.stage_capacity)
-                {
-                    on_current = attempt;
+                if cache.feasible_with(tdg, sw.stages, sw.stage_capacity, &words, id) {
+                    words[id.index() / 64] |= 1u64 << (id.index() % 64);
+                    on_current += 1;
                     assign[id.index()] = current;
                     break;
                 }
-                if on_current.is_empty() {
+                if on_current == 0 {
                     return None; // a single MAT that fits no empty switch
                 }
                 current += 1;
-                on_current.clear();
+                words.iter_mut().for_each(|w| *w = 0);
+                on_current = 0;
             }
         }
         let plan = crate::exact::materialize(tdg, net, &candidates, &assign)?;

@@ -42,6 +42,7 @@
 
 pub mod analyzer;
 pub mod deployment;
+pub mod eval;
 pub mod exact;
 pub mod heuristic;
 pub mod incremental;
@@ -50,6 +51,7 @@ pub mod refine;
 pub mod report;
 pub mod solver;
 pub mod stage_assign;
+pub mod stage_cache;
 pub mod test_support;
 pub mod verify;
 
@@ -58,6 +60,7 @@ pub use deployment::{
     DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon, PlanMetrics, PlanRoute,
     StagePlacement,
 };
+pub use eval::IncrementalEval;
 pub use exact::{materialize, OptimalSolver};
 pub use heuristic::{placement_order, GreedyHeuristic, SplitStrategy};
 pub use incremental::{IncrementalDeployer, IncrementalOutcome, RedeployOptions};
@@ -69,4 +72,5 @@ pub use solver::{
     SolveStats, Solver, DEFAULT_DEPLOY_BUDGET, NO_BOUND,
 };
 pub use stage_assign::{assign_stages, fits_total_capacity, stage_feasible, StageAssignError};
+pub use stage_cache::{StageCacheStats, StageFeasCache};
 pub use verify::{verify, Violation};

@@ -11,8 +11,9 @@
 //! first-fit feasibility fallback.
 
 use crate::deployment::{DeploymentPlan, Epsilon};
+use crate::eval::IncrementalEval;
 use crate::exact::materialize;
-use crate::stage_assign::stage_feasible;
+use crate::stage_cache::StageFeasCache;
 use hermes_net::{Network, SwitchId};
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::{BTreeMap, BTreeSet};
@@ -20,6 +21,12 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Refines `plan` by single-node moves between its occupied switches.
 /// Returns the improved plan, or the original when no strictly improving
 /// move exists (or the plan has unplaced nodes).
+///
+/// Each trial move is evaluated through the shared hot-path machinery: the
+/// [`IncrementalEval`] updates the objective and switch-DAG acyclicity in
+/// O(degree) per move/revert, and per-switch stage feasibility goes through
+/// a memoized [`StageFeasCache`] — re-probing a set seen in an earlier
+/// trial is a hash hit instead of a repack.
 pub fn refine(
     tdg: &Tdg,
     net: &Network,
@@ -42,59 +49,27 @@ pub fn refine(
     }
 
     let q = candidates.len();
-    let amax = |assign: &[usize]| -> u64 {
-        let mut pair = vec![0u64; q * q];
-        let mut best = 0;
-        for e in tdg.edges() {
-            let (u, v) = (assign[e.from.index()], assign[e.to.index()]);
-            if u != v {
-                let slot = &mut pair[u * q + v];
-                *slot += u64::from(e.bytes);
-                best = best.max(*slot);
-            }
-        }
-        best
-    };
-    let feasible_switch = |assign: &[usize], c: usize| -> bool {
-        let set: BTreeSet<NodeId> = tdg.node_ids().filter(|id| assign[id.index()] == c).collect();
-        let sw = net.switch(candidates[c]);
-        stage_feasible(tdg, &set, sw.stages, sw.stage_capacity)
-    };
-    let acyclic = |assign: &[usize]| -> bool {
-        let mut indegree = vec![0usize; q];
-        let mut adj = vec![BTreeSet::new(); q];
-        for e in tdg.edges() {
-            let (u, v) = (assign[e.from.index()], assign[e.to.index()]);
-            if u != v && adj[u].insert(v) {
-                indegree[v] += 1;
-            }
-        }
-        let mut stack: Vec<usize> = (0..q).filter(|&i| indegree[i] == 0).collect();
-        let mut seen = 0;
-        while let Some(u) = stack.pop() {
-            seen += 1;
-            for &v in &adj[u] {
-                indegree[v] -= 1;
-                if indegree[v] == 0 {
-                    stack.push(v);
-                }
-            }
-        }
-        seen == q
-    };
+    let shapes: Vec<(usize, f64)> = candidates
+        .iter()
+        .map(|&id| {
+            let sw = net.switch(id);
+            (sw.stages, sw.stage_capacity)
+        })
+        .collect();
+    let mut eval = IncrementalEval::new(tdg, q);
+    let mut cache = StageFeasCache::new(tdg);
+    let word_len = cache.word_len();
+    let mut switch_words = vec![vec![0u64; word_len]; q];
+    for (node, &c) in assign.iter().enumerate() {
+        eval.place(node, c);
+        switch_words[c][node / 64] |= 1u64 << (node % 64);
+    }
 
-    let mut current = amax(&assign);
+    let mut current = eval.amax();
     let mut moves = 0usize;
     while current > 0 && moves < max_moves {
         // The worst pair and the nodes whose edges feed it.
-        let mut pair = vec![0u64; q * q];
-        for e in tdg.edges() {
-            let (u, v) = (assign[e.from.index()], assign[e.to.index()]);
-            if u != v {
-                pair[u * q + v] += u64::from(e.bytes);
-            }
-        }
-        let worst = (0..q * q).max_by_key(|&k| pair[k]).expect("q >= 2");
+        let worst = (0..q * q).max_by_key(|&k| eval.pair_bytes(k / q, k % q)).expect("q >= 2");
         let (wu, wv) = (worst / q, worst % q);
         // Candidate movers: endpoints of edges crossing (wu, wv).
         let mut movers: BTreeSet<NodeId> = BTreeSet::new();
@@ -106,24 +81,37 @@ pub fn refine(
         }
         let mut improved = false;
         'search: for &node in &movers {
-            let home = assign[node.index()];
+            let n = node.index();
+            let home = assign[n];
             for target in 0..q {
                 if target == home {
                     continue;
                 }
-                let mut trial = assign.clone();
-                trial[node.index()] = target;
-                let gain = amax(&trial);
-                if gain >= current {
+                // Trial: move the node, score, and check feasibility; on
+                // rejection the move is reverted in O(degree).
+                eval.unplace(n);
+                eval.place(n, target);
+                switch_words[home][n / 64] &= !(1u64 << (n % 64));
+                switch_words[target][n / 64] |= 1u64 << (n % 64);
+                let gain = eval.amax();
+                let accept = gain < current
+                    && {
+                        let (stages, cap) = shapes[home];
+                        cache.feasible_words(tdg, stages, cap, &switch_words[home])
+                    }
+                    && {
+                        let (stages, cap) = shapes[target];
+                        cache.feasible_words(tdg, stages, cap, &switch_words[target])
+                    }
+                    && eval.is_acyclic();
+                if !accept {
+                    eval.unplace(n);
+                    eval.place(n, home);
+                    switch_words[target][n / 64] &= !(1u64 << (n % 64));
+                    switch_words[home][n / 64] |= 1u64 << (n % 64);
                     continue;
                 }
-                if !feasible_switch(&trial, home)
-                    || !feasible_switch(&trial, target)
-                    || !acyclic(&trial)
-                {
-                    continue;
-                }
-                assign = trial;
+                assign[n] = target;
                 current = gain;
                 improved = true;
                 moves += 1;

@@ -90,6 +90,158 @@ pub fn stage_feasible(
     assign_slices(tdg, nodes, stages, stage_capacity).is_ok()
 }
 
+/// Sentinel in [`Packing::end_stage`] for a node not placed yet.
+pub(crate) const UNPLACED: u32 = u32::MAX;
+
+/// Name-free push failure for hot probe paths; [`StageAssignError`]
+/// carries the MAT name, and building it clones a `String` — measurable
+/// when the exact search rejects millions of pushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushFail {
+    /// See [`StageAssignError::ChainTooLong`].
+    ChainTooLong,
+    /// See [`StageAssignError::OutOfStages`].
+    OutOfStages,
+    /// See [`StageAssignError::SliceTooLarge`].
+    SliceTooLarge,
+}
+
+impl PushFail {
+    fn with_name(self, tdg: &Tdg, id: NodeId, stages: usize) -> StageAssignError {
+        match self {
+            PushFail::ChainTooLong => StageAssignError::ChainTooLong { stages },
+            PushFail::OutOfStages => {
+                StageAssignError::OutOfStages { mat: tdg.node(id).name.clone() }
+            }
+            PushFail::SliceTooLarge => {
+                StageAssignError::SliceTooLarge { mat: tdg.node(id).name.clone() }
+            }
+        }
+    }
+}
+
+/// Incremental first-fit pipeline state: per-stage remaining capacity plus
+/// the last stage occupied by each already-placed node.
+///
+/// [`assign_slices`] and the memoized feasibility cache
+/// ([`crate::stage_cache::StageFeasCache`]) both drive this one
+/// implementation, so the packing semantics cannot drift between the
+/// authoritative placement path and the cached probe path. Nodes must be
+/// pushed in topological order; a predecessor that was never pushed simply
+/// imposes no ordering constraint (the reference behaviour for in-edges
+/// from outside the placed subset).
+#[derive(Debug, Clone)]
+pub(crate) struct Packing {
+    stages: usize,
+    stage_capacity: f64,
+    remaining: Vec<f64>,
+    /// `end_stage[node index]` = last stage occupied, or [`UNPLACED`].
+    end_stage: Vec<u32>,
+}
+
+impl Packing {
+    /// An empty pipeline of `stages` × `stage_capacity` for a TDG of
+    /// `node_count` nodes.
+    pub(crate) fn new(stages: usize, stage_capacity: f64, node_count: usize) -> Self {
+        Packing {
+            stages,
+            stage_capacity,
+            remaining: vec![stage_capacity; stages],
+            end_stage: vec![UNPLACED; node_count],
+        }
+    }
+
+    /// Places `id` at the first stage after its already-placed
+    /// predecessors, greedily filling consecutive stages; each emitted
+    /// slice is `(node, stage, fraction)`.
+    pub(crate) fn push(
+        &mut self,
+        tdg: &Tdg,
+        id: NodeId,
+        mut emit: impl FnMut(NodeId, usize, f64),
+    ) -> Result<(), StageAssignError> {
+        self.push_core(tdg, id, &mut |id, stage, _old, take| emit(id, stage, take))
+            .map_err(|e| e.with_name(tdg, id, self.stages))
+    }
+
+    /// Reversible [`Packing::push`]: the *prior* `remaining` of every
+    /// modified stage is appended to `log`, so [`Packing::revert`]
+    /// restores the exact bit-for-bit pipeline state. (Re-adding slice
+    /// fractions instead would accumulate floating-point drift over
+    /// millions of push/undo cycles in the exact search.) On failure the
+    /// partial modifications are rolled back here and `log` is unchanged.
+    pub(crate) fn push_logged(&mut self, tdg: &Tdg, id: NodeId, log: &mut Vec<(u32, f64)>) -> bool {
+        let base = log.len();
+        let result = self.push_core(tdg, id, &mut |_, stage, old, _| {
+            log.push((u32::try_from(stage).expect("pipeline depth fits u32"), old));
+        });
+        if result.is_err() {
+            for &(stage, old) in log[base..].iter().rev() {
+                self.remaining[stage as usize] = old;
+            }
+            log.truncate(base);
+        }
+        result.is_ok()
+    }
+
+    /// Undoes a successful [`Packing::push_logged`] of `id`, restoring the
+    /// logged `remaining` snapshots in reverse and truncating `log` back
+    /// to `base` (its length before the push).
+    pub(crate) fn revert(&mut self, id: NodeId, log: &mut Vec<(u32, f64)>, base: usize) {
+        for &(stage, old) in log[base..].iter().rev() {
+            self.remaining[stage as usize] = old;
+        }
+        log.truncate(base);
+        self.end_stage[id.index()] = UNPLACED;
+    }
+
+    /// The one first-fit loop behind both entry points; `on_slice` sees
+    /// `(node, stage, remaining-before, take)` for every placed slice.
+    fn push_core(
+        &mut self,
+        tdg: &Tdg,
+        id: NodeId,
+        on_slice: &mut dyn FnMut(NodeId, usize, f64, f64),
+    ) -> Result<(), PushFail> {
+        let mat = &tdg.node(id).mat;
+        let earliest = tdg
+            .in_edges(id)
+            .map(|e| self.end_stage[e.from.index()])
+            .filter(|&s| s != UNPLACED)
+            .map(|s| s as usize + 1)
+            .max()
+            .unwrap_or(0);
+        if earliest >= self.stages {
+            return Err(PushFail::ChainTooLong);
+        }
+        let mut need = mat.resource();
+        let mut stage = earliest;
+        let mut last = earliest;
+        while need > 1e-12 {
+            if stage >= self.stages {
+                return Err(PushFail::OutOfStages);
+            }
+            let old = self.remaining[stage];
+            let take = need.min(old);
+            if take > 1e-12 {
+                if take > self.stage_capacity + 1e-9 {
+                    return Err(PushFail::SliceTooLarge);
+                }
+                on_slice(id, stage, old, take);
+                self.remaining[stage] = old - take;
+                need -= take;
+                last = stage;
+            }
+            if need > 1e-12 {
+                stage += 1;
+            }
+        }
+        self.end_stage[id.index()] =
+            u32::try_from(last).expect("pipeline depth fits u32 (UNPLACED is reserved)");
+        Ok(())
+    }
+}
+
 /// Core first-fit: returns `(node, stage, fraction)` slices.
 fn assign_slices(
     tdg: &Tdg,
@@ -107,45 +259,10 @@ fn assign_slices(
         .filter(|id| nodes.contains(id))
         .collect();
 
-    let mut remaining = vec![stage_capacity; stages];
-    // end_stage[node index] = last stage occupied (for predecessor checks).
-    let mut end_stage: Vec<Option<usize>> = vec![None; tdg.node_count()];
+    let mut packing = Packing::new(stages, stage_capacity, tdg.node_count());
     let mut placements = Vec::new();
-
     for &id in &order {
-        let mat = &tdg.node(id).mat;
-        let earliest = tdg
-            .in_edges(id)
-            .filter(|e| nodes.contains(&e.from))
-            .filter_map(|e| end_stage[e.from.index()])
-            .map(|s| s + 1)
-            .max()
-            .unwrap_or(0);
-        if earliest >= stages {
-            return Err(StageAssignError::ChainTooLong { stages });
-        }
-        let mut need = mat.resource();
-        let mut stage = earliest;
-        let mut last = earliest;
-        while need > 1e-12 {
-            if stage >= stages {
-                return Err(StageAssignError::OutOfStages { mat: tdg.node(id).name.clone() });
-            }
-            let take = need.min(remaining[stage]);
-            if take > 1e-12 {
-                if take > stage_capacity + 1e-9 {
-                    return Err(StageAssignError::SliceTooLarge { mat: tdg.node(id).name.clone() });
-                }
-                placements.push((id, stage, take));
-                remaining[stage] -= take;
-                need -= take;
-                last = stage;
-            }
-            if need > 1e-12 {
-                stage += 1;
-            }
-        }
-        end_stage[id.index()] = Some(last);
+        packing.push(tdg, id, |node, stage, take| placements.push((node, stage, take)))?;
     }
     Ok(placements)
 }

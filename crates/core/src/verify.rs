@@ -152,45 +152,59 @@ impl fmt::Display for Violation {
 const TOL: f64 = 1e-6;
 
 /// Checks `plan` against every constraint; an empty vector means valid.
+///
+/// Runs in one pass over the placement list: placements are grouped by node
+/// up front, so the per-node checks and the per-edge endpoint lookups cost
+/// O(nodes + placements + edges) instead of rescanning the whole plan for
+/// every node and edge. Names are borrowed throughout and cloned only when
+/// a violation is actually emitted.
 pub fn verify(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) -> Vec<Violation> {
     let mut out = Vec::new();
+
+    // Group placements by node once; `host`/`span` feed the edge checks.
+    let n = tdg.node_count();
+    let mut per_node: Vec<Vec<&crate::deployment::StagePlacement>> = vec![Vec::new(); n];
+    for p in plan.placements() {
+        per_node[p.node.index()].push(p);
+    }
+    let mut host: Vec<Option<SwitchId>> = vec![None; n];
+    let mut span: Vec<Option<(usize, usize)>> = vec![None; n];
 
     // Node deployment (Eq. 6) + single-switch + host programmability +
     // stage ranges + resource completeness.
     for id in tdg.node_ids() {
         let name = &tdg.node(id).name;
-        let hosts: Vec<SwitchId> = {
-            let mut h: Vec<SwitchId> =
-                plan.placements().iter().filter(|p| p.node == id).map(|p| p.switch).collect();
-            h.sort();
-            h.dedup();
-            h
+        let group = &per_node[id.index()];
+        let Some(first) = group.first() else {
+            out.push(Violation::NodeUnplaced { node: name.clone() });
+            continue;
         };
-        match hosts.len() {
-            0 => {
-                out.push(Violation::NodeUnplaced { node: name.clone() });
-                continue;
-            }
-            1 => {}
-            _ => {
-                out.push(Violation::NodeOnMultipleSwitches { node: name.clone() });
-                continue;
-            }
+        let mut placed = 0.0;
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        let mut multi = false;
+        for p in group {
+            placed += p.fraction;
+            lo = lo.min(p.stage);
+            hi = hi.max(p.stage);
+            multi |= p.switch != first.switch;
         }
-        let host = hosts[0];
-        let sw = net.switch(host);
+        host[id.index()] = Some(first.switch);
+        span[id.index()] = Some((lo, hi));
+        if multi {
+            out.push(Violation::NodeOnMultipleSwitches { node: name.clone() });
+            continue;
+        }
+        let sw = net.switch(first.switch);
         if !sw.programmable {
             out.push(Violation::NonProgrammableHost {
                 node: name.clone(),
                 switch: sw.name.clone(),
             });
         }
-        if !net.is_switch_up(host) {
+        if !net.is_switch_up(first.switch) {
             out.push(Violation::DownHost { node: name.clone(), switch: sw.name.clone() });
         }
-        let mut placed = 0.0;
-        for p in plan.placements().iter().filter(|p| p.node == id) {
-            placed += p.fraction;
+        for p in group {
             if p.stage >= sw.stages {
                 out.push(Violation::StageOutOfRange {
                     node: name.clone(),
@@ -207,7 +221,7 @@ pub fn verify(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) ->
 
     // Edge deployment (Eq. 7 across switches, Eq. 8 within a switch).
     for e in tdg.edges() {
-        let (Some(u), Some(v)) = (plan.switch_of(e.from), plan.switch_of(e.to)) else {
+        let (Some(u), Some(v)) = (host[e.from.index()], host[e.to.index()]) else {
             continue; // unplaced endpoints already reported
         };
         if u != v {
@@ -229,8 +243,7 @@ pub fn verify(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) ->
                 }
             }
         } else {
-            let (Some((_, end_a)), Some((begin_b, _))) =
-                (plan.stage_span(e.from), plan.stage_span(e.to))
+            let (Some((_, end_a)), Some((begin_b, _))) = (span[e.from.index()], span[e.to.index()])
             else {
                 continue;
             };

@@ -1,0 +1,326 @@
+//! Dense field interning and bitset field sets for the hot analysis path.
+//!
+//! Dependency typing (paper §IV) is decided entirely by intersection tests
+//! over the `F^m`/`F^a` read/write sets of MAT pairs, and `A(a,b)` sizing
+//! sums metadata widths over unions/intersections of those sets. With
+//! [`std::collections::BTreeSet<Field>`] every test walks tree nodes and
+//! compares strings; on the `O(n²)` pair loop of TDG construction that cost
+//! dominates. A [`FieldTable`] interns every distinct [`Field`] once into a
+//! dense `u32` id, and a [`FieldSet`] represents a field set as fixed-width
+//! `u64` words so that intersection tests become word-AND loops and byte
+//! sums become bit iterations over a precomputed overhead array.
+//!
+//! The `BTreeSet<Field>` APIs on [`Mat`](crate::mat::Mat) remain the
+//! reference semantics (and the serde/export surface); [`FieldSet::to_btree`]
+//! converts back for that boundary. Equivalence of the two representations
+//! is asserted by the `eval_equivalence` property suite.
+
+use crate::fields::Field;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Dense identifier of an interned [`Field`] within one [`FieldTable`].
+///
+/// Ids are only meaningful relative to the table that produced them and are
+/// assigned in first-encounter order, so interning the same MATs in the
+/// same order always yields the same ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FieldId(u32);
+
+impl FieldId {
+    /// The dense index of this field id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Interner mapping every distinct [`Field`] (structural identity: name,
+/// kind, width) to a dense [`FieldId`], with the per-field piggyback
+/// overhead cached for O(1) lookup during `A(a,b)` sizing.
+#[derive(Debug, Clone, Default)]
+pub struct FieldTable {
+    fields: Vec<Field>,
+    index: HashMap<Field, u32>,
+    overhead: Vec<u32>,
+}
+
+impl FieldTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FieldTable::default()
+    }
+
+    /// Interns `field`, returning its dense id (existing or fresh).
+    pub fn intern(&mut self, field: &Field) -> FieldId {
+        if let Some(&id) = self.index.get(field) {
+            return FieldId(id);
+        }
+        let id = u32::try_from(self.fields.len()).expect("fewer than 2^32 distinct fields");
+        self.fields.push(field.clone());
+        self.overhead.push(field.overhead_bytes());
+        self.index.insert(field.clone(), id);
+        FieldId(id)
+    }
+
+    /// The id of an already-interned field, if any.
+    pub fn get(&self, field: &Field) -> Option<FieldId> {
+        self.index.get(field).map(|&id| FieldId(id))
+    }
+
+    /// The field behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn field(&self, id: FieldId) -> &Field {
+        &self.fields[id.index()]
+    }
+
+    /// Bytes `id`'s field adds to a packet crossing a switch boundary
+    /// (its width for metadata, zero for header fields).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this table.
+    pub fn overhead_bytes(&self, id: FieldId) -> u32 {
+        self.overhead[id.index()]
+    }
+
+    /// Number of distinct fields interned so far.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// `true` iff no field has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Sum of [`FieldTable::overhead_bytes`] over the members of `set` —
+    /// the `metadata_bytes` of the reference analysis as one bit walk.
+    pub fn overhead_sum(&self, set: &FieldSet) -> u32 {
+        set.iter().map(|id| self.overhead[id.index()]).sum()
+    }
+
+    /// Overhead sum over `a ∩ b` without materializing the intersection.
+    pub fn intersection_overhead(&self, a: &FieldSet, b: &FieldSet) -> u32 {
+        let mut total = 0u32;
+        for (wi, (&wa, &wb)) in a.words.iter().zip(&b.words).enumerate() {
+            let mut bits = wa & wb;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                total += self.overhead[wi * 64 + bit];
+                bits &= bits - 1;
+            }
+        }
+        total
+    }
+
+    /// Overhead sum over `a ∪ b` without materializing the union.
+    pub fn union_overhead(&self, a: &FieldSet, b: &FieldSet) -> u32 {
+        let long = if a.words.len() >= b.words.len() { a } else { b };
+        let short = if a.words.len() >= b.words.len() { b } else { a };
+        let mut total = 0u32;
+        for (wi, &wl) in long.words.iter().enumerate() {
+            let mut bits = wl | short.words.get(wi).copied().unwrap_or(0);
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                total += self.overhead[wi * 64 + bit];
+                bits &= bits - 1;
+            }
+        }
+        total
+    }
+}
+
+/// A set of interned fields as `u64` bit words.
+///
+/// Sets built against a growing [`FieldTable`] may have different word
+/// widths; every operation treats missing high words as zero, so sets of
+/// different widths compose without re-padding.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FieldSet {
+    words: Vec<u64>,
+}
+
+impl FieldSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        FieldSet::default()
+    }
+
+    /// Inserts `id`, growing the word vector as needed.
+    pub fn insert(&mut self, id: FieldId) {
+        let word = id.index() / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (id.index() % 64);
+    }
+
+    /// `true` iff `id` is a member.
+    pub fn contains(&self, id: FieldId) -> bool {
+        self.words.get(id.index() / 64).is_some_and(|w| w & (1u64 << (id.index() % 64)) != 0)
+    }
+
+    /// `true` iff the sets share at least one field — the word-AND loop
+    /// behind every dependency-type test.
+    pub fn intersects(&self, other: &FieldSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Unions `other` into `self`.
+    pub fn union_with(&mut self, other: &FieldSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` iff no field is a member.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates member ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = FieldId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(FieldId(u32::try_from(wi * 64).expect("small table") + bit))
+            })
+        })
+    }
+
+    /// The thin `BTreeSet` view used at serde/export boundaries: resolves
+    /// every member back to its owning [`Field`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set holds ids foreign to `table`.
+    pub fn to_btree(&self, table: &FieldTable) -> BTreeSet<Field> {
+        self.iter().map(|id| table.field(id).clone()).collect()
+    }
+}
+
+impl FromIterator<FieldId> for FieldSet {
+    fn from_iter<I: IntoIterator<Item = FieldId>>(iter: I) -> Self {
+        let mut set = FieldSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str, size: u32) -> Field {
+        Field::metadata(name.to_owned(), size)
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = FieldTable::new();
+        let a = t.intern(&meta("meta.x", 4));
+        let b = t.intern(&meta("meta.x", 4));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.field(a), &meta("meta.x", 4));
+    }
+
+    #[test]
+    fn structural_identity_distinguishes_widths() {
+        let mut t = FieldTable::new();
+        let a = t.intern(&meta("meta.x", 4));
+        let b = t.intern(&meta("meta.x", 8));
+        assert_ne!(a, b, "same name, different width: different field");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn header_fields_have_zero_overhead() {
+        let mut t = FieldTable::new();
+        let h = t.intern(&Field::header("ipv4.dst", 4));
+        let m = t.intern(&meta("meta.x", 6));
+        assert_eq!(t.overhead_bytes(h), 0);
+        assert_eq!(t.overhead_bytes(m), 6);
+    }
+
+    #[test]
+    fn set_ops_match_reference() {
+        let mut t = FieldTable::new();
+        // Spill across a word boundary: 70 distinct fields.
+        let ids: Vec<FieldId> = (0..70).map(|i| t.intern(&meta(&format!("m{i}"), 1))).collect();
+        let a: FieldSet = ids.iter().copied().step_by(2).collect();
+        let b: FieldSet = ids.iter().copied().skip(1).step_by(2).collect();
+        assert!(!a.intersects(&b));
+        assert_eq!(a.len() + b.len(), 70);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 70);
+        assert_eq!(t.overhead_sum(&u), 70);
+        assert_eq!(t.union_overhead(&a, &b), 70);
+        assert_eq!(t.intersection_overhead(&a, &b), 0);
+        let c: FieldSet = [ids[0], ids[64], ids[69]].into_iter().collect();
+        assert!(c.intersects(&a));
+        assert_eq!(t.intersection_overhead(&c, &a), 2); // ids 0 and 64 are even
+    }
+
+    #[test]
+    fn mismatched_widths_compose() {
+        let mut t = FieldTable::new();
+        let lo = t.intern(&meta("lo", 1));
+        let hi = t.intern(&meta("hi65", 1));
+        // Force `hi` past the first word.
+        for i in 0..64 {
+            t.intern(&meta(&format!("pad{i}"), 1));
+        }
+        let hi2 = t.intern(&meta("hi-word2", 1));
+        let mut narrow = FieldSet::new();
+        narrow.insert(lo);
+        let mut wide = FieldSet::new();
+        wide.insert(hi);
+        wide.insert(hi2);
+        assert!(!narrow.intersects(&wide));
+        assert!(!wide.intersects(&narrow));
+        assert!(!narrow.contains(hi2));
+        let mut u = narrow.clone();
+        u.union_with(&wide);
+        assert_eq!(u.len(), 3);
+        assert_eq!(t.union_overhead(&narrow, &wide), 3);
+        assert_eq!(t.union_overhead(&wide, &narrow), 3);
+    }
+
+    #[test]
+    fn iteration_and_btree_view_round_trip() {
+        let mut t = FieldTable::new();
+        let fields = [meta("a", 2), meta("b", 3), Field::header("h", 4)];
+        let set: FieldSet = fields.iter().map(|f| t.intern(f)).collect();
+        let view = set.to_btree(&t);
+        assert_eq!(view, fields.iter().cloned().collect::<BTreeSet<Field>>());
+        assert_eq!(set.iter().count(), 3);
+        assert_eq!(t.overhead_sum(&set), 5);
+    }
+}

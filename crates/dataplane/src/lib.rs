@@ -5,6 +5,8 @@
 //!
 //! - [`fields`] — header vs. metadata fields with byte widths (paper
 //!   Table I); only metadata contributes to inter-switch byte overhead.
+//! - [`fieldset`] — dense field interning ([`FieldTable`]) and `u64`-word
+//!   bitset field sets ([`FieldSet`]) backing the hot analysis path.
 //! - [`action`] — actions built from primitive pipeline operations with
 //!   derived read/write sets.
 //! - [`mat`] — match-action tables with the five properties of a TDG node
@@ -35,6 +37,7 @@
 
 pub mod action;
 pub mod fields;
+pub mod fieldset;
 pub mod library;
 pub mod lint;
 pub mod mat;
@@ -44,5 +47,6 @@ pub mod synthetic;
 
 pub use action::{Action, PrimitiveOp};
 pub use fields::{Field, FieldKind};
+pub use fieldset::{FieldId, FieldSet, FieldTable};
 pub use mat::{Mat, MatBuilder, MatchKind, MatchSpec, Rule};
 pub use program::{Program, ProgramBuilder};

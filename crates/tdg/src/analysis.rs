@@ -19,6 +19,7 @@
 //! ([`AnalysisMode::Intersection`]); it is exposed for ablation studies.
 
 use hermes_dataplane::fields::Field;
+use hermes_dataplane::fieldset::{FieldSet, FieldTable};
 use hermes_dataplane::Mat;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -123,6 +124,95 @@ pub fn metadata_amount(a: &Mat, b: &Mat, dep: DependencyType, mode: AnalysisMode
         (DependencyType::Action, AnalysisMode::Intersection) => {
             let wb = b.written_fields();
             metadata_bytes(wa.into_iter().filter(|f| wb.contains(f)))
+        }
+    }
+}
+
+/// A MAT's field sets interned against a shared [`FieldTable`] — the
+/// hot-path mirror of the `BTreeSet` accessors on [`Mat`].
+///
+/// Built once per node before the `O(n²)` pair loop of TDG construction;
+/// [`classify_profiles`] and [`metadata_amount_profiles`] then decide every
+/// pair with word-AND/OR loops instead of tree walks. The reference
+/// implementations ([`classify`] / [`metadata_amount`]) are kept unchanged
+/// and the `eval_equivalence` property suite pins the two paths together.
+#[derive(Debug, Clone)]
+pub struct MatProfile {
+    /// `F^m` — fields the MAT matches on.
+    pub matched: FieldSet,
+    /// `F^a` — fields the MAT's actions write.
+    pub written: FieldSet,
+    /// `F^m ∪ action-read fields` — everything the MAT consumes; the
+    /// downstream side of a 𝕄 dependency test.
+    pub consumed: FieldSet,
+    /// Cached `metadata_bytes(written)` — the PaperLiteral 𝕄/𝕊 amount.
+    pub written_overhead: u32,
+}
+
+impl MatProfile {
+    /// Interns `mat`'s field sets into `table` and builds its profile.
+    pub fn build(mat: &Mat, table: &mut FieldTable) -> Self {
+        let mut matched = FieldSet::new();
+        for spec in mat.match_specs() {
+            matched.insert(table.intern(&spec.field));
+        }
+        let mut written = FieldSet::new();
+        let mut consumed = matched.clone();
+        for action in mat.actions() {
+            for f in action.writes() {
+                written.insert(table.intern(&f));
+            }
+            for f in action.reads() {
+                consumed.insert(table.intern(&f));
+            }
+        }
+        let written_overhead = table.overhead_sum(&written);
+        MatProfile { matched, written, consumed, written_overhead }
+    }
+}
+
+/// Interned-profile twin of [`classify`]: same precedence (𝕄 > 𝔸 > 𝕊 > ℝ),
+/// decided with bitset intersection tests.
+pub fn classify_profiles(a: &MatProfile, b: &MatProfile, gated: bool) -> Option<DependencyType> {
+    if a.written.intersects(&b.consumed) {
+        return Some(DependencyType::Match);
+    }
+    if a.written.intersects(&b.written) {
+        return Some(DependencyType::Action);
+    }
+    if gated {
+        return Some(DependencyType::Successor);
+    }
+    if a.matched.intersects(&b.written) {
+        return Some(DependencyType::ReverseMatch);
+    }
+    None
+}
+
+/// Interned-profile twin of [`metadata_amount`]: computes `A(a,b)` with
+/// overhead sums over word-AND/OR loops, no set materialization.
+pub fn metadata_amount_profiles(
+    table: &FieldTable,
+    a: &MatProfile,
+    b: &MatProfile,
+    dep: DependencyType,
+    mode: AnalysisMode,
+) -> u32 {
+    match (dep, mode) {
+        (DependencyType::ReverseMatch, _) => 0,
+        (DependencyType::Match, AnalysisMode::PaperLiteral)
+        | (DependencyType::Successor, AnalysisMode::PaperLiteral) => a.written_overhead,
+        (DependencyType::Match, AnalysisMode::Intersection) => {
+            table.intersection_overhead(&a.written, &b.consumed)
+        }
+        (DependencyType::Successor, AnalysisMode::Intersection) => {
+            table.intersection_overhead(&a.written, &b.consumed).max(1)
+        }
+        (DependencyType::Action, AnalysisMode::PaperLiteral) => {
+            table.union_overhead(&a.written, &b.written)
+        }
+        (DependencyType::Action, AnalysisMode::Intersection) => {
+            table.intersection_overhead(&a.written, &b.written)
         }
     }
 }
@@ -243,6 +333,46 @@ mod tests {
         let b = writer("b", &[f.clone(), g]);
         assert_eq!(metadata_amount(&a, &b, DependencyType::Action, AnalysisMode::PaperLiteral), 10);
         assert_eq!(metadata_amount(&a, &b, DependencyType::Action, AnalysisMode::Intersection), 4);
+    }
+
+    #[test]
+    fn profiles_agree_with_reference_on_all_pairs() {
+        let f = meta("meta.x", 4);
+        let g = meta("meta.g", 6);
+        let mats = [
+            writer("w-f", std::slice::from_ref(&f)),
+            writer("w-fg", &[f.clone(), g.clone()]),
+            matcher("m-f", std::slice::from_ref(&f)),
+            matcher("m-g", std::slice::from_ref(&g)),
+            writer("w-hdr", &[headers::ipv4_ttl()]),
+        ];
+        let mut table = FieldTable::new();
+        let profiles: Vec<MatProfile> =
+            mats.iter().map(|m| MatProfile::build(m, &mut table)).collect();
+        for (i, a) in mats.iter().enumerate() {
+            for (j, b) in mats.iter().enumerate() {
+                for gated in [false, true] {
+                    let reference = classify(a, b, gated);
+                    let interned = classify_profiles(&profiles[i], &profiles[j], gated);
+                    assert_eq!(interned, reference, "classify {i}->{j} gated={gated}");
+                    if let Some(dep) = reference {
+                        for mode in [AnalysisMode::PaperLiteral, AnalysisMode::Intersection] {
+                            assert_eq!(
+                                metadata_amount_profiles(
+                                    &table,
+                                    &profiles[i],
+                                    &profiles[j],
+                                    dep,
+                                    mode
+                                ),
+                                metadata_amount(a, b, dep, mode),
+                                "amount {i}->{j} {dep:?} {mode:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! edges derived from a single program point forward in program order, and
 //! [`crate::merge`] refuses merges that would introduce cycles.
 
-use crate::analysis::{classify, metadata_amount, AnalysisMode, DependencyType};
-use hermes_dataplane::{Mat, Program};
+use crate::analysis::{
+    classify_profiles, metadata_amount, metadata_amount_profiles, AnalysisMode, DependencyType,
+    MatProfile,
+};
+use hermes_dataplane::{FieldTable, Mat, Program};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -93,11 +96,18 @@ impl Tdg {
             });
         }
         let gates: BTreeSet<(usize, usize)> = program.gates().iter().copied().collect();
+        // Intern every field once so the O(n²) pair loop below runs on
+        // bitset profiles instead of BTreeSet walks; the equivalence with
+        // `classify`/`metadata_amount` is pinned by the property suite.
+        let mut table = FieldTable::new();
+        let profiles: Vec<MatProfile> =
+            tables.iter().map(|t| MatProfile::build(t, &mut table)).collect();
         for i in 0..tables.len() {
             for j in (i + 1)..tables.len() {
                 let gated = gates.contains(&(i, j));
-                if let Some(dep) = classify(&tables[i], &tables[j], gated) {
-                    let bytes = metadata_amount(&tables[i], &tables[j], dep, mode);
+                if let Some(dep) = classify_profiles(&profiles[i], &profiles[j], gated) {
+                    let bytes =
+                        metadata_amount_profiles(&table, &profiles[i], &profiles[j], dep, mode);
                     tdg.edges.push(TdgEdge { from: NodeId(i), to: NodeId(j), dep, bytes });
                 }
             }
@@ -174,6 +184,32 @@ impl Tdg {
             .sum()
     }
 
+    /// [`Tdg::cross_bytes`] with a caller-owned scratch buffer, for hot
+    /// paths that probe many cuts: `membership` is cleared and resized to
+    /// the node count, then each node is flagged left (bit 0) / right
+    /// (bit 1) so the edge scan needs no set lookups and the call allocates
+    /// only when the buffer is still too small.
+    pub fn cross_bytes_with(
+        &self,
+        left: &BTreeSet<NodeId>,
+        right: &BTreeSet<NodeId>,
+        membership: &mut Vec<u8>,
+    ) -> u64 {
+        membership.clear();
+        membership.resize(self.nodes.len(), 0);
+        for id in left {
+            membership[id.0] |= 1;
+        }
+        for id in right {
+            membership[id.0] |= 2;
+        }
+        self.edges
+            .iter()
+            .filter(|e| membership[e.from.0] & 1 != 0 && membership[e.to.0] & 2 != 0)
+            .map(|e| u64::from(e.bytes))
+            .sum()
+    }
+
     /// `true` iff the graph has no directed cycle.
     pub fn is_dag(&self) -> bool {
         self.topo_order().is_some()
@@ -234,10 +270,17 @@ impl Tdg {
     /// analysis mode. Used after merging and by ablations.
     pub fn reanalyze(&mut self, mode: AnalysisMode) {
         self.mode = mode;
+        let mut table = FieldTable::new();
+        let profiles: Vec<MatProfile> =
+            self.nodes.iter().map(|n| MatProfile::build(&n.mat, &mut table)).collect();
         for e in &mut self.edges {
-            let a = &self.nodes[e.from.0].mat;
-            let b = &self.nodes[e.to.0].mat;
-            e.bytes = metadata_amount(a, b, e.dep, mode);
+            e.bytes = metadata_amount_profiles(
+                &table,
+                &profiles[e.from.0],
+                &profiles[e.to.0],
+                e.dep,
+                mode,
+            );
         }
     }
 
@@ -388,6 +431,22 @@ mod tests {
         let right: BTreeSet<NodeId> = [NodeId(2), NodeId(3)].into();
         assert_eq!(tdg.cross_bytes(&left, &right), 4);
         assert_eq!(tdg.cross_bytes(&right, &left), 0);
+    }
+
+    #[test]
+    fn cross_bytes_with_matches_reference_and_reuses_buffer() {
+        let tdg = Tdg::from_program(&chain_program(4, 4), AnalysisMode::PaperLiteral);
+        let left: BTreeSet<NodeId> = [NodeId(0), NodeId(1)].into();
+        let right: BTreeSet<NodeId> = [NodeId(2), NodeId(3)].into();
+        let mut scratch = Vec::new();
+        assert_eq!(tdg.cross_bytes_with(&left, &right, &mut scratch), 4);
+        assert_eq!(tdg.cross_bytes_with(&right, &left, &mut scratch), 0);
+        // Overlapping sets behave like the reference too.
+        let overlap: BTreeSet<NodeId> = [NodeId(1), NodeId(2)].into();
+        assert_eq!(
+            tdg.cross_bytes_with(&overlap, &overlap, &mut scratch),
+            tdg.cross_bytes(&overlap, &overlap)
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ pub mod export;
 pub mod graph;
 pub mod merge;
 
-pub use analysis::{classify, metadata_amount, AnalysisMode, DependencyType};
+pub use analysis::{
+    classify, classify_profiles, metadata_amount, metadata_amount_profiles, AnalysisMode,
+    DependencyType, MatProfile,
+};
 pub use export::{critical_path, stats, to_dot, TdgStats};
 pub use graph::{NodeId, Tdg, TdgEdge, TdgNode};
 pub use merge::{merge_all, merge_pair};
