@@ -26,6 +26,22 @@ cargo test -q --release --test eval_equivalence
 echo "==> hot-path evaluator smoke"
 cargo run -q --release -p hermes-bench --bin hotpath -- --smoke
 
+echo "==> audit-engine smoke (oracle equivalence + certificate fast-path)"
+cargo run -q --release -p hermes-bench --bin audit -- --smoke
+
+echo "==> workload audit golden diff (library + fixture, fat-tree k=4)"
+# The CLI itself exits nonzero if any error-severity diagnostic fires;
+# the diff additionally catches drift in warning/info findings so new
+# diagnostics land with a reviewed golden update.
+audit_out="$(cargo run -q --release -p hermes-cli --bin hermes -- \
+  audit tests/fixtures/audit_workload.p4dsl --library --topology fattree:4 --json)"
+if ! diff <(printf '%s\n' "$audit_out") tests/fixtures/audit_golden.json; then
+  echo "audit output drifted from tests/fixtures/audit_golden.json" >&2
+  echo "re-generate the golden if the new diagnostics are intentional" >&2
+  exit 1
+fi
+echo "audit golden matches"
+
 echo "==> portfolio determinism smoke (fixed seed, 2 threads, 2 s budget)"
 smoke_a="$(cargo run -q --release -p hermes-bench --bin portfolio -- --smoke)"
 smoke_b="$(cargo run -q --release -p hermes-bench --bin portfolio -- --smoke)"

@@ -1,0 +1,195 @@
+//! Pass 3 + orchestration: the audit entry points the `hermes audit` CLI
+//! subcommand shells out to.
+//!
+//! [`audit_programs`] runs everything that needs only the workload: the
+//! `hermes_dataplane` composition lints, the exhaustive per-program graph
+//! cross-check, and the dataflow + recorded-edge passes over the merged
+//! TDG. [`audit_instance`] adds the [`hermes_core::precheck`] bounds for a
+//! concrete network and ε budget — the same certificates the portfolio
+//! consumes to return proven-infeasible before burning wall clock.
+//! [`audit_plan`] re-emits the plan verifier's violations as diagnostics
+//! for auditing an already-computed deployment.
+//!
+//! Lints, certificates, and violations all carry their own stable codes
+//! (`HL0xx`, `HC3xx`, `HV4xx`); this module only maps them onto the
+//! [`Diagnostic`] shape and assigns severities.
+
+use crate::dataflow::dataflow_diagnostics;
+use crate::diag::{AuditReport, Diagnostic, Severity, Span};
+use crate::graphcheck::{check_program, check_tdg};
+use hermes_core::precheck::{Certificate, Precheck};
+use hermes_core::verify::Violation;
+use hermes_core::{DeploymentPlan, Epsilon};
+use hermes_dataplane::lint::{lint_composition, Lint};
+use hermes_dataplane::program::Program;
+use hermes_net::Network;
+use hermes_tdg::{merge_all, AnalysisMode, Tdg};
+
+/// Re-renders a composition lint as a typed diagnostic.
+pub fn lint_to_diagnostic(lint: &Lint) -> Diagnostic {
+    let (severity, span, hint) = match lint {
+        Lint::MetadataReadBeforeWrite { table, field } => (
+            Severity::Error,
+            Span::mat_field(table, field),
+            "the field reads as zero on hardware; write it first or drop the match",
+        ),
+        Lint::MetadataNeverConsumed { table, field } => (
+            Severity::Warning,
+            Span::mat_field(table, field),
+            "pure pipeline waste; the field also inflates A(a,b) when piggybacked",
+        ),
+        Lint::TableWithoutActions { table } => (
+            Severity::Warning,
+            Span::mat(table),
+            "packets hit the table and nothing happens; add an action or remove it",
+        ),
+        Lint::RedundantGate { from, to } => (
+            Severity::Info,
+            Span::edge(from, to),
+            "the data dependency already orders the pair; the gate adds nothing",
+        ),
+        Lint::OversizedCapacity { table, .. } => (
+            Severity::Warning,
+            Span::mat(table),
+            "resources are billed by declared capacity; shrink C_a to what the rules need",
+        ),
+        Lint::DuplicateTableName { table, .. } => (
+            Severity::Error,
+            Span::mat(table),
+            "structurally different same-named tables break merge bookkeeping; rename one",
+        ),
+        Lint::CrossProgramSharedWrite { field, first_table, second_table } => (
+            Severity::Warning,
+            Span {
+                mat: Some(first_table.clone()),
+                mat_to: Some(second_table.clone()),
+                field: Some(field.clone()),
+                program: None,
+            },
+            "the downstream program silently clobbers the upstream value; split the field",
+        ),
+    };
+    Diagnostic::new(lint.code(), severity, lint.to_string()).with_span(span).with_hint(hint)
+}
+
+/// Re-renders a pre-solve certificate as a diagnostic: infeasibility
+/// proofs are errors, objective floors are informational.
+pub fn certificate_to_diagnostic(cert: &Certificate) -> Diagnostic {
+    if cert.is_infeasible() {
+        Diagnostic::new(cert.code(), Severity::Error, cert.to_string())
+            .with_hint("no search can find a plan; relax the eps budget or grow the network")
+    } else {
+        Diagnostic::new(cert.code(), Severity::Info, cert.to_string())
+            .with_hint("proven objective floor; a plan reaching it is optimal by construction")
+    }
+}
+
+/// Re-renders a plan-verifier violation as an error diagnostic.
+pub fn violation_to_diagnostic(violation: &Violation) -> Diagnostic {
+    Diagnostic::new(violation.code(), Severity::Error, violation.to_string())
+        .with_hint("the plan violates a hard constraint; it must not be installed")
+}
+
+/// Builds the merged workload TDG the way the deployment pipeline does:
+/// per-program graphs, then pairwise merge with cross-program inference.
+fn merged_tdg(programs: &[Program], mode: AnalysisMode) -> Tdg {
+    merge_all(programs.iter().map(|p| Tdg::from_program(p, mode)).collect())
+}
+
+/// Audits a workload (no network needed): composition lints, exhaustive
+/// per-program dependency re-derivation, and the dataflow + graph passes
+/// over the merged TDG.
+pub fn audit_programs(programs: &[Program], mode: AnalysisMode) -> AuditReport {
+    let mut diags: Vec<Diagnostic> =
+        lint_composition(programs).iter().map(lint_to_diagnostic).collect();
+    for p in programs {
+        diags.extend(check_program(p, mode));
+    }
+    let merged = merged_tdg(programs, mode);
+    diags.extend(dataflow_diagnostics(&merged));
+    diags.extend(check_tdg(&merged));
+    AuditReport::new(diags, Vec::new())
+}
+
+/// Audits a full deployment instance: everything [`audit_programs`] does,
+/// plus the pre-solve bounds for `net` and `eps`. The raw certificates
+/// ride along in the report so callers can feed them to the portfolio (or
+/// display the proofs) without re-deriving them.
+pub fn audit_instance(
+    programs: &[Program],
+    net: &Network,
+    eps: &Epsilon,
+    mode: AnalysisMode,
+) -> AuditReport {
+    let base = audit_programs(programs, mode);
+    let precheck = Precheck::run(&merged_tdg(programs, mode), net, eps);
+    let mut diags = base.diagnostics;
+    diags.extend(precheck.certificates.iter().map(certificate_to_diagnostic));
+    AuditReport::new(diags, precheck.certificates)
+}
+
+/// Audits an already-computed deployment plan against its instance: the
+/// full hard-constraint verifier, re-emitted as `HV4xx` diagnostics.
+pub fn audit_plan(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) -> AuditReport {
+    let diags =
+        hermes_core::verify(tdg, net, plan, eps).iter().map(violation_to_diagnostic).collect();
+    AuditReport::new(diags, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::fields::Field;
+    use hermes_dataplane::library;
+    use hermes_dataplane::mat::{Mat, MatchKind};
+
+    #[test]
+    fn library_workload_audit_has_no_errors() {
+        let programs = library::real_programs();
+        let report = audit_programs(&programs, AnalysisMode::PaperLiteral);
+        assert!(!report.has_errors(), "library workload should audit clean of errors: {report}");
+    }
+
+    #[test]
+    fn broken_workload_surfaces_hl001_as_error() {
+        let ghost = Field::metadata("meta.ghost", 4);
+        let t = Mat::builder("r")
+            .match_field(ghost, MatchKind::Exact)
+            .action(Action::new("n"))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p = Program::builder("p").table(t).build().unwrap();
+        let report = audit_programs(&[p], AnalysisMode::PaperLiteral);
+        assert!(report.has_errors());
+        assert!(report.diagnostics.iter().any(|d| d.code == "HL001"));
+        // The dataflow pass independently reaches the same conclusion.
+        assert!(report.diagnostics.iter().any(|d| d.code == "HD101"));
+    }
+
+    #[test]
+    fn instance_audit_attaches_certificates() {
+        let programs = library::real_programs();
+        // One tiny switch cannot hold the whole library.
+        let net = hermes_core::test_support::tiny_switches(1, 4, 0.05);
+        let eps = Epsilon::loose();
+        let report = audit_instance(&programs, &net, &eps, AnalysisMode::PaperLiteral);
+        assert!(report.summary.proven_infeasible, "{report}");
+        assert!(report.diagnostics.iter().any(|d| d.code == "HC303"));
+        assert!(!report.certificates.is_empty());
+        // And it all serializes.
+        let json = report.to_json();
+        assert!(json.contains("HC303"));
+    }
+
+    #[test]
+    fn feasible_instance_audit_is_error_free() {
+        let programs = vec![library::l3_router()];
+        let net = hermes_net::topology::fat_tree(4, 0.5);
+        let eps = Epsilon::loose();
+        let report = audit_instance(&programs, &net, &eps, AnalysisMode::PaperLiteral);
+        assert!(!report.has_errors(), "{report}");
+        assert!(!report.summary.proven_infeasible);
+    }
+}

@@ -1,0 +1,420 @@
+//! Pass 2 — dependency-graph soundness and minimality.
+//!
+//! The solver trusts the TDG blindly: a missing edge lets it split a
+//! dependent pair with no metadata accounting, a spurious or over-typed
+//! edge inflates `A(a,b)` and drags the whole Pareto front upward. This
+//! pass re-derives the ground truth from the MAT field sets with the
+//! *reference* `classify`/`metadata_amount` functions — deliberately not
+//! the bitset-profile twins `from_program` runs on — and cross-checks the
+//! recorded graph against it.
+//!
+//! Two entry points:
+//!
+//! * [`check_program`] — exhaustive: rebuilds the full `i < j` pair set of
+//!   one program (including its declared gates) and compares both
+//!   directions, so a bug in either the profile path or the reference
+//!   shows up as a divergence. Only well-defined per program, because
+//!   merged graphs intentionally drop folded/cycle-closing edges.
+//! * [`check_tdg`] — validates whatever graph it is given (typically the
+//!   merged workload TDG) edge-by-edge: every recorded edge must re-derive
+//!   (spurious / mistyped / misweighted edges are reported), plus
+//!   transitive-redundancy and cycle reporting. Successor edges are exempt
+//!   from type re-derivation — gates are declared, not derivable from
+//!   field sets — but their `A(a,b)` is still checked.
+
+use crate::diag::{Diagnostic, Severity, Span};
+use hermes_dataplane::program::Program;
+use hermes_tdg::{classify, metadata_amount, AnalysisMode, DependencyType, Tdg};
+use std::collections::BTreeMap;
+
+/// Paper precedence 𝕄 > 𝔸 > 𝕊 > ℝ as a comparable strength. Note the
+/// derived `Ord` on [`DependencyType`] is declaration order, *not* this.
+fn strength(dep: DependencyType) -> u8 {
+    match dep {
+        DependencyType::Match => 3,
+        DependencyType::Action => 2,
+        DependencyType::Successor => 1,
+        DependencyType::ReverseMatch => 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Diagnostic constructors.
+// ---------------------------------------------------------------------
+
+fn missing_edge(from: &str, to: &str, dep: DependencyType) -> Diagnostic {
+    Diagnostic::new(
+        "HG201",
+        Severity::Error,
+        format!("derivable {dep} dependency `{from}` -> `{to}` is not in the recorded graph"),
+    )
+    .with_span(Span::edge(from, to))
+    .with_hint("the solver may split this pair with no metadata accounting; rebuild the TDG")
+}
+
+fn spurious_edge(from: &str, to: &str, dep: DependencyType) -> Diagnostic {
+    Diagnostic::new(
+        "HG202",
+        Severity::Error,
+        format!("recorded {dep} edge `{from}` -> `{to}` has no derivable dependency"),
+    )
+    .with_span(Span::edge(from, to))
+    .with_hint("a phantom edge inflates A_max and over-constrains stage ordering")
+}
+
+fn type_mismatch(
+    from: &str,
+    to: &str,
+    recorded: DependencyType,
+    derived: DependencyType,
+) -> Diagnostic {
+    Diagnostic::new(
+        "HG203",
+        Severity::Error,
+        format!(
+            "edge `{from}` -> `{to}` records type {recorded} but the field sets derive {derived}"
+        ),
+    )
+    .with_span(Span::edge(from, to))
+    .with_hint("the recorded type is not derivable; A(a,b) is computed from the wrong formula")
+}
+
+fn bytes_mismatch(from: &str, to: &str, recorded: u32, expected: u32) -> Diagnostic {
+    Diagnostic::new(
+        "HG204",
+        Severity::Error,
+        format!(
+            "edge `{from}` -> `{to}` records A(a,b) = {recorded} B but Algorithm 1 gives \
+             {expected} B"
+        ),
+    )
+    .with_span(Span::edge(from, to))
+    .with_hint("stale edge weights corrupt the objective; re-run reanalyze() after edits")
+}
+
+fn transitive_redundant(from: &str, to: &str, via: &str) -> Diagnostic {
+    Diagnostic::new(
+        "HG205",
+        Severity::Info,
+        format!("edge `{from}` -> `{to}` is transitively implied via `{via}`"),
+    )
+    .with_span(Span::edge(from, to))
+    .with_hint("ordering is already forced; only its A(a,b) contribution is load-bearing")
+}
+
+fn type_downgrade(
+    from: &str,
+    to: &str,
+    recorded: DependencyType,
+    derived: DependencyType,
+) -> Diagnostic {
+    Diagnostic::new(
+        "HG206",
+        Severity::Warning,
+        format!(
+            "edge `{from}` -> `{to}` records {recorded} but the stronger {derived} is derivable"
+        ),
+    )
+    .with_span(Span::edge(from, to))
+    .with_hint("a weaker type undercounts A(a,b); the deployment may carry more bytes than planned")
+}
+
+fn cyclic_graph() -> Diagnostic {
+    Diagnostic::new(
+        "HG207",
+        Severity::Error,
+        "the dependency graph is cyclic; reachability checks skipped",
+    )
+    .with_hint("a TDG must be a DAG — check externally constructed edges")
+}
+
+// ---------------------------------------------------------------------
+// check_program: exhaustive pairwise re-derivation.
+// ---------------------------------------------------------------------
+
+/// Re-derives every `i < j` pair of `program` with the reference
+/// `classify`/`metadata_amount` and cross-checks `Tdg::from_program`'s
+/// output (which runs on bitset profiles) in both directions.
+///
+/// A clean program yields no diagnostics; any divergence between the two
+/// derivation paths — or a stale recorded edge — is an error.
+pub fn check_program(program: &Program, mode: AnalysisMode) -> Vec<Diagnostic> {
+    let tdg = Tdg::from_program(program, mode);
+    let tables = program.tables();
+    let gates: std::collections::BTreeSet<(usize, usize)> =
+        program.gates().iter().copied().collect();
+
+    let mut recorded: BTreeMap<(usize, usize), (DependencyType, u32)> = BTreeMap::new();
+    for e in tdg.edges() {
+        recorded.insert((e.from.index(), e.to.index()), (e.dep, e.bytes));
+    }
+
+    let name = |i: usize| tdg.nodes()[i].name.as_str();
+    let mut out = Vec::new();
+    for i in 0..tables.len() {
+        for j in (i + 1)..tables.len() {
+            let gated = gates.contains(&(i, j));
+            let derived = classify(&tables[i], &tables[j], gated);
+            match (derived, recorded.get(&(i, j))) {
+                (None, None) => {}
+                (Some(dep), None) => out.push(
+                    missing_edge(name(i), name(j), dep)
+                        .with_span(Span::edge(name(i), name(j)).in_program(program.name())),
+                ),
+                (None, Some(&(dep, _))) => out.push(
+                    spurious_edge(name(i), name(j), dep)
+                        .with_span(Span::edge(name(i), name(j)).in_program(program.name())),
+                ),
+                (Some(dep), Some(&(rec_dep, rec_bytes))) => {
+                    if dep != rec_dep {
+                        out.push(
+                            type_mismatch(name(i), name(j), rec_dep, dep)
+                                .with_span(Span::edge(name(i), name(j)).in_program(program.name())),
+                        );
+                    }
+                    let expected = metadata_amount(&tables[i], &tables[j], rec_dep, mode);
+                    if expected != rec_bytes {
+                        out.push(
+                            bytes_mismatch(name(i), name(j), rec_bytes, expected)
+                                .with_span(Span::edge(name(i), name(j)).in_program(program.name())),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+// ---------------------------------------------------------------------
+// check_tdg: recorded-edge validation on arbitrary (e.g. merged) graphs.
+// ---------------------------------------------------------------------
+
+/// Validates every recorded edge of `tdg` against the reference analysis,
+/// and reports transitive redundancy and cycles.
+///
+/// Unlike [`check_program`] this cannot prove edges *missing* — merged
+/// graphs drop folded and cycle-closing edges by design — so it only
+/// judges what is recorded.
+pub fn check_tdg(tdg: &Tdg) -> Vec<Diagnostic> {
+    let n = tdg.node_count();
+    let mode = tdg.mode();
+    let name = |i: usize| tdg.nodes()[i].name.as_str();
+    let mut out = Vec::new();
+
+    for e in tdg.edges() {
+        let (u, v) = (e.from.index(), e.to.index());
+        let (a, b) = (&tdg.nodes()[u].mat, &tdg.nodes()[v].mat);
+        if e.dep != DependencyType::Successor {
+            match classify(a, b, false) {
+                None => out.push(spurious_edge(name(u), name(v), e.dep)),
+                Some(derived) if derived != e.dep => {
+                    if strength(e.dep) < strength(derived) {
+                        out.push(type_downgrade(name(u), name(v), e.dep, derived));
+                    } else {
+                        out.push(type_mismatch(name(u), name(v), e.dep, derived));
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        let expected = metadata_amount(a, b, e.dep, mode);
+        if expected != e.bytes {
+            out.push(bytes_mismatch(name(u), name(v), e.bytes, expected));
+        }
+    }
+
+    let Some(order) = tdg.topo_order() else {
+        out.push(cyclic_graph());
+        out.sort();
+        return out;
+    };
+
+    // Strict-descendant bitsets, reverse topological order.
+    let words = n.div_ceil(64);
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in tdg.edges() {
+        succs[e.from.index()].push(e.to.index());
+    }
+    let mut desc: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    for id in order.iter().rev() {
+        let u = id.index();
+        let mut mine = std::mem::take(&mut desc[u]);
+        for &s in &succs[u] {
+            for (d, &w) in mine.iter_mut().zip(&desc[s]) {
+                *d |= w;
+            }
+            mine[s / 64] |= 1u64 << (s % 64);
+        }
+        desc[u] = mine;
+    }
+    let reaches = |a: usize, b: usize| desc[a][b / 64] & (1u64 << (b % 64)) != 0;
+
+    for e in tdg.edges() {
+        let (u, v) = (e.from.index(), e.to.index());
+        let via = succs[u].iter().copied().filter(|&w| w != v && reaches(w, v)).map(name).min();
+        if let Some(via) = via {
+            out.push(transitive_redundant(name(u), name(v), via));
+        }
+    }
+
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::fields::Field;
+    use hermes_dataplane::library;
+    use hermes_dataplane::mat::{Mat, MatchKind};
+
+    fn meta(name: &str, size: u32) -> Field {
+        Field::metadata(name.to_owned(), size)
+    }
+
+    fn writer(name: &str, f: &Field) -> Mat {
+        Mat::builder(name.to_owned())
+            .action(Action::writing("w", [f.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap()
+    }
+
+    fn reader(name: &str, f: &Field) -> Mat {
+        Mat::builder(name.to_owned())
+            .match_field(f.clone(), MatchKind::Exact)
+            .action(Action::new("n"))
+            .resource(0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn library_programs_cross_check_clean() {
+        for p in library::real_programs() {
+            for mode in [AnalysisMode::PaperLiteral, AnalysisMode::Intersection] {
+                let diags = check_program(&p, mode);
+                assert!(diags.is_empty(), "{}: {diags:?}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn library_merged_graph_validates() {
+        let tdgs: Vec<Tdg> = library::real_programs()
+            .iter()
+            .map(|p| Tdg::from_program(p, AnalysisMode::PaperLiteral))
+            .collect();
+        let merged = hermes_tdg::merge_all(tdgs);
+        let diags = check_tdg(&merged);
+        // Transitive-redundancy infos are expected (from_program records
+        // every dependent pair); errors are not.
+        assert!(diags.iter().all(|d| d.code == "HG205"), "unexpected non-HG205: {diags:?}");
+    }
+
+    #[test]
+    fn spurious_edge_detected() {
+        let f = meta("meta.x", 4);
+        let g = meta("meta.y", 4);
+        // w writes x, r reads y: no dependency, but record a Match edge.
+        let tdg = Tdg::from_mats_and_edges(
+            vec![("p/w".to_owned(), writer("w", &f)), ("p/r".to_owned(), reader("r", &g))],
+            vec![(0, 1, DependencyType::Match)],
+            AnalysisMode::PaperLiteral,
+        );
+        let diags = check_tdg(&tdg);
+        assert!(diags.iter().any(|d| d.code == "HG202"), "{diags:?}");
+    }
+
+    #[test]
+    fn type_downgrade_and_mismatch_detected() {
+        let f = meta("meta.x", 4);
+        // w -> r derives Match; record the weaker ReverseMatch -> HG206.
+        let down = Tdg::from_mats_and_edges(
+            vec![("p/w".to_owned(), writer("w", &f)), ("p/r".to_owned(), reader("r", &f))],
+            vec![(0, 1, DependencyType::ReverseMatch)],
+            AnalysisMode::PaperLiteral,
+        );
+        assert!(check_tdg(&down).iter().any(|d| d.code == "HG206"));
+        // w1 -> w2 derives Action; record the stronger Match -> HG203.
+        let up = Tdg::from_mats_and_edges(
+            vec![("p/w1".to_owned(), writer("w1", &f)), ("p/w2".to_owned(), writer("w2", &f))],
+            vec![(0, 1, DependencyType::Match)],
+            AnalysisMode::PaperLiteral,
+        );
+        assert!(check_tdg(&up).iter().any(|d| d.code == "HG203"));
+    }
+
+    #[test]
+    fn stale_bytes_detected() {
+        let f = meta("meta.x", 4);
+        let tdg = Tdg::from_mats_and_edges(
+            vec![("p/w".to_owned(), writer("w", &f)), ("p/r".to_owned(), reader("r", &f))],
+            vec![(0, 1, DependencyType::Match)],
+            AnalysisMode::PaperLiteral,
+        );
+        // Force every edge weight to zero: the 4-byte Match edge goes stale.
+        let stale = tdg.with_uniform_edge_bytes(0);
+        assert!(check_tdg(&stale).iter().any(|d| d.code == "HG204"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let f = meta("meta.x", 4);
+        let g = meta("meta.y", 4);
+        let a = Mat::builder("a")
+            .match_field(g.clone(), MatchKind::Exact)
+            .action(Action::writing("w", [f.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let b = Mat::builder("b")
+            .match_field(f.clone(), MatchKind::Exact)
+            .action(Action::writing("w", [g.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let tdg = Tdg::from_mats_and_edges(
+            vec![("p/a".to_owned(), a), ("p/b".to_owned(), b)],
+            vec![(0, 1, DependencyType::Match), (1, 0, DependencyType::Match)],
+            AnalysisMode::PaperLiteral,
+        );
+        assert!(check_tdg(&tdg).iter().any(|d| d.code == "HG207"));
+    }
+
+    #[test]
+    fn transitive_redundant_edge_reported() {
+        let f1 = meta("meta.a", 4);
+        let f2 = meta("meta.b", 4);
+        let t1 = writer("t1", &f1);
+        let t2 = Mat::builder("t2")
+            .match_field(f1.clone(), MatchKind::Exact)
+            .action(Action::writing("w", [f2.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let t3 = Mat::builder("t3")
+            .match_field(f1.clone(), MatchKind::Exact)
+            .match_field(f2.clone(), MatchKind::Exact)
+            .action(Action::new("n"))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p =
+            hermes_dataplane::Program::builder("p").table(t1).table(t2).table(t3).build().unwrap();
+        let tdg = Tdg::from_program(&p, AnalysisMode::PaperLiteral);
+        let diags = check_tdg(&tdg);
+        // t1 -> t3 is implied via t2.
+        assert!(
+            diags.iter().any(|d| d.code == "HG205"
+                && d.span.mat.as_deref() == Some("p/t1")
+                && d.span.mat_to.as_deref() == Some("p/t3")),
+            "{diags:?}"
+        );
+        // ...and the exhaustive per-program cross-check stays clean.
+        assert!(check_program(&p, AnalysisMode::PaperLiteral).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Workload audit engine: static diagnostics over programs, TDGs, and
+//! deployment instances, plus pre-solve infeasibility certificates.
+//!
+//! The crate hosts three analysis passes and the typed diagnostic model
+//! they all emit through:
+//!
+//! 1. [`dataflow`] — read-before-write, dead-write/dead-MAT, unused-field
+//!    and conflicting-write detection over the TDG, valid across *all*
+//!    topological orders. Runs on bitsets with a naive `BTreeSet` oracle
+//!    pinned to it by property tests.
+//! 2. [`graphcheck`] — dependency-graph soundness: brute-force pairwise
+//!    re-derivation of 𝕄/𝔸/ℝ/𝕊 edges cross-checked against the recorded
+//!    graph, plus transitive-redundancy and strength-downgrade reporting.
+//! 3. [`audit`] — the orchestrator: lints + dataflow + graph checks over a
+//!    workload, and [`hermes_core::precheck`] certificates over a full
+//!    deployment instance. The `hermes audit` CLI subcommand is a thin
+//!    shell around [`audit::audit_instance`].
+//!
+//! Every finding is a [`Diagnostic`] with a stable machine code (see
+//! [`diag`] for the code-block table), so CI can golden-diff audit output
+//! and editors can filter by code.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod dataflow;
+pub mod diag;
+pub mod graphcheck;
+
+pub use audit::{audit_instance, audit_programs};
+pub use dataflow::{dataflow_diagnostics, dataflow_reference};
+pub use diag::{AuditReport, AuditSummary, Diagnostic, Severity, Span};
+pub use graphcheck::{check_program, check_tdg};

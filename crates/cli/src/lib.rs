@@ -1,8 +1,9 @@
 //! Library backing the `hermes` command-line tool.
 //!
 //! Everything testable lives here: argument parsing, topology-spec
-//! parsing, algorithm lookup, and the four commands (`analyze`, `deploy`,
-//! `simulate`, `chaos`). `main.rs` is a thin shell around [`run`].
+//! parsing, algorithm lookup, and the five commands (`analyze`, `audit`,
+//! `deploy`, `simulate`, `chaos`). `main.rs` is a thin shell around
+//! [`run`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -197,7 +198,7 @@ pub fn solver(
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Options {
-    /// Subcommand: analyze | deploy | simulate | chaos.
+    /// Subcommand: analyze | audit | deploy | simulate | chaos.
     pub command: String,
     /// Program source files.
     pub files: Vec<String>,
@@ -221,6 +222,9 @@ pub struct Options {
     pub trials: Option<u64>,
     /// Control-channel spec (chaos): `none`, `lossy`, or `k=v` pairs.
     pub channel: String,
+    /// Audit the built-in library programs (audit); program files become
+    /// optional and are appended to the workload.
+    pub library: bool,
 }
 
 impl Default for Options {
@@ -238,6 +242,7 @@ impl Default for Options {
             seed: 0,
             trials: None,
             channel: "none".to_owned(),
+            library: false,
         }
     }
 }
@@ -248,6 +253,8 @@ hermes — network-wide data plane program deployment
 
 USAGE:
   hermes analyze  <files…> [--dot]
+  hermes audit    <files…> [--library] [--topology SPEC] [--eps1 US]
+                  [--eps2 N] [--json]
   hermes deploy   <files…> [--topology SPEC] [--solver NAME]
                   [--eps1 US] [--eps2 N] [--time-limit SECS] [--json]
   hermes simulate <files…> [--topology SPEC] [--solver NAME]
@@ -259,6 +266,10 @@ TOPOLOGY SPECS:  linear:N  star:N  fattree:K  wan:1..10  waxman:N,A,B,SEED
 SOLVERS:         greedy exact milp portfolio ffl ffls ms sonata speed mtp
                  fp p4all
 CHANNEL SPECS:   none  lossy  drop=P,dup=P,reorder=P,delay=P,span=US
+
+`audit` runs the static workload audit (lints, TDG dataflow, dependency
+soundness) plus the pre-solve infeasibility bounds for the given topology
+and eps budget. Exit is nonzero iff an error-severity diagnostic fires.
 ";
 
 /// Parses raw arguments (without the binary name).
@@ -271,7 +282,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut iter = args.iter().peekable();
     options.command =
         iter.next().ok_or_else(|| err(format!("missing command\n\n{USAGE}")))?.clone();
-    if !matches!(options.command.as_str(), "analyze" | "deploy" | "simulate" | "chaos") {
+    if !matches!(options.command.as_str(), "analyze" | "audit" | "deploy" | "simulate" | "chaos") {
         return Err(err(format!("unknown command `{}`\n\n{USAGE}", options.command)));
     }
     while let Some(arg) = iter.next() {
@@ -310,13 +321,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--channel" => options.channel = value(&mut iter)?,
             "--dot" => options.dot = true,
             "--json" => options.json = true,
+            "--library" => options.library = true,
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}`\n\n{USAGE}")))
             }
             file => options.files.push(file.to_owned()),
         }
     }
-    if options.files.is_empty() {
+    if options.files.is_empty() && !(options.command == "audit" && options.library) {
         return Err(err(format!("no program files given\n\n{USAGE}")));
     }
     Ok(options)
@@ -426,7 +438,12 @@ fn run_trials(
 /// Returns [`CliError`] on any failure (I/O, parse, deployment).
 pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| err(format!("write failed: {e}"));
-    let programs = load_programs(options)?;
+    let mut programs = if options.library && options.command == "audit" {
+        hermes_dataplane::library::real_programs()
+    } else {
+        Vec::new()
+    };
+    programs.extend(load_programs(options)?);
     let tdg = ProgramAnalyzer::new().analyze(&programs);
 
     match options.command.as_str() {
@@ -444,6 +461,27 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             }
             if options.dot {
                 writeln!(out, "{}", hermes_tdg::to_dot(&tdg)).map_err(io)?;
+            }
+        }
+        "audit" => {
+            let net = parse_topology(&options.topology)?;
+            let eps = Epsilon::new(options.eps1, options.eps2);
+            let report = hermes_analysis::audit_instance(
+                &programs,
+                &net,
+                &eps,
+                hermes_tdg::AnalysisMode::PaperLiteral,
+            );
+            if options.json {
+                writeln!(out, "{}", report.to_json()).map_err(io)?;
+            } else {
+                writeln!(out, "{report}").map_err(io)?;
+            }
+            if report.has_errors() {
+                return Err(err(format!(
+                    "audit found {} error-severity diagnostic(s)",
+                    report.summary.errors
+                )));
             }
         }
         "deploy" => {
@@ -784,6 +822,68 @@ mod tests {
         run(&options, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("\"trials\":5"), "{text}");
+    }
+
+    #[test]
+    fn audit_flags_parse() {
+        let options = parse_args(&args(&["audit", "--library", "--json"])).unwrap();
+        assert_eq!(options.command, "audit");
+        assert!(options.library);
+        assert!(options.json);
+        assert!(options.files.is_empty());
+        // Without --library, audit still needs program files...
+        assert!(parse_args(&args(&["audit"])).is_err());
+        // ...and --library does not excuse other commands from them.
+        assert!(parse_args(&args(&["deploy", "--library"])).is_err());
+    }
+
+    #[test]
+    fn audit_library_is_clean_and_emits_typed_json() {
+        let options =
+            parse_args(&args(&["audit", "--library", "--json", "--topology", "fattree:4"]))
+                .unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"diagnostics\""), "{text}");
+        assert!(text.contains("\"summary\""), "{text}");
+        assert!(text.contains("\"errors\": 0"), "{text}");
+
+        // Pretty mode prints the summary line.
+        let options = Options { json: false, ..options };
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("audit: 0 error(s)"), "{text}");
+    }
+
+    #[test]
+    fn audit_broken_workload_errors_with_stable_codes() {
+        let dir = std::env::temp_dir().join("hermes-cli-audit-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("broken.p4dsl");
+        std::fs::write(
+            &file,
+            r#"
+            program broken {
+                metadata meta.ghost: 4;
+                table r {
+                    key { meta.ghost: exact; }
+                    actions { a { drop(); } }
+                    resource 0.2;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let options = parse_args(&args(&["audit", file.to_str().unwrap(), "--json"])).unwrap();
+        let mut out = Vec::new();
+        let e = run(&options, &mut out).unwrap_err();
+        assert!(e.0.contains("error-severity"), "{e}");
+        let text = String::from_utf8(out).unwrap();
+        // Both the lint and the independent dataflow pass fire.
+        assert!(text.contains("HL001"), "{text}");
+        assert!(text.contains("HD101"), "{text}");
     }
 
     #[test]

@@ -268,6 +268,13 @@ pub enum DeployError {
         /// The externally published bound proven unimprovable.
         bound: u64,
     },
+    /// A pre-solve bound proved the instance infeasible before any search
+    /// ran (see [`crate::precheck::Precheck`]): not a search failure but a
+    /// proof object, returned in well under the time budget.
+    ProvenInfeasible {
+        /// The certificate establishing infeasibility.
+        certificate: crate::precheck::Certificate,
+    },
 }
 
 impl fmt::Display for DeployError {
@@ -282,6 +289,9 @@ impl fmt::Display for DeployError {
             DeployError::NoProgrammableSwitch => f.write_str("network has no programmable switch"),
             DeployError::NoImprovementProven { bound } => {
                 write!(f, "search exhausted: the published bound of {bound} B is optimal")
+            }
+            DeployError::ProvenInfeasible { certificate } => {
+                write!(f, "proven infeasible before search [{}]: {certificate}", certificate.code())
             }
         }
     }

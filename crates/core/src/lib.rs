@@ -47,6 +47,7 @@ pub mod exact;
 pub mod heuristic;
 pub mod incremental;
 pub mod milp_formulation;
+pub mod precheck;
 pub mod refine;
 pub mod report;
 pub mod solver;
@@ -65,6 +66,7 @@ pub use exact::{materialize, OptimalSolver};
 pub use heuristic::{placement_order, GreedyHeuristic, SplitStrategy};
 pub use incremental::{IncrementalDeployer, IncrementalOutcome, RedeployOptions};
 pub use milp_formulation::{build_p1, MilpHermes, P1Variables};
+pub use precheck::{Certificate, Precheck};
 pub use refine::refine;
 pub use report::{diff, explain, PlanDiff};
 pub use solver::{

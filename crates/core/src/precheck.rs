@@ -1,0 +1,516 @@
+//! Pre-solve infeasibility certificates and objective floors.
+//!
+//! Before a portfolio burns its wall-clock budget on an instance, a handful
+//! of O(V + E) bounds can already settle it: if a single MAT exceeds every
+//! switch, if total demand exceeds network capacity, if the ε₂ switch
+//! budget is below the provable minimum, or if ε₁ is below the latency any
+//! feasible plan must pay, no search will ever find a plan. Each such
+//! conclusion is a [`Certificate`] — a machine-readable proof object with a
+//! stable diagnostic code — and [`Precheck::run`] collects all of them.
+//!
+//! Certificates come in two flavors:
+//!
+//! * **Infeasibility certificates** ([`Certificate::is_infeasible`] true):
+//!   the instance provably has no feasible plan. [`Portfolio`] returns
+//!   [`DeployError::ProvenInfeasible`] instantly instead of racing.
+//! * **Objective floors** (`AmaxFloor`): a proven lower bound on `A_max`
+//!   over *all* feasible plans. The portfolio seeds
+//!   [`SearchContext::raise_floor`] with it; a racer whose plan reaches the
+//!   floor is optimal by construction, which upgrades `proven_optimal`
+//!   without waiting for an exhaustion proof.
+//!
+//! Every bound here must be *sound*: it may be arbitrarily loose, but a
+//! certificate must never rule out a feasible instance and a floor must
+//! never exceed the true optimum (`tests/audit_soundness.rs` pins both
+//! against exhaustive search).
+//!
+//! [`Portfolio`]: crate::solver::Portfolio
+//! [`DeployError::ProvenInfeasible`]: crate::deployment::DeployError::ProvenInfeasible
+//! [`SearchContext::raise_floor`]: crate::solver::SearchContext::raise_floor
+
+use crate::deployment::Epsilon;
+use hermes_net::Network;
+use hermes_tdg::{NodeId, Tdg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Float slack for resource comparisons (capacities and demands are
+/// human-scale numbers, so an absolute tolerance suffices).
+const TOL: f64 = 1e-9;
+
+/// A machine-checkable pre-solve conclusion about a deployment instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Certificate {
+    /// The network has no programmable switch that is up, but the TDG has
+    /// MATs to place.
+    NoProgrammableSwitch {
+        /// Number of MATs awaiting placement.
+        nodes: usize,
+    },
+    /// One MAT alone exceeds the total capacity of the largest switch
+    /// (violates Eq. 9 on every switch).
+    MatTooLarge {
+        /// Program-qualified MAT name.
+        mat: String,
+        /// Its resource demand.
+        resource: f64,
+        /// The largest per-switch total capacity available.
+        max_capacity: f64,
+    },
+    /// Total resource demand exceeds the summed capacity of every
+    /// programmable switch that is up (Eq. 9 aggregated).
+    InsufficientCapacity {
+        /// Σ R(a) over all MATs.
+        required: f64,
+        /// Σ stages · C_stage over programmable up switches.
+        available: f64,
+    },
+    /// A dependency chain is longer than any switch pipeline, so the
+    /// program must span at least two switches — but the network has fewer
+    /// programmable switches than that.
+    SwitchFloorExceedsNetwork {
+        /// Minimum number of occupied switches in any feasible plan.
+        needed: usize,
+        /// Programmable switches that are up.
+        programmable: usize,
+    },
+    /// The provable minimum number of occupied switches exceeds the ε₂
+    /// bound (Eq. 5 can never hold).
+    SwitchFloorExceedsBound {
+        /// Minimum `Q_occ` over all feasible plans.
+        needed: usize,
+        /// The administrator's ε₂.
+        bound: usize,
+    },
+    /// The provable minimum end-to-end coordination latency exceeds the ε₁
+    /// bound (Eq. 4 can never hold).
+    LatencyFloorExceedsBound {
+        /// Lower bound on `t_e2e` in microseconds over all feasible plans.
+        floor_us: f64,
+        /// The administrator's ε₁ in microseconds.
+        bound_us: f64,
+    },
+    /// A proven lower bound on `A_max`: some dependency edge must cross
+    /// switches in every feasible plan. Not an infeasibility — the
+    /// portfolio uses it as an objective floor.
+    AmaxFloor {
+        /// `A_max` is at least this many bytes in every feasible plan.
+        bytes: u64,
+        /// Human-readable witness of the mandatory cut.
+        witness: String,
+    },
+}
+
+impl Certificate {
+    /// Stable diagnostic code (`HC3xx` block).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Certificate::NoProgrammableSwitch { .. } => "HC301",
+            Certificate::MatTooLarge { .. } => "HC302",
+            Certificate::InsufficientCapacity { .. } => "HC303",
+            Certificate::SwitchFloorExceedsNetwork { .. } => "HC304",
+            Certificate::SwitchFloorExceedsBound { .. } => "HC305",
+            Certificate::LatencyFloorExceedsBound { .. } => "HC306",
+            Certificate::AmaxFloor { .. } => "HC307",
+        }
+    }
+
+    /// `true` when this certificate proves the instance has no feasible
+    /// plan (everything except the `AmaxFloor` objective bound).
+    pub fn is_infeasible(&self) -> bool {
+        !matches!(self, Certificate::AmaxFloor { .. })
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Certificate::NoProgrammableSwitch { nodes } => {
+                write!(f, "{nodes} MAT(s) to place but no programmable switch is up")
+            }
+            Certificate::MatTooLarge { mat, resource, max_capacity } => write!(
+                f,
+                "MAT `{mat}` needs R={resource:.2} but the largest switch holds {max_capacity:.2}"
+            ),
+            Certificate::InsufficientCapacity { required, available } => write!(
+                f,
+                "total demand {required:.2} exceeds total programmable capacity {available:.2}"
+            ),
+            Certificate::SwitchFloorExceedsNetwork { needed, programmable } => write!(
+                f,
+                "any plan occupies >= {needed} switches but only {programmable} are programmable"
+            ),
+            Certificate::SwitchFloorExceedsBound { needed, bound } => {
+                write!(f, "any plan occupies >= {needed} switches but eps2 = {bound}")
+            }
+            Certificate::LatencyFloorExceedsBound { floor_us, bound_us } => write!(
+                f,
+                "any plan pays >= {floor_us:.1} us of coordination latency but eps1 = {bound_us:.1} us"
+            ),
+            Certificate::AmaxFloor { bytes, witness } => {
+                write!(f, "A_max >= {bytes} B in every feasible plan ({witness})")
+            }
+        }
+    }
+}
+
+/// The result of running every pre-solve bound on one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Precheck {
+    /// Certificates in a deterministic order (infeasibility first, floors
+    /// last).
+    pub certificates: Vec<Certificate>,
+}
+
+impl Precheck {
+    /// Runs every bound. O(V + E + S log S) — cheap enough to run in front
+    /// of every solve.
+    pub fn run(tdg: &Tdg, net: &Network, eps: &Epsilon) -> Precheck {
+        let mut certs = Vec::new();
+        let n = tdg.node_count();
+        if n == 0 {
+            return Precheck { certificates: certs };
+        }
+
+        let prog = net.programmable_switches();
+        if prog.is_empty() {
+            certs.push(Certificate::NoProgrammableSwitch { nodes: n });
+            return Precheck { certificates: certs };
+        }
+
+        // Per-switch capacities, descending — the prefix-sum argument
+        // below needs the greedy (largest-first) packing order.
+        let mut caps: Vec<f64> = prog.iter().map(|&s| net.switch(s).total_capacity()).collect();
+        caps.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        let cap_max = caps[0];
+
+        for node in tdg.nodes() {
+            if node.mat.resource() > cap_max + TOL {
+                certs.push(Certificate::MatTooLarge {
+                    mat: node.name.clone(),
+                    resource: node.mat.resource(),
+                    max_capacity: cap_max,
+                });
+            }
+        }
+
+        let required = tdg.total_resource();
+        let available: f64 = caps.iter().sum();
+        if required > available + TOL {
+            certs.push(Certificate::InsufficientCapacity { required, available });
+        }
+
+        // Minimum occupied switches: even packing greedily into the
+        // largest switches, `needed` of them are required to hold Σ R.
+        // Any real plan fragments at least this much, so this is a valid
+        // lower bound on Q_occ.
+        let mut needed = 1usize;
+        {
+            let mut acc = 0.0;
+            let mut k = 0usize;
+            while acc + TOL < required && k < caps.len() {
+                acc += caps[k];
+                k += 1;
+            }
+            needed = needed.max(k.max(1));
+        }
+
+        // Chain bound: `longest` MATs in dependency sequence need strictly
+        // increasing stages when co-resident (Eq. 8), so a chain longer
+        // than the deepest pipeline must split across >= 2 switches —
+        // and the chain's bottleneck edge byte count floors A_max.
+        let max_stages = prog.iter().map(|&s| net.switch(s).stages).max().unwrap_or(0);
+        let longest = longest_chain(tdg);
+        let mut amax_floor = 0u64;
+        let mut witness = String::new();
+        let mut route_needed = false;
+        if let Some((len, path)) = &longest {
+            if *len > max_stages {
+                route_needed = true;
+                needed = needed.max(2);
+                if prog.len() < 2 {
+                    certs.push(Certificate::SwitchFloorExceedsNetwork {
+                        needed: 2,
+                        programmable: prog.len(),
+                    });
+                }
+                if let Some(bottleneck) = chain_bottleneck(tdg, path) {
+                    if bottleneck > amax_floor {
+                        amax_floor = bottleneck;
+                        witness = format!(
+                            "a {len}-MAT chain exceeds the deepest {max_stages}-stage pipeline; \
+                             its weakest edge carries {bottleneck} B"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Pairwise bound: an edge whose endpoints cannot share even the
+        // largest switch must cross in every plan, so its bytes floor
+        // A_max directly.
+        for e in tdg.edges() {
+            let (a, b) = (tdg.node(e.from), tdg.node(e.to));
+            if a.mat.resource() + b.mat.resource() > cap_max + TOL {
+                route_needed = true;
+                needed = needed.max(2);
+                if u64::from(e.bytes) > amax_floor {
+                    amax_floor = u64::from(e.bytes);
+                    witness = format!(
+                        "`{}` -> `{}` cannot co-reside (R = {:.2} + {:.2} > {:.2})",
+                        a.name,
+                        b.name,
+                        a.mat.resource(),
+                        b.mat.resource(),
+                        cap_max
+                    );
+                }
+            }
+        }
+
+        if needed > eps.max_switches {
+            certs.push(Certificate::SwitchFloorExceedsBound { needed, bound: eps.max_switches });
+        }
+
+        // Latency floor: every inter-switch route pays at least its two
+        // (distinct, programmable) endpoint switches plus one link. A
+        // weakly connected TDG spread over `needed` switches crosses at
+        // least `needed - 1` distinct switch pairs.
+        let mut min_routes = usize::from(route_needed);
+        if needed >= 2 && tdg.edge_count() > 0 && weakly_connected(tdg) {
+            min_routes = min_routes.max(needed - 1);
+        }
+        if min_routes > 0 && eps.max_latency_us.is_finite() {
+            let mut lats: Vec<f64> = prog.iter().map(|&s| net.switch(s).latency_us).collect();
+            lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let endpoint_floor = if lats.len() >= 2 { lats[0] + lats[1] } else { lats[0] };
+            let min_link = net
+                .links()
+                .iter()
+                .filter(|l| net.is_link_up(l.a, l.b))
+                .map(|l| l.latency_us)
+                .fold(f64::INFINITY, f64::min);
+            // No up link at all still lower-bounds each route by its
+            // endpoints (the route itself is then impossible, but the
+            // weaker bound keeps the certificate finite and sound).
+            let link_floor = if min_link.is_finite() { min_link } else { 0.0 };
+            let floor_us = min_routes as f64 * (endpoint_floor + link_floor);
+            if floor_us > eps.max_latency_us {
+                certs.push(Certificate::LatencyFloorExceedsBound {
+                    floor_us,
+                    bound_us: eps.max_latency_us,
+                });
+            }
+        }
+
+        if amax_floor > 0 {
+            certs.push(Certificate::AmaxFloor { bytes: amax_floor, witness });
+        }
+
+        // Deterministic presentation: infeasibility certificates first
+        // (stable within each class by construction order above).
+        certs.sort_by_key(|c| usize::from(!c.is_infeasible()));
+        Precheck { certificates: certs }
+    }
+
+    /// The first infeasibility certificate, if any.
+    pub fn infeasible(&self) -> Option<&Certificate> {
+        self.certificates.iter().find(|c| c.is_infeasible())
+    }
+
+    /// The proven lower bound on `A_max` (0 when no mandatory cut exists).
+    pub fn amax_floor(&self) -> u64 {
+        self.certificates
+            .iter()
+            .filter_map(|c| match c {
+                Certificate::AmaxFloor { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Longest path in the DAG by node count, with one witness path.
+/// `None` when the graph is cyclic (the audit reports that separately;
+/// no chain bound is emitted then).
+fn longest_chain(tdg: &Tdg) -> Option<(usize, Vec<NodeId>)> {
+    let order = tdg.topo_order()?;
+    let n = tdg.node_count();
+    // dist[v] = longest chain ending at v (in nodes); pred for the witness.
+    let mut dist = vec![1usize; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    for &u in &order {
+        for e in tdg.out_edges(u) {
+            let v = e.to;
+            if dist[u.index()] + 1 > dist[v.index()] {
+                dist[v.index()] = dist[u.index()] + 1;
+                pred[v.index()] = Some(u);
+            }
+        }
+    }
+    let end = order.iter().copied().max_by_key(|v| dist[v.index()])?;
+    let mut path = vec![end];
+    while let Some(p) = pred[path.last().unwrap().index()] {
+        path.push(p);
+    }
+    path.reverse();
+    Some((dist[end.index()], path))
+}
+
+/// The smallest edge weight along consecutive `path` hops — the bytes any
+/// split of the chain must pay at minimum.
+fn chain_bottleneck(tdg: &Tdg, path: &[NodeId]) -> Option<u64> {
+    path.windows(2)
+        .map(|w| {
+            tdg.out_edges(w[0])
+                .filter(|e| e.to == w[1])
+                .map(|e| u64::from(e.bytes))
+                .max()
+                .unwrap_or(0)
+        })
+        .min()
+}
+
+/// Undirected connectivity of the dependency graph.
+fn weakly_connected(tdg: &Tdg) -> bool {
+    let n = tdg.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in tdg.edges() {
+        adj[e.from.index()].push(e.to.index());
+        adj[e.to.index()].push(e.from.index());
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 0usize;
+    while let Some(u) = stack.pop() {
+        count += 1;
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    count == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{chain_tdg, tiny_switches};
+    use hermes_net::{topology, Switch};
+
+    #[test]
+    fn empty_tdg_yields_no_certificates() {
+        let tdg = Tdg::new(hermes_tdg::AnalysisMode::Intersection);
+        let net = tiny_switches(2, 2, 1.0);
+        let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
+        assert!(pre.certificates.is_empty());
+        assert!(pre.infeasible().is_none());
+        assert_eq!(pre.amax_floor(), 0);
+    }
+
+    #[test]
+    fn no_programmable_switch_is_certified() {
+        let tdg = chain_tdg(&[4], 0.5);
+        let mut net = hermes_net::Network::new();
+        net.add_switch(Switch::legacy("l0"));
+        let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
+        let cert = pre.infeasible().expect("infeasible");
+        assert_eq!(cert.code(), "HC301");
+    }
+
+    #[test]
+    fn oversized_mat_is_certified() {
+        // Each switch holds 2 stages x 0.5 = 1.0; one MAT demands 3.0.
+        let tdg = chain_tdg(&[4], 3.0);
+        let net = tiny_switches(2, 2, 0.5);
+        let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
+        assert!(pre.certificates.iter().any(|c| matches!(c, Certificate::MatTooLarge { .. })));
+    }
+
+    #[test]
+    fn total_demand_over_capacity_is_certified() {
+        // 3 MATs x 0.8 = 2.4 demand vs 2 switches x 1.0 capacity.
+        let tdg = chain_tdg(&[1, 1], 0.8);
+        let net = tiny_switches(2, 2, 0.5);
+        let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
+        assert!(pre
+            .certificates
+            .iter()
+            .any(|c| matches!(c, Certificate::InsufficientCapacity { .. })));
+    }
+
+    #[test]
+    fn switch_floor_vs_eps2_is_certified() {
+        // 4 MATs x 0.5 need 2 switches of capacity 1.0, eps2 = 1.
+        let tdg = chain_tdg(&[1, 1, 1], 0.5);
+        let net = tiny_switches(3, 2, 0.5);
+        let eps = Epsilon::new(f64::INFINITY, 1);
+        let pre = Precheck::run(&tdg, &net, &eps);
+        let cert = pre.infeasible().expect("infeasible");
+        assert_eq!(cert.code(), "HC305");
+        assert!(matches!(cert, Certificate::SwitchFloorExceedsBound { needed: 2, bound: 1 }));
+    }
+
+    #[test]
+    fn latency_floor_vs_eps1_is_certified() {
+        // Forced split (2.4 demand over 1.0-capacity switches) and an eps1
+        // below one hop of the 1 us + 10 us + 1 us linear testbed.
+        let tdg = chain_tdg(&[1, 1], 0.8);
+        let net = tiny_switches(4, 2, 0.5);
+        let eps = Epsilon::new(5.0, usize::MAX);
+        let pre = Precheck::run(&tdg, &net, &eps);
+        assert!(pre
+            .certificates
+            .iter()
+            .any(|c| matches!(c, Certificate::LatencyFloorExceedsBound { .. })));
+    }
+
+    #[test]
+    fn mandatory_cut_floors_amax() {
+        // Two 0.7-resource MATs cannot share a 1.0-capacity switch; the
+        // 9-byte edge between them must cross.
+        let tdg = chain_tdg(&[9], 0.7);
+        let net = tiny_switches(2, 2, 0.5);
+        let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
+        assert!(pre.infeasible().is_none(), "{:?}", pre.certificates);
+        assert_eq!(pre.amax_floor(), 9);
+    }
+
+    #[test]
+    fn chain_longer_than_pipeline_forces_split() {
+        // 5-node chain vs 2-stage switches: must split; bottleneck edge
+        // floors A_max at the minimum edge byte count.
+        let tdg = chain_tdg(&[7, 5, 6, 8], 0.1);
+        let net = tiny_switches(3, 2, 0.5);
+        let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
+        assert!(pre.infeasible().is_none());
+        assert_eq!(pre.amax_floor(), 5);
+    }
+
+    #[test]
+    fn feasible_instance_yields_no_infeasibility() {
+        let tdg = chain_tdg(&[1, 4], 0.2);
+        let net = topology::linear(3, 10.0);
+        let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
+        assert!(pre.infeasible().is_none(), "{:?}", pre.certificates);
+    }
+
+    #[test]
+    fn certificates_sort_infeasible_first() {
+        // Oversized MAT (infeasible) + mandatory cut (floor): the
+        // infeasibility must lead.
+        let tdg = chain_tdg(&[9, 3], 1.5);
+        let net = tiny_switches(2, 2, 0.5);
+        let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
+        assert!(pre.certificates.len() >= 2);
+        assert!(pre.certificates[0].is_infeasible());
+        assert!(!pre.certificates.last().unwrap().is_infeasible());
+    }
+}

@@ -93,6 +93,7 @@ pub struct SearchContext {
     deadline: Option<Instant>,
     cancel: CancelToken,
     incumbent: Arc<AtomicU64>,
+    floor: Arc<AtomicU64>,
 }
 
 impl Default for SearchContext {
@@ -108,6 +109,7 @@ impl SearchContext {
             deadline: None,
             cancel: CancelToken::new(),
             incumbent: Arc::new(AtomicU64::new(NO_BOUND)),
+            floor: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -163,6 +165,24 @@ impl SearchContext {
     /// bound and rely on some racer holding a plan that attains it.
     pub fn publish_incumbent(&self, objective: u64) -> bool {
         self.incumbent.fetch_min(objective, Ordering::Relaxed) > objective
+    }
+
+    /// The proven lower bound on the objective (0 when none was raised).
+    ///
+    /// A feasible plan whose objective reaches this floor is optimal by
+    /// construction — no exhaustion proof needed.
+    pub fn objective_floor(&self) -> u64 {
+        self.floor.load(Ordering::Relaxed)
+    }
+
+    /// Raises the objective floor (`fetch_max` semantics — the slot only
+    /// ever grows). Returns `true` when `bound` improved the floor.
+    ///
+    /// Only *proven* lower bounds over all feasible plans may be raised
+    /// (e.g. a [`Precheck`](crate::precheck::Precheck) mandatory-cut
+    /// certificate): racers treat a plan at the floor as optimal.
+    pub fn raise_floor(&self, bound: u64) -> bool {
+        self.floor.fetch_max(bound, Ordering::Relaxed) < bound
     }
 }
 
@@ -394,6 +414,15 @@ impl Portfolio {
                 reason: "portfolio has no racers".to_owned(),
             });
         }
+        // Pre-solve bounds: a proven-infeasible instance returns instantly
+        // (certificate in hand) instead of burning the budget; a proven
+        // A_max floor seeds the shared context so a racer reaching it is
+        // optimal without an exhaustion proof.
+        let precheck = crate::precheck::Precheck::run(tdg, net, eps);
+        if let Some(cert) = precheck.infeasible() {
+            return Err(DeployError::ProvenInfeasible { certificate: cert.clone() });
+        }
+        ctx.raise_floor(precheck.amax_floor());
         let start = Instant::now();
         let results: Vec<Result<SolveOutcome, DeployError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -407,7 +436,11 @@ impl Portfolio {
                             // Belt and braces: solvers publish themselves,
                             // but the race must never lose a bound.
                             child.publish_incumbent(outcome.objective);
-                            if outcome.proven_optimal {
+                            // A plan at the proven objective floor cannot
+                            // be beaten — stop the other racers too.
+                            if outcome.proven_optimal
+                                || outcome.objective <= child.objective_floor()
+                            {
                                 child.cancel_token().cancel();
                             }
                         }
@@ -481,8 +514,11 @@ impl Portfolio {
         };
         let mut outcome = results.into_iter().nth(winner).expect("winner index").expect("is Ok");
         // Any racer's exhaustion certificate at or above the winning
-        // objective proves the winner optimal.
-        if reports.iter().filter_map(|r| r.proven_bound).any(|b| outcome.objective <= b) {
+        // objective — or the precheck's proven floor — certifies the
+        // winner optimal.
+        if reports.iter().filter_map(|r| r.proven_bound).any(|b| outcome.objective <= b)
+            || outcome.objective <= ctx.objective_floor()
+        {
             outcome.proven_optimal = true;
         }
         Ok(RaceReport { winner, outcome, wall, reports })
@@ -638,6 +674,46 @@ mod tests {
         assert_eq!(Portfolio::standard(2).racer_names().len(), 2);
         assert_eq!(Portfolio::standard(4).racer_names().len(), 4);
         assert_eq!(Portfolio::standard(16).racer_names().len(), 4);
+    }
+
+    #[test]
+    fn context_floor_is_monotone_and_shared() {
+        let ctx = SearchContext::unbounded();
+        assert_eq!(ctx.objective_floor(), 0);
+        assert!(ctx.raise_floor(7));
+        assert!(!ctx.raise_floor(5), "lower floor must not stick");
+        let clone = ctx.clone();
+        assert_eq!(clone.objective_floor(), 7);
+        assert!(clone.raise_floor(9));
+        assert_eq!(ctx.objective_floor(), 9);
+    }
+
+    #[test]
+    fn portfolio_returns_proven_infeasible_instantly() {
+        // eps2 = 1 but the 4 x 0.5 MATs need two 1.0-capacity switches:
+        // the precheck settles it without consuming the 10 s budget.
+        let tdg = chain_tdg(&[1, 1, 1], 0.5);
+        let net = tiny_switches(3, 2, 0.5);
+        let eps = Epsilon::new(f64::INFINITY, 1);
+        let start = Instant::now();
+        let err = Portfolio::greedy_exact()
+            .race(&tdg, &net, &eps, &SearchContext::with_time_limit(Duration::from_secs(10)))
+            .unwrap_err();
+        assert!(matches!(err, DeployError::ProvenInfeasible { .. }), "{err}");
+        assert!(start.elapsed() < Duration::from_millis(100), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn mandatory_cut_floor_certifies_the_winner() {
+        // Two 0.7 MATs cannot share a 1.0-capacity switch, so A_max >= 9;
+        // any plan achieving 9 is optimal via the floor alone.
+        let tdg = chain_tdg(&[9], 0.7);
+        let net = tiny_switches(2, 2, 0.5);
+        let ctx = SearchContext::with_time_limit(Duration::from_secs(10));
+        let race = Portfolio::greedy_exact().race(&tdg, &net, &Epsilon::loose(), &ctx).unwrap();
+        assert_eq!(ctx.objective_floor(), 9);
+        assert_eq!(race.outcome.objective, 9);
+        assert!(race.outcome.proven_optimal);
     }
 
     #[test]

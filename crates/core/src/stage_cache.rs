@@ -34,7 +34,7 @@
 
 use crate::stage_assign::Packing;
 use hermes_tdg::{NodeId, Tdg};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Hard cap on cached entries across all shapes; the cache clears itself
 /// when exceeded so degenerate workloads cannot grow it without bound.
@@ -61,7 +61,7 @@ pub struct StageCacheStats {
 }
 
 /// Fingerprint -> verdict map for one pipeline shape (`None` = infeasible).
-type ShapeMap = HashMap<Box<[u64]>, Option<PackEntry>>;
+type ShapeMap = BTreeMap<Box<[u64]>, Option<PackEntry>>;
 
 /// Memoized stage-feasibility cache for one TDG.
 ///
@@ -75,7 +75,7 @@ pub struct StageFeasCache {
     /// Node index -> topo rank.
     topo_pos: Vec<u32>,
     /// `(stages, stage_capacity.to_bits())` -> fingerprint -> verdict.
-    shapes: HashMap<(usize, u64), ShapeMap>,
+    shapes: BTreeMap<(usize, u64), ShapeMap>,
     entries: usize,
     key_scratch: Vec<u64>,
     stats: StageCacheStats,
@@ -97,7 +97,7 @@ impl StageFeasCache {
             node_count: tdg.node_count(),
             topo_order,
             topo_pos,
-            shapes: HashMap::new(),
+            shapes: BTreeMap::new(),
             entries: 0,
             key_scratch: Vec::new(),
             stats: StageCacheStats::default(),

@@ -107,6 +107,27 @@ pub enum Violation {
     },
 }
 
+impl Violation {
+    /// Stable diagnostic code (`HV4xx` block), so violations re-emit
+    /// unchanged through the `hermes-analysis` diagnostics framework.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Violation::NodeUnplaced { .. } => "HV401",
+            Violation::NodeOnMultipleSwitches { .. } => "HV402",
+            Violation::NonProgrammableHost { .. } => "HV403",
+            Violation::DownHost { .. } => "HV404",
+            Violation::StageOutOfRange { .. } => "HV405",
+            Violation::ResourceShortfall { .. } => "HV406",
+            Violation::MissingRoute { .. } => "HV407",
+            Violation::BrokenRoute { .. } => "HV408",
+            Violation::StageOrder { .. } => "HV409",
+            Violation::StageOverload { .. } => "HV410",
+            Violation::LatencyBound { .. } => "HV411",
+            Violation::SwitchBound { .. } => "HV412",
+        }
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

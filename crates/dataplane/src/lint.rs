@@ -9,7 +9,7 @@
 
 use crate::fields::Field;
 use crate::program::Program;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// One lint finding.
@@ -51,6 +51,46 @@ pub enum Lint {
         /// Installed rules.
         rules: usize,
     },
+    /// Two *different* tables carry the same name — within one program, or
+    /// across programs with different structure. (Structurally identical
+    /// same-named tables across programs are the intended merge-redundancy
+    /// case and are not reported.)
+    DuplicateTableName {
+        /// The clashing table name.
+        table: String,
+        /// Program declaring the first occurrence.
+        first_program: String,
+        /// Program declaring the clashing occurrence.
+        second_program: String,
+    },
+    /// Tables in two different programs write the same metadata field:
+    /// the downstream program silently clobbers the upstream value.
+    /// (Again, structurally identical tables — shared, to-be-merged MATs —
+    /// are exempt.)
+    CrossProgramSharedWrite {
+        /// The doubly-written field.
+        field: String,
+        /// Program-qualified upstream writer.
+        first_table: String,
+        /// Program-qualified downstream writer.
+        second_table: String,
+    },
+}
+
+impl Lint {
+    /// Stable diagnostic code (`HL0xx` block), fixed for the lifetime of
+    /// the tool so external tooling can filter on it.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Lint::MetadataReadBeforeWrite { .. } => "HL001",
+            Lint::MetadataNeverConsumed { .. } => "HL002",
+            Lint::TableWithoutActions { .. } => "HL003",
+            Lint::RedundantGate { .. } => "HL004",
+            Lint::OversizedCapacity { .. } => "HL005",
+            Lint::DuplicateTableName { .. } => "HL006",
+            Lint::CrossProgramSharedWrite { .. } => "HL007",
+        }
+    }
 }
 
 impl fmt::Display for Lint {
@@ -69,6 +109,16 @@ impl fmt::Display for Lint {
             Lint::OversizedCapacity { table, capacity, rules } => {
                 write!(f, "`{table}` declares capacity {capacity} but installs {rules} rules")
             }
+            Lint::DuplicateTableName { table, first_program, second_program } => write!(
+                f,
+                "table name `{table}` is declared by `{first_program}` and, with different \
+                 structure, by `{second_program}`"
+            ),
+            Lint::CrossProgramSharedWrite { field, first_table, second_table } => write!(
+                f,
+                "`{first_table}` and `{second_table}` both write metadata `{field}` across \
+                 programs; the later write clobbers the earlier one"
+            ),
         }
     }
 }
@@ -136,6 +186,61 @@ pub fn lint_composition(programs: &[Program]) -> Vec<Lint> {
                 capacity: t.capacity(),
                 rules: t.rules().len(),
             });
+        }
+    }
+
+    // Duplicate table names. Within a program every repeat clashes;
+    // across programs only structurally *different* tables do — identical
+    // signatures are the shared-MAT redundancy the TDG merge eliminates.
+    {
+        let mut by_name: BTreeMap<&str, Vec<(&Program, &crate::mat::Mat)>> = BTreeMap::new();
+        for &(p, t) in &tables {
+            by_name.entry(t.name()).or_default().push((p, t));
+        }
+        for (name, occurrences) in by_name {
+            for (i, &(p2, t2)) in occurrences.iter().enumerate().skip(1) {
+                let clashing = occurrences[..i]
+                    .iter()
+                    .find(|(p1, t1)| std::ptr::eq(*p1, p2) || t1.signature() != t2.signature());
+                if let Some(&(p1, _)) = clashing {
+                    findings.push(Lint::DuplicateTableName {
+                        table: name.to_owned(),
+                        first_program: p1.name().to_owned(),
+                        second_program: p2.name().to_owned(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Cross-program writes to one metadata field: the later program
+    // silently clobbers the earlier one's value. Identical-signature
+    // writers (shared MATs) are exempt for the same reason as above.
+    {
+        let mut writers: BTreeMap<Field, Vec<(&Program, &crate::mat::Mat)>> = BTreeMap::new();
+        for &(p, t) in &tables {
+            for f in t.written_metadata() {
+                writers.entry(f).or_default().push((p, t));
+            }
+        }
+        for (field, ws) in writers {
+            // One finding per field: the first cross-program pair of
+            // structurally different writers (writer lists are short, so
+            // the quadratic scan is immaterial).
+            let clash = ws
+                .iter()
+                .enumerate()
+                .flat_map(|(i, w2)| ws[..i].iter().map(move |w1| (w1, w2)))
+                .find(|((p1, t1), (p2, t2))| {
+                    !std::ptr::eq(*p1, *p2) && t1.signature() != t2.signature()
+                });
+            if let Some((&(p1, t1), &(p2, t2))) = clash {
+                findings.push(Lint::CrossProgramSharedWrite {
+                    field: field.name().to_owned(),
+                    first_table: format!("{}/{}", p1.name(), t1.name()),
+                    second_table: format!("{}/{}", p2.name(), t2.name()),
+                });
+            }
         }
     }
 
@@ -283,6 +388,110 @@ mod tests {
             .unwrap();
         let p = Program::builder("p").table(t).build().unwrap();
         assert!(lint(&p).iter().any(|l| matches!(l, Lint::OversizedCapacity { .. })));
+    }
+
+    #[test]
+    fn duplicate_name_within_program_rejected_at_construction() {
+        // The builder already refuses same-name tables inside one program,
+        // so the lint's live path is the cross-program one below.
+        let mk = || Mat::builder("dup").action(Action::new("a")).resource(0.1).build().unwrap();
+        let err = Program::builder("p").table(mk()).table(mk()).build().unwrap_err();
+        assert!(format!("{err:?}").contains("dup"));
+    }
+
+    #[test]
+    fn duplicate_name_across_programs_needs_different_structure() {
+        // `signature()` covers match keys, actions, and capacity — vary
+        // capacity to make structurally different same-named tables.
+        let mk = |cap: usize| {
+            Mat::builder("shared")
+                .action(Action::new("a"))
+                .capacity(cap)
+                .resource(0.1)
+                .build()
+                .unwrap()
+        };
+        // Identical signature: the intended merge-redundancy case.
+        let pa = Program::builder("a").table(mk(64)).build().unwrap();
+        let pb = Program::builder("b").table(mk(64)).build().unwrap();
+        assert!(!lint_composition(&[pa.clone(), pb])
+            .iter()
+            .any(|l| matches!(l, Lint::DuplicateTableName { .. })));
+        // Different capacity -> different signature -> clash.
+        let pc = Program::builder("c").table(mk(128)).build().unwrap();
+        let findings = lint_composition(&[pa, pc]);
+        assert!(
+            findings.iter().any(|l| matches!(
+                l,
+                Lint::DuplicateTableName { second_program, .. } if second_program == "c"
+            )),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn cross_program_shared_write_detected() {
+        let f = meta("meta.clobbered", 4);
+        let mk = |name: &str, cap: usize| {
+            Mat::builder(name.to_owned())
+                .action(Action::writing("w", [f.clone()]))
+                .capacity(cap)
+                .resource(0.1)
+                .build()
+                .unwrap()
+        };
+        // Structurally different writers in different programs: clobber.
+        let pa = Program::builder("a").table(mk("wa", 64)).build().unwrap();
+        let pb = Program::builder("b").table(mk("wb", 128)).build().unwrap();
+        let findings = lint_composition(&[pa.clone(), pb]);
+        assert!(
+            findings.iter().any(|l| matches!(
+                l,
+                Lint::CrossProgramSharedWrite { field, .. } if field == "meta.clobbered"
+            )),
+            "{findings:?}"
+        );
+        // An identical-signature writer shared across programs is the
+        // merge case (folded into one MAT), not a clobber.
+        let pb2 = Program::builder("b").table(mk("wb", 64)).build().unwrap();
+        assert!(!lint_composition(&[pa, pb2])
+            .iter()
+            .any(|l| matches!(l, Lint::CrossProgramSharedWrite { .. })));
+    }
+
+    #[test]
+    fn lint_codes_are_stable() {
+        let mk = |l: &Lint| l.code().to_owned();
+        assert_eq!(
+            mk(&Lint::MetadataReadBeforeWrite { table: String::new(), field: String::new() }),
+            "HL001"
+        );
+        assert_eq!(
+            mk(&Lint::MetadataNeverConsumed { table: String::new(), field: String::new() }),
+            "HL002"
+        );
+        assert_eq!(mk(&Lint::TableWithoutActions { table: String::new() }), "HL003");
+        assert_eq!(mk(&Lint::RedundantGate { from: String::new(), to: String::new() }), "HL004");
+        assert_eq!(
+            mk(&Lint::OversizedCapacity { table: String::new(), capacity: 0, rules: 0 }),
+            "HL005"
+        );
+        assert_eq!(
+            mk(&Lint::DuplicateTableName {
+                table: String::new(),
+                first_program: String::new(),
+                second_program: String::new(),
+            }),
+            "HL006"
+        );
+        assert_eq!(
+            mk(&Lint::CrossProgramSharedWrite {
+                field: String::new(),
+                first_table: String::new(),
+                second_table: String::new(),
+            }),
+            "HL007"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use hermes_analysis as analysis;
 pub use hermes_backend as backend;
 pub use hermes_baselines as baselines;
 pub use hermes_core as core;
