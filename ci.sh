@@ -23,6 +23,9 @@ cargo test -q --release --test solver_portfolio
 echo "==> hot-path equivalence suite"
 cargo test -q --release --test eval_equivalence
 
+echo "==> migration property suite + mid-migration chaos soak"
+cargo test -q --release --test migration --test migration_chaos
+
 echo "==> hot-path evaluator smoke"
 cargo run -q --release -p hermes-bench --bin hotpath -- --smoke
 
@@ -51,5 +54,15 @@ if [[ "$smoke_a" != "$smoke_b" ]]; then
   exit 1
 fi
 echo "smoke output stable: $smoke_a"
+
+echo "==> migration determinism smoke (staged vs all-at-once, virtual clock)"
+mig_a="$(cargo run -q --release -p hermes-bench --bin migration -- --smoke)"
+mig_b="$(cargo run -q --release -p hermes-bench --bin migration -- --smoke)"
+if [[ "$mig_a" != "$mig_b" ]]; then
+  echo "migration smoke is nondeterministic:" >&2
+  diff <(printf '%s\n' "$mig_a") <(printf '%s\n' "$mig_b") >&2 || true
+  exit 1
+fi
+echo "smoke output stable: $mig_a"
 
 echo "CI OK"

@@ -1,9 +1,15 @@
 //! Library backing the `hermes` command-line tool.
 //!
 //! Everything testable lives here: argument parsing, topology-spec
-//! parsing, algorithm lookup, and the five commands (`analyze`, `audit`,
-//! `deploy`, `simulate`, `chaos`). `main.rs` is a thin shell around
-//! [`run`].
+//! parsing, algorithm lookup, and the six commands (`analyze`, `audit`,
+//! `deploy`, `simulate`, `chaos`, `migrate`). `main.rs` is a thin shell
+//! around [`run`].
+//!
+//! User-supplied values (`--channel`, `--solver`, `--order`, numbers)
+//! parse into typed errors — [`ChannelSpecError`], [`UnknownSolverError`],
+//! [`OrderSpecError`] — at argument-parse time where possible; nothing on
+//! the input path unwraps (`clippy.toml` disallows `unwrap`/`expect` in
+//! this crate outside tests).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -12,16 +18,17 @@ use hermes_backend::config::generate;
 use hermes_backend::simulate::{simulate_plan, PlanFlowConfig};
 use hermes_baselines::{FirstFitByLevel, FirstFitByLevelAndSize, IlpBaseline, IlpConfig, Sonata};
 use hermes_core::{
-    explain, verify, Budgeted, DeploymentAlgorithm, Epsilon, GreedyHeuristic, MilpHermes,
-    OptimalSolver, Portfolio, ProgramAnalyzer,
+    explain, verify, Budgeted, DeploymentAlgorithm, Epsilon, GreedyHeuristic, IncrementalDeployer,
+    MigrationOrder, MigrationProblem, MigrationScheduler, MilpHermes, OptimalSolver, Portfolio,
+    ProgramAnalyzer, RedeployOptions, SearchContext,
 };
 use hermes_dataplane::lint::lint_composition;
 use hermes_dataplane::parser::parse_programs;
 use hermes_net::topology::{self, WanConfig};
-use hermes_net::Network;
+use hermes_net::{Network, SwitchId};
 use hermes_runtime::{
-    ChannelProfile, DeploymentRuntime, Event, FaultInjector, FaultProfile, RetryPolicy,
-    RolloutOutcome,
+    ChannelProfile, DeploymentRuntime, Event, FaultInjector, FaultProfile, MigrationConfig,
+    RetryPolicy, RolloutOutcome,
 };
 use std::fmt;
 use std::time::Duration;
@@ -90,14 +97,39 @@ pub fn parse_topology(spec: &str) -> Result<Network, CliError> {
     }
 }
 
+/// `--channel` got a malformed or out-of-range spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpecError {
+    /// The rejected spec, as given.
+    pub spec: String,
+    /// What is wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for ChannelSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "channel spec `{}`: {}", self.spec, self.detail)
+    }
+}
+
+impl std::error::Error for ChannelSpecError {}
+
+impl From<ChannelSpecError> for CliError {
+    fn from(e: ChannelSpecError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
 /// Parses a control-channel spec: `none`, `lossy`, or comma-separated
 /// knobs `drop=P,dup=P,reorder=P,delay=P,span=US` (omitted knobs stay 0;
 /// `span` is the max extra delay in microseconds).
 ///
 /// # Errors
 ///
-/// Returns [`CliError`] on malformed specs or out-of-range probabilities.
-pub fn parse_channel(spec: &str) -> Result<ChannelProfile, CliError> {
+/// Returns [`ChannelSpecError`] on malformed specs or out-of-range
+/// probabilities.
+pub fn parse_channel(spec: &str) -> Result<ChannelProfile, ChannelSpecError> {
+    let bad = |detail: String| ChannelSpecError { spec: spec.to_owned(), detail };
     match spec {
         "none" => return Ok(ChannelProfile::none()),
         "lossy" => return Ok(ChannelProfile::lossy()),
@@ -105,12 +137,12 @@ pub fn parse_channel(spec: &str) -> Result<ChannelProfile, CliError> {
     }
     let mut profile = ChannelProfile::none();
     for part in spec.split(',') {
-        let (key, value) = part.split_once('=').ok_or_else(|| {
-            err(format!("channel spec `{spec}`: `{part}` is not `key=value` (or use none/lossy)"))
-        })?;
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| bad(format!("`{part}` is not `key=value` (or use none/lossy)")))?;
         let num: f64 = value
             .parse()
-            .map_err(|_| err(format!("channel `{key}` needs a number, got `{value}`")))?;
+            .map_err(|_| bad(format!("knob `{key}` needs a number, got `{value}`")))?;
         match key {
             "drop" => profile.drop_prob = num,
             "dup" | "duplicate" => profile.duplicate_prob = num,
@@ -118,14 +150,117 @@ pub fn parse_channel(spec: &str) -> Result<ChannelProfile, CliError> {
             "delay" => profile.delay_prob = num,
             "span" => profile.delay_span_us = num as u64,
             other => {
-                return Err(err(format!(
-                    "unknown channel knob `{other}` (drop, dup, reorder, delay, span)"
+                return Err(bad(format!(
+                    "unknown knob `{other}` (drop, dup, reorder, delay, span)"
                 )))
             }
         }
     }
-    profile.validate().map_err(|e| err(format!("channel spec `{spec}`: {e}")))?;
+    profile.validate().map_err(|e| bad(e.to_string()))?;
     Ok(profile)
+}
+
+/// `--order` got a malformed migration-order spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderSpecError {
+    /// The rejected spec, as given.
+    pub given: String,
+    /// What is wrong with it.
+    pub detail: String,
+}
+
+impl fmt::Display for OrderSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "order spec `{}`: {}", self.given, self.detail)
+    }
+}
+
+impl std::error::Error for OrderSpecError {}
+
+impl From<OrderSpecError> for CliError {
+    fn from(e: OrderSpecError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// A syntactically valid `--order` value, before switch indices are
+/// resolved against a concrete topology (see [`resolve_order`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderSpec {
+    /// Race the planners, pick the lowest-peak schedule.
+    Auto,
+    /// Greedy lowest-next-peak ordering only.
+    Greedy,
+    /// Exhaustive lowest-peak search only.
+    Exact,
+    /// Ascending switch-id order (what an all-at-once rollout commits).
+    InOrder,
+    /// An explicit step order, as 0-based switch indices.
+    Explicit(Vec<usize>),
+}
+
+/// Parses a `--order` spec: `auto`, `greedy`, `exact`, `in-order`, or a
+/// comma-separated list of 0-based switch indices giving the step order
+/// explicitly.
+///
+/// # Errors
+///
+/// Returns [`OrderSpecError`] on anything else; index range checks happen
+/// later in [`resolve_order`] once the topology is known.
+pub fn parse_order(spec: &str) -> Result<OrderSpec, OrderSpecError> {
+    match spec {
+        "auto" => return Ok(OrderSpec::Auto),
+        "greedy" => return Ok(OrderSpec::Greedy),
+        "exact" => return Ok(OrderSpec::Exact),
+        "in-order" | "inorder" => return Ok(OrderSpec::InOrder),
+        _ => {}
+    }
+    let mut indices = Vec::new();
+    for part in spec.split(',') {
+        let idx: usize = part.trim().parse().map_err(|_| OrderSpecError {
+            given: spec.to_owned(),
+            detail: format!(
+                "`{part}` is not a switch index (use auto, greedy, exact, in-order, or \
+                 comma-separated indices)"
+            ),
+        })?;
+        if indices.contains(&idx) {
+            return Err(OrderSpecError {
+                given: spec.to_owned(),
+                detail: format!("switch index {idx} appears twice"),
+            });
+        }
+        indices.push(idx);
+    }
+    Ok(OrderSpec::Explicit(indices))
+}
+
+/// Resolves a parsed [`OrderSpec`] against a topology, range-checking
+/// explicit switch indices.
+///
+/// # Errors
+///
+/// Returns [`OrderSpecError`] when an explicit index is out of range.
+pub fn resolve_order(spec: &OrderSpec, net: &Network) -> Result<MigrationOrder, OrderSpecError> {
+    let indices = match spec {
+        OrderSpec::Auto => return Ok(MigrationOrder::Auto),
+        OrderSpec::Greedy => return Ok(MigrationOrder::Greedy),
+        OrderSpec::Exact => return Ok(MigrationOrder::Exact),
+        OrderSpec::InOrder => return Ok(MigrationOrder::InOrder),
+        OrderSpec::Explicit(indices) => indices,
+    };
+    let ids: Vec<SwitchId> = net.switch_ids().collect();
+    let mut order = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        order.push(*ids.get(idx).ok_or_else(|| OrderSpecError {
+            given: indices.iter().map(ToString::to_string).collect::<Vec<_>>().join(","),
+            detail: format!(
+                "switch index {idx} is out of range (the topology has {} switches)",
+                ids.len()
+            ),
+        })?);
+    }
+    Ok(MigrationOrder::Explicit(order))
 }
 
 /// The valid `--solver` names, in display order. Aliases (`hermes`,
@@ -225,6 +360,14 @@ pub struct Options {
     /// Audit the built-in library programs (audit); program files become
     /// optional and are appended to the workload.
     pub library: bool,
+    /// Solver producing the starting plan A (migrate).
+    pub from_solver: String,
+    /// Migration step-order spec (migrate): auto | greedy | exact |
+    /// in-order | comma-separated switch indices.
+    pub order: String,
+    /// Drain this 0-based switch index: plan B re-homes its MATs
+    /// elsewhere (migrate).
+    pub exclude: Option<usize>,
 }
 
 impl Default for Options {
@@ -243,6 +386,9 @@ impl Default for Options {
             trials: None,
             channel: "none".to_owned(),
             library: false,
+            from_solver: "ffl".to_owned(),
+            order: "auto".to_owned(),
+            exclude: None,
         }
     }
 }
@@ -261,15 +407,27 @@ USAGE:
   hermes chaos    <files…> [--topology SPEC] [--solver NAME] [--seed N]
                   [--trials N] [--channel SPEC] [--eps1 US] [--eps2 N]
                   [--json]
+  hermes migrate  <files…> [--topology SPEC] [--from-solver NAME]
+                  [--solver NAME] [--exclude N] [--order SPEC] [--seed N]
+                  [--channel SPEC] [--eps1 US] [--eps2 N]
+                  [--time-limit SECS] [--json]
 
 TOPOLOGY SPECS:  linear:N  star:N  fattree:K  wan:1..10  waxman:N,A,B,SEED
 SOLVERS:         greedy exact milp portfolio ffl ffls ms sonata speed mtp
                  fp p4all
 CHANNEL SPECS:   none  lossy  drop=P,dup=P,reorder=P,delay=P,span=US
+ORDER SPECS:     auto  greedy  exact  in-order  comma-separated indices
 
 `audit` runs the static workload audit (lints, TDG dataflow, dependency
 soundness) plus the pre-solve infeasibility bounds for the given topology
 and eps budget. Exit is nonzero iff an error-severity diagnostic fires.
+
+`migrate` installs plan A (--from-solver), plans a staged migration to
+plan B (--solver, or --exclude N to drain switch N), prints the schedule
+with its transient-overhead curve, and executes it step by step under the
+seeded fault injector and the given channel. Every schedule prefix is
+verified against per-stage capacity and the mixed-epoch consistency gate
+before the first commit; a mid-migration failure rolls back to plan A.
 ";
 
 /// Parses raw arguments (without the binary name).
@@ -282,7 +440,10 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut iter = args.iter().peekable();
     options.command =
         iter.next().ok_or_else(|| err(format!("missing command\n\n{USAGE}")))?.clone();
-    if !matches!(options.command.as_str(), "analyze" | "audit" | "deploy" | "simulate" | "chaos") {
+    if !matches!(
+        options.command.as_str(),
+        "analyze" | "audit" | "deploy" | "simulate" | "chaos" | "migrate"
+    ) {
         return Err(err(format!("unknown command `{}`\n\n{USAGE}", options.command)));
     }
     while let Some(arg) = iter.next() {
@@ -318,7 +479,28 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 options.trials =
                     Some(value(&mut iter)?.parse().map_err(|_| err("--trials needs an integer"))?)
             }
-            "--channel" => options.channel = value(&mut iter)?,
+            "--channel" => {
+                let spec = value(&mut iter)?;
+                parse_channel(&spec)?;
+                options.channel = spec;
+            }
+            "--from-solver" => {
+                let name = value(&mut iter)?;
+                solver(&name, Duration::from_secs(1)).map_err(|e| err(e.to_string()))?;
+                options.from_solver = name;
+            }
+            "--order" => {
+                let spec = value(&mut iter)?;
+                parse_order(&spec)?;
+                options.order = spec;
+            }
+            "--exclude" => {
+                options.exclude = Some(
+                    value(&mut iter)?
+                        .parse()
+                        .map_err(|_| err("--exclude needs a 0-based switch index"))?,
+                )
+            }
             "--dot" => options.dot = true,
             "--json" => options.json = true,
             "--library" => options.library = true,
@@ -427,6 +609,125 @@ fn run_trials(
             "trials {trials}: {committed} committed, {healed} healed, {rolled_back} rolled back"
         )
         .map_err(io)?;
+    }
+    Ok(())
+}
+
+/// `migrate`: install plan A with a clean control plane, compute plan B
+/// (`--solver`, or `--exclude` to drain a switch), plan the staged
+/// schedule, print it with its transient-overhead curve, then execute it
+/// under the seeded chaos injector and the requested channel.
+///
+/// # Errors
+///
+/// Returns [`CliError`] on malformed specs, infeasible plans, or when the
+/// starting plan cannot be installed.
+fn run_migrate(
+    options: &Options,
+    out: &mut dyn std::io::Write,
+    tdg: &hermes_tdg::Tdg,
+) -> Result<(), CliError> {
+    let io = |e: std::io::Error| err(format!("write failed: {e}"));
+    let net = parse_topology(&options.topology)?;
+    let eps = Epsilon::new(options.eps1, options.eps2);
+    let channel = parse_channel(&options.channel)?;
+    let order = resolve_order(&parse_order(&options.order)?, &net)?;
+    let time_limit = Duration::from_secs(options.time_limit_secs);
+
+    let from_algo = solver(&options.from_solver, time_limit)?;
+    let plan_a = from_algo
+        .deploy(tdg, &net, &eps)
+        .map_err(|e| err(format!("{} failed for plan A: {e}", from_algo.name())))?;
+    let plan_b = match options.exclude {
+        Some(idx) => {
+            let ids: Vec<SwitchId> = net.switch_ids().collect();
+            let &drained = ids.get(idx).ok_or_else(|| {
+                err(format!(
+                    "--exclude {idx} is out of range (the topology has {} switches)",
+                    ids.len()
+                ))
+            })?;
+            let opts = RedeployOptions::excluding([drained]).with_exact_budget(time_limit);
+            let outcome = IncrementalDeployer::new()
+                .redeploy_with(tdg, &plan_a, tdg, &net, &eps, &opts)
+                .map_err(|e| err(format!("cannot drain switch {drained}: {e}")))?;
+            writeln!(
+                out,
+                "drain switch {drained}: {} MATs stay, {} re-homed{}",
+                outcome.reused,
+                outcome.placed,
+                if outcome.full_redeploy { " (full redeploy)" } else { "" }
+            )
+            .map_err(io)?;
+            outcome.plan
+        }
+        None => {
+            let algo = solver(&options.solver, time_limit)?;
+            algo.deploy(tdg, &net, &eps)
+                .map_err(|e| err(format!("{} failed for plan B: {e}", algo.name())))?
+        }
+    };
+
+    // Plan A goes in over a clean control plane; only the migration
+    // itself runs under the requested chaos.
+    let mut rt =
+        DeploymentRuntime::new(net, eps, FaultInjector::disabled(), RetryPolicy::default());
+    if !rt.rollout(tdg, plan_a.clone()).is_committed() {
+        return Err(err("could not install plan A on a clean network"));
+    }
+    let schedule = {
+        let problem = MigrationProblem { tdg, net: rt.network(), from: &plan_a, to: &plan_b };
+        let ctx = SearchContext::with_time_limit(time_limit);
+        MigrationScheduler::with_order(order.clone())
+            .plan(&problem, &ctx)
+            .map_err(|e| err(format!("cannot schedule the migration: {e}")))?
+    };
+    writeln!(
+        out,
+        "schedule ({}): {} steps, transient A_max {} -> peak {} -> {} B",
+        schedule.planner,
+        schedule.steps.len(),
+        schedule.from_amax,
+        schedule.peak_transient_amax,
+        schedule.to_amax
+    )
+    .map_err(io)?;
+    if let Some(peak) = schedule.all_at_once_peak {
+        writeln!(out, "all-at-once peak: {peak} B").map_err(io)?;
+    }
+    for (i, step) in schedule.steps.iter().enumerate() {
+        writeln!(
+            out,
+            "  step {i}: switch {} ({} MATs move, {} staged, A_max {} B)",
+            step.switch,
+            step.moved.len(),
+            step.staged_nodes,
+            step.transient_amax
+        )
+        .map_err(io)?;
+    }
+
+    rt.set_injector(FaultInjector::new(options.seed, FaultProfile::chaos()));
+    rt.set_channel_profile(channel);
+    let cfg = MigrationConfig {
+        plan_budget_ms: options.time_limit_secs.saturating_mul(1000),
+        order,
+        ..Default::default()
+    };
+    let outcome = rt.migrate_with_schedule(tdg, plan_b, &schedule, &cfg);
+    writeln!(out, "seed {}: {}", options.seed, outcome).map_err(io)?;
+    let log = rt.log();
+    writeln!(
+        out,
+        "events: {} ({} faults, {} step failures, {} rollbacks)",
+        log.len(),
+        log.count(|e| matches!(e, Event::FaultInjected { .. })),
+        log.count(|e| matches!(e, Event::MigrationStepFailed { .. })),
+        log.count(|e| matches!(e, Event::MigrationRolledBack { .. })),
+    )
+    .map_err(io)?;
+    if options.json {
+        writeln!(out, "{}", log.to_json()).map_err(io)?;
     }
     Ok(())
 }
@@ -574,12 +875,14 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
                 writeln!(out, "{}", log.to_json()).map_err(io)?;
             }
         }
+        "migrate" => run_migrate(options, out, &tdg)?,
         _ => unreachable!("validated in parse_args"),
     }
     Ok(())
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
 
@@ -713,7 +1016,9 @@ mod tests {
         for bad in ["drop", "drop=high", "loss=0.1", "drop=1.5", "drop=-0.1", "drop=NaN"] {
             assert!(parse_channel(bad).is_err(), "`{bad}` accepted");
         }
-        assert!(parse_channel("drop=1.5").unwrap_err().0.contains("not a probability"));
+        let e = parse_channel("drop=1.5").unwrap_err();
+        assert_eq!(e.spec, "drop=1.5");
+        assert!(e.to_string().contains("not a probability"), "{e}");
     }
 
     #[test]
@@ -825,6 +1130,76 @@ mod tests {
     }
 
     #[test]
+    fn migrate_flags_parse() {
+        let options = parse_args(&args(&[
+            "migrate",
+            "a.p4dsl",
+            "--topology",
+            "linear:4",
+            "--from-solver",
+            "ffl",
+            "--solver",
+            "greedy",
+            "--exclude",
+            "1",
+            "--order",
+            "exact",
+            "--channel",
+            "lossy",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(options.command, "migrate");
+        assert_eq!(options.from_solver, "ffl");
+        assert_eq!(options.solver, "greedy");
+        assert_eq!(options.exclude, Some(1));
+        assert_eq!(options.order, "exact");
+        assert_eq!(options.channel, "lossy");
+        assert_eq!(options.seed, 9);
+        // Defaults.
+        let options = parse_args(&args(&["migrate", "a.p4dsl"])).unwrap();
+        assert_eq!(options.from_solver, "ffl");
+        assert_eq!(options.order, "auto");
+        assert_eq!(options.exclude, None);
+    }
+
+    #[test]
+    fn malformed_migrate_values_fail_at_parse_time_with_typed_errors() {
+        // --order: keyword or comma-separated indices only.
+        let e = parse_args(&args(&["migrate", "a.p4dsl", "--order", "banana"])).unwrap_err();
+        assert!(e.0.contains("order spec `banana`"), "{e}");
+        let e = parse_args(&args(&["migrate", "a.p4dsl", "--order", "0,1,1"])).unwrap_err();
+        assert!(e.0.contains("appears twice"), "{e}");
+        // --channel is validated at parse time now, not first use.
+        let e = parse_args(&args(&["migrate", "a.p4dsl", "--channel", "drop=high"])).unwrap_err();
+        assert!(e.0.contains("channel spec `drop=high`"), "{e}");
+        // --from-solver goes through the same typed solver lookup.
+        let e = parse_args(&args(&["migrate", "a.p4dsl", "--from-solver", "gurobi"])).unwrap_err();
+        assert!(e.0.contains("unknown solver `gurobi`"), "{e}");
+        // --exclude must be an index.
+        let e = parse_args(&args(&["migrate", "a.p4dsl", "--exclude", "two"])).unwrap_err();
+        assert!(e.0.contains("--exclude"), "{e}");
+    }
+
+    #[test]
+    fn order_specs_parse_and_resolve() {
+        assert_eq!(parse_order("auto").unwrap(), OrderSpec::Auto);
+        assert_eq!(parse_order("in-order").unwrap(), OrderSpec::InOrder);
+        assert_eq!(parse_order("2,0,1").unwrap(), OrderSpec::Explicit(vec![2, 0, 1]));
+        let net = parse_topology("linear:3").unwrap();
+        let ids: Vec<SwitchId> = net.switch_ids().collect();
+        match resolve_order(&parse_order("2,0").unwrap(), &net).unwrap() {
+            MigrationOrder::Explicit(order) => assert_eq!(order, vec![ids[2], ids[0]]),
+            other => panic!("expected explicit order, got {other:?}"),
+        }
+        // Out-of-range indices are range-checked against the topology.
+        let e = resolve_order(&parse_order("0,7").unwrap(), &net).unwrap_err();
+        assert!(e.to_string().contains("out of range"), "{e}");
+        assert!(e.to_string().contains("3 switches"), "{e}");
+    }
+
+    #[test]
     fn audit_flags_parse() {
         let options = parse_args(&args(&["audit", "--library", "--json"])).unwrap();
         assert_eq!(options.command, "audit");
@@ -884,6 +1259,66 @@ mod tests {
         // Both the lint and the independent dataflow pass fire.
         assert!(text.contains("HL001"), "{text}");
         assert!(text.contains("HD101"), "{text}");
+    }
+
+    #[test]
+    fn end_to_end_migrate_drains_a_switch() {
+        let dir = std::env::temp_dir().join("hermes-cli-migrate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("counter.p4dsl");
+        std::fs::write(
+            &file,
+            r#"
+            program counter {
+                header ipv4.src: 4;
+                metadata meta.idx: 4;
+                table hash { actions { go { meta.idx = hash(ipv4.src); } } resource 0.2; }
+                table count {
+                    key { meta.idx: exact; }
+                    actions { bump { register(meta.idx); } }
+                    resource 0.4;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        // Drain switch 0: plan B re-homes everything the first-fit plan A
+        // put there, and the staged migration executes under a lossy
+        // channel with seeded faults.
+        let options = parse_args(&args(&[
+            "migrate",
+            file.to_str().unwrap(),
+            "--topology",
+            "linear:3",
+            "--exclude",
+            "0",
+            "--seed",
+            "3",
+            "--channel",
+            "lossy",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("drain switch"), "{text}");
+        assert!(text.contains("schedule ("), "{text}");
+        assert!(text.contains("seed 3:"), "{text}");
+        // Bimodal: plan B lands or plan A is restored — never an abort on
+        // this gate-clean workload.
+        assert!(text.contains("migrated") || text.contains("rolled back"), "{text}");
+        assert!(!text.contains("aborted"), "{text}");
+        // Same seed, same report.
+        let mut again = Vec::new();
+        run(&options, &mut again).unwrap();
+        assert_eq!(text, String::from_utf8(again).unwrap());
+
+        // The event log carries the schema version for golden diffing.
+        let options = Options { json: true, ..options };
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"schema_version\": 2"), "{text}");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod eval;
 pub mod exact;
 pub mod heuristic;
 pub mod incremental;
+pub mod migrate;
 pub mod milp_formulation;
 pub mod precheck;
 pub mod refine;
@@ -65,6 +66,10 @@ pub use eval::IncrementalEval;
 pub use exact::{materialize, OptimalSolver};
 pub use heuristic::{placement_order, GreedyHeuristic, SplitStrategy};
 pub use incremental::{IncrementalDeployer, IncrementalOutcome, RedeployOptions};
+pub use migrate::{
+    all_at_once_peak, MigrateError, MigrationOrder, MigrationProblem, MigrationSchedule,
+    MigrationScheduler, MigrationStep,
+};
 pub use milp_formulation::{build_p1, MilpHermes, P1Variables};
 pub use precheck::{Certificate, Precheck};
 pub use refine::refine;

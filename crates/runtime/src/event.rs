@@ -321,6 +321,92 @@ pub enum Event {
         /// Virtual time.
         at_us: u64,
     },
+    /// A staged A→B migration began executing its schedule.
+    MigrationStarted {
+        /// The epoch the target plan will serve under.
+        epoch: u64,
+        /// Number of per-switch steps in the schedule.
+        steps: usize,
+        /// The schedule's worst mid-migration `A_max`, bytes.
+        peak_transient_amax: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// One migration step committed: a checkpoint the executor can roll
+    /// back to (and pause at — every prefix was verified safe).
+    MigrationStepCommitted {
+        /// The migrating epoch.
+        epoch: u64,
+        /// 0-based step index within the schedule.
+        step: usize,
+        /// The switch now serving its plan-B config.
+        switch: SwitchId,
+        /// `A_max` of the mixed state after this step, bytes.
+        transient_amax: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// One attempt at a migration step failed (it may be retried).
+    MigrationStepFailed {
+        /// The migrating epoch.
+        epoch: u64,
+        /// 0-based step index within the schedule.
+        step: usize,
+        /// The switch whose step failed.
+        switch: SwitchId,
+        /// Why.
+        reason: String,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// During rollback, one committed step was undone (the switch was
+    /// re-installed with its plan-A config under a fresh epoch).
+    MigrationStepRolledBack {
+        /// The undo epoch the plan-A config was re-committed under.
+        epoch: u64,
+        /// The switch restored to plan A.
+        switch: SwitchId,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// The migration was refused before any commit (scheduling, validation,
+    /// or the mixed-epoch gate); plan A was never disturbed.
+    MigrationAborted {
+        /// The refused epoch.
+        epoch: u64,
+        /// Why.
+        reason: String,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// A mid-migration failure rolled every committed step back to plan A.
+    MigrationRolledBack {
+        /// The abandoned epoch.
+        epoch: u64,
+        /// Why.
+        reason: String,
+        /// `true` when the abort threshold (or a failed stepwise undo)
+        /// forced the out-of-band full restore instead of reverse-order
+        /// re-installs.
+        forced: bool,
+        /// Steps that had committed before the failure.
+        undone: usize,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Every step committed and the target plan is serving.
+    MigrationCompleted {
+        /// The epoch now active.
+        epoch: u64,
+        /// Steps executed.
+        steps: usize,
+        /// Virtual time from schedule start to activation.
+        reconfig_us: u64,
+        /// Control-plane messages the migration sent.
+        messages: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
 }
 
 impl Event {
@@ -352,20 +438,44 @@ impl Event {
             | Event::CommitAcked { at_us, .. }
             | Event::MixedEpochChecked { at_us, .. }
             | Event::MixedEpochViolated { at_us, .. }
-            | Event::RecoveryCompleted { at_us, .. } => *at_us,
+            | Event::RecoveryCompleted { at_us, .. }
+            | Event::MigrationStarted { at_us, .. }
+            | Event::MigrationStepCommitted { at_us, .. }
+            | Event::MigrationStepFailed { at_us, .. }
+            | Event::MigrationStepRolledBack { at_us, .. }
+            | Event::MigrationAborted { at_us, .. }
+            | Event::MigrationRolledBack { at_us, .. }
+            | Event::MigrationCompleted { at_us, .. } => *at_us,
         }
     }
 }
 
+/// Version of the event-log JSON schema. Golden-diff and determinism
+/// gates compare logs byte for byte; stamping the schema into every log
+/// means an event-shape change shows up as an explicit version diff
+/// instead of silently breaking byte-reproducibility baselines.
+///
+/// History: 1 — original rollout/healing/channel events (no version
+/// field); 2 — adds this field plus the `Migration*` events.
+pub const EVENT_SCHEMA_VERSION: u32 = 2;
+
 /// Append-only log of runtime events.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EventLog {
+    /// The [`EVENT_SCHEMA_VERSION`] the log was written under.
+    pub schema_version: u32,
     /// Events in emission order (non-decreasing `at_us`).
     pub events: Vec<Event>,
 }
 
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog { schema_version: EVENT_SCHEMA_VERSION, events: Vec::new() }
+    }
+}
+
 impl EventLog {
-    /// An empty log.
+    /// An empty log stamped with the current schema version.
     pub fn new() -> Self {
         EventLog::default()
     }
@@ -418,5 +528,15 @@ mod tests {
         assert_eq!(log, back);
         assert_eq!(back.events[1].at_us(), 120);
         assert_eq!(log.count(|e| matches!(e, Event::Committed { .. })), 1);
+    }
+
+    #[test]
+    fn logs_are_stamped_with_the_schema_version() {
+        let log = EventLog::new();
+        assert_eq!(log.schema_version, EVENT_SCHEMA_VERSION);
+        assert!(
+            log.to_json().contains(&format!("\"schema_version\": {EVENT_SCHEMA_VERSION}")),
+            "the version must be visible in the serialized log"
+        );
     }
 }

@@ -28,6 +28,12 @@
 //!   deployer with surviving placements pinned and revalidating
 //!   (ε-verifier + packet-level equivalence) before activating the healed
 //!   plan.
+//! - [`migrate`] — staged live reconfiguration: executes a
+//!   [`hermes_core::MigrationSchedule`] switch by switch over the same
+//!   lossy channel and fault injector, gating every prefix of the commit
+//!   order through the mixed-epoch check, checkpointing after each
+//!   committed step, and rolling back to the prior plan (stepwise, or by
+//!   full restore past an abort threshold) when a step fails for good.
 //! - [`event`] — the structured, deterministic [`EventLog`] recording
 //!   epochs, retries, message fates, fencing, leases, rollbacks, recovery
 //!   latency, and `A_max` before/after healing. Same seed, byte-identical
@@ -69,12 +75,14 @@ pub mod agent;
 pub mod channel;
 pub mod event;
 pub mod fault;
+pub mod migrate;
 pub mod runtime;
 
 pub use agent::{
     AgentError, HandleNote, Reply, ReplyEnvelope, Request, RequestEnvelope, SwitchAgent,
 };
 pub use channel::{ChannelProfile, ControlChannel, Message, SendReceipt};
-pub use event::{Event, EventLog, MessageKind};
+pub use event::{Event, EventLog, MessageKind, EVENT_SCHEMA_VERSION};
 pub use fault::{Fault, FaultInjector, FaultProfile, ProfileError};
+pub use migrate::{MigrationConfig, MigrationOutcome};
 pub use runtime::{DeploymentRuntime, RetryPolicy, RolloutOutcome};

@@ -136,28 +136,32 @@ impl fmt::Display for RolloutOutcome {
 
 /// The plan currently serving traffic, with everything needed to heal it.
 #[derive(Debug, Clone, PartialEq)]
-struct ActiveDeployment {
-    epoch: u64,
-    tdg: Tdg,
-    plan: DeploymentPlan,
-    artifacts: DeploymentArtifacts,
+pub(crate) struct ActiveDeployment {
+    pub(crate) epoch: u64,
+    pub(crate) tdg: Tdg,
+    pub(crate) plan: DeploymentPlan,
+    pub(crate) artifacts: DeploymentArtifacts,
 }
 
 /// The transactional, failure-aware deployment runtime.
+///
+/// Fields are crate-visible: the staged-migration executor
+/// ([`crate::migrate`]) drives the same agents, channel, clock, and log
+/// through the same helpers.
 #[derive(Debug, Clone)]
 pub struct DeploymentRuntime {
-    net: Network,
-    agents: BTreeMap<SwitchId, SwitchAgent>,
-    injector: FaultInjector,
-    channel: ControlChannel,
-    policy: RetryPolicy,
-    eps: Epsilon,
-    packet_seeds: Vec<u64>,
-    clock_us: u64,
-    epoch: u64,
-    seq: u64,
-    log: EventLog,
-    active: Option<ActiveDeployment>,
+    pub(crate) net: Network,
+    pub(crate) agents: BTreeMap<SwitchId, SwitchAgent>,
+    pub(crate) injector: FaultInjector,
+    pub(crate) channel: ControlChannel,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) eps: Epsilon,
+    pub(crate) packet_seeds: Vec<u64>,
+    pub(crate) clock_us: u64,
+    pub(crate) epoch: u64,
+    pub(crate) seq: u64,
+    pub(crate) log: EventLog,
+    pub(crate) active: Option<ActiveDeployment>,
     recovery_budget_ms: Option<u64>,
 }
 
@@ -556,7 +560,7 @@ impl DeploymentRuntime {
     }
 
     /// One switch's prepare with bounded retry and exponential backoff.
-    fn prepare_with_retry(
+    pub(crate) fn prepare_with_retry(
         &mut self,
         switch: SwitchId,
         config: &hermes_backend::SwitchConfig,
@@ -594,7 +598,7 @@ impl DeploymentRuntime {
     /// One switch's commit with bounded retry; unanswered commits are
     /// resolved by probing (the commit may have landed with its ack
     /// lost). Returns `true` iff the switch provably serves `epoch`.
-    fn commit_with_retry(&mut self, switch: SwitchId, epoch: u64) -> bool {
+    pub(crate) fn commit_with_retry(&mut self, switch: SwitchId, epoch: u64) -> bool {
         for attempt in 1..=self.policy.max_attempts {
             match self.exchange(switch, epoch, Request::Commit, MessageKind::Commit) {
                 Some(Reply::Ack { .. }) => {
@@ -641,7 +645,7 @@ impl DeploymentRuntime {
     /// Single-attempt lease-renewal probes to every committed switch. A
     /// lost probe is tolerated — the final lease sweep catches agents
     /// whose leases genuinely lapsed.
-    fn renew_leases(&mut self, committed: &[SwitchId], epoch: u64) {
+    pub(crate) fn renew_leases(&mut self, committed: &[SwitchId], epoch: u64) {
         for &switch in committed {
             if self.agents[&switch].is_crashed() {
                 continue;
@@ -660,7 +664,12 @@ impl DeploymentRuntime {
     /// serving the epoch — then mark it down. Committed neighbors are
     /// probed immediately before and after the wait so *their* leases
     /// survive it.
-    fn declare_unreachable(&mut self, switch: SwitchId, epoch: u64, committed: &[SwitchId]) {
+    pub(crate) fn declare_unreachable(
+        &mut self,
+        switch: SwitchId,
+        epoch: u64,
+        committed: &[SwitchId],
+    ) {
         self.renew_leases(committed, epoch);
         self.clock_us += self.policy.lease_us;
         let expired = self
@@ -832,13 +841,13 @@ impl DeploymentRuntime {
     /// Lost aborts are safe: aborts only happen before the first commit
     /// is sent, so the epoch can never activate anywhere — and any agent
     /// that hears a later epoch fences this one on its own.
-    fn abort_prepared(&mut self, prepared: &[SwitchId], epoch: u64) {
+    pub(crate) fn abort_prepared(&mut self, prepared: &[SwitchId], epoch: u64) {
         for &switch in prepared {
             let _ = self.exchange(switch, epoch, Request::Abort, MessageKind::Abort);
         }
     }
 
-    fn activate(
+    pub(crate) fn activate(
         &mut self,
         epoch: u64,
         tdg: Tdg,
@@ -872,6 +881,14 @@ impl DeploymentRuntime {
         epoch: u64,
         reason: String,
     ) -> RolloutOutcome {
+        self.force_restore(previous);
+        self.roll_back(epoch, reason)
+    }
+
+    /// The out-of-band full restore behind [`DeploymentRuntime::roll_back_to`]:
+    /// clears the channel and force-activates `previous`'s configs on
+    /// every surviving agent, bypassing staging, fencing, and leases.
+    pub(crate) fn force_restore(&mut self, previous: Option<ActiveDeployment>) {
         self.channel.clear();
         for (&switch, agent) in &mut self.agents {
             let config = previous.as_ref().and_then(|p| p.artifacts.switches.get(&switch)).cloned();
@@ -879,7 +896,6 @@ impl DeploymentRuntime {
             agent.force_activate(prev_epoch, config);
         }
         self.active = previous;
-        self.roll_back(epoch, reason)
     }
 }
 
