@@ -26,6 +26,9 @@ cargo test -q --release --test eval_equivalence
 echo "==> migration property suite + mid-migration chaos soak"
 cargo test -q --release --test migration --test migration_chaos
 
+echo "==> durability suites: journal fuzz, event-schema round trip, recovery soak"
+cargo test -q --release --test journal_fuzz --test event_schema --test recovery_chaos
+
 echo "==> hot-path evaluator smoke"
 cargo run -q --release -p hermes-bench --bin hotpath -- --smoke
 
@@ -64,5 +67,27 @@ if [[ "$mig_a" != "$mig_b" ]]; then
   exit 1
 fi
 echo "smoke output stable: $mig_a"
+
+echo "==> recovery determinism smoke (crash at every boundary, virtual clock)"
+rec_a="$(cargo run -q --release -p hermes-bench --bin recovery -- --smoke)"
+rec_b="$(cargo run -q --release -p hermes-bench --bin recovery -- --smoke)"
+if [[ "$rec_a" != "$rec_b" ]]; then
+  echo "recovery smoke is nondeterministic:" >&2
+  diff <(printf '%s\n' "$rec_a") <(printf '%s\n' "$rec_b") >&2 || true
+  exit 1
+fi
+echo "smoke output stable: ${rec_a:0:120}..."
+
+echo "==> golden journal + schema gate"
+# The journal of a clean deploy is byte-exact per format version; the
+# dump also pins JOURNAL_FORMAT_VERSION and EVENT_SCHEMA_VERSION, so any
+# wire or schema change lands with a reviewed fixture update.
+if ! diff <(cargo run -q --release -p hermes-bench --bin recovery -- --golden) \
+          tests/fixtures/journal_golden.txt; then
+  echo "journal bytes or schema versions drifted from tests/fixtures/journal_golden.txt" >&2
+  echo "re-generate with: cargo run --release -p hermes-bench --bin recovery -- --golden" >&2
+  exit 1
+fi
+echo "journal golden matches"
 
 echo "CI OK"

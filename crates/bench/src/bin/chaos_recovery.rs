@@ -82,6 +82,9 @@ fn sweep(name: &str, net: &hermes_net::Network) -> TopologyReport {
                 }
             }
             RolloutOutcome::RolledBack { .. } => report.rolled_back += 1,
+            RolloutOutcome::ControllerCrashed { .. } => {
+                unreachable!("FaultProfile::chaos() never injects a controller crash")
+            }
         }
     }
 

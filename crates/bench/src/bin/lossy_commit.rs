@@ -79,6 +79,9 @@ fn sweep(net: &hermes_net::Network, drop_prob: f64) -> DropRateReport {
                 latencies.push(rt.now_us());
             }
             RolloutOutcome::RolledBack { .. } => report.rolled_back += 1,
+            RolloutOutcome::ControllerCrashed { .. } => {
+                unreachable!("FaultProfile::none() never injects a controller crash")
+            }
         }
     }
 

@@ -27,8 +27,8 @@ use hermes_dataplane::parser::parse_programs;
 use hermes_net::topology::{self, WanConfig};
 use hermes_net::{Network, SwitchId};
 use hermes_runtime::{
-    ChannelProfile, DeploymentRuntime, Event, FaultInjector, FaultProfile, MigrationConfig,
-    RetryPolicy, RolloutOutcome,
+    replay_bytes, ChannelProfile, DeploymentRuntime, Event, FaultInjector, FaultProfile, InFlight,
+    Journal, MigrationConfig, RecoveredIntent, RetryPolicy, RolloutOutcome,
 };
 use std::fmt;
 use std::time::Duration;
@@ -368,6 +368,9 @@ pub struct Options {
     /// Drain this 0-based switch index: plan B re-homes its MATs
     /// elsewhere (migrate).
     pub exclude: Option<usize>,
+    /// Journal path: written after the run (deploy/chaos/migrate), read
+    /// and replayed offline (recover).
+    pub journal: Option<String>,
 }
 
 impl Default for Options {
@@ -389,6 +392,7 @@ impl Default for Options {
             from_solver: "ffl".to_owned(),
             order: "auto".to_owned(),
             exclude: None,
+            journal: None,
         }
     }
 }
@@ -403,14 +407,16 @@ USAGE:
                   [--eps2 N] [--json]
   hermes deploy   <files…> [--topology SPEC] [--solver NAME]
                   [--eps1 US] [--eps2 N] [--time-limit SECS] [--json]
+                  [--journal PATH]
   hermes simulate <files…> [--topology SPEC] [--solver NAME]
   hermes chaos    <files…> [--topology SPEC] [--solver NAME] [--seed N]
                   [--trials N] [--channel SPEC] [--eps1 US] [--eps2 N]
-                  [--json]
+                  [--json] [--journal PATH]
   hermes migrate  <files…> [--topology SPEC] [--from-solver NAME]
                   [--solver NAME] [--exclude N] [--order SPEC] [--seed N]
                   [--channel SPEC] [--eps1 US] [--eps2 N]
-                  [--time-limit SECS] [--json]
+                  [--time-limit SECS] [--json] [--journal PATH]
+  hermes recover  --journal PATH [--json]
 
 TOPOLOGY SPECS:  linear:N  star:N  fattree:K  wan:1..10  waxman:N,A,B,SEED
 SOLVERS:         greedy exact milp portfolio ffl ffls ms sonata speed mtp
@@ -428,6 +434,14 @@ with its transient-overhead curve, and executes it step by step under the
 seeded fault injector and the given channel. Every schedule prefix is
 verified against per-stage capacity and the mixed-epoch consistency gate
 before the first commit; a mid-migration failure rolls back to plan A.
+
+`--journal PATH` writes the controller's write-ahead intent journal to
+PATH after the run. `recover` replays such a journal offline — without a
+live network — and reports the rebuilt intent: the last durable snapshot,
+any in-flight transaction or migration, and the action a restarted
+controller would take (resume-commit, roll-back-txn, …). A torn tail is
+reported and discarded; mid-log corruption is a typed error and a
+nonzero exit.
 ";
 
 /// Parses raw arguments (without the binary name).
@@ -442,7 +456,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         iter.next().ok_or_else(|| err(format!("missing command\n\n{USAGE}")))?.clone();
     if !matches!(
         options.command.as_str(),
-        "analyze" | "audit" | "deploy" | "simulate" | "chaos" | "migrate"
+        "analyze" | "audit" | "deploy" | "simulate" | "chaos" | "migrate" | "recover"
     ) {
         return Err(err(format!("unknown command `{}`\n\n{USAGE}", options.command)));
     }
@@ -501,6 +515,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                         .map_err(|_| err("--exclude needs a 0-based switch index"))?,
                 )
             }
+            "--journal" => options.journal = Some(value(&mut iter)?),
             "--dot" => options.dot = true,
             "--json" => options.json = true,
             "--library" => options.library = true,
@@ -509,6 +524,15 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             }
             file => options.files.push(file.to_owned()),
         }
+    }
+    if options.command == "recover" {
+        if options.journal.is_none() {
+            return Err(err(format!("recover needs --journal PATH\n\n{USAGE}")));
+        }
+        if !options.files.is_empty() {
+            return Err(err("recover replays a journal, not program files".to_owned()));
+        }
+        return Ok(options);
     }
     if options.files.is_empty() && !(options.command == "audit" && options.library) {
         return Err(err(format!("no program files given\n\n{USAGE}")));
@@ -525,6 +549,99 @@ fn load_programs(options: &Options) -> Result<Vec<hermes_dataplane::Program>, Cl
         sources.push('\n');
     }
     parse_programs(&sources).map_err(|e| err(format!("parse error: {e}")))
+}
+
+fn write_journal(path: &Option<String>, journal: &Journal) -> Result<(), CliError> {
+    if let Some(path) = path {
+        std::fs::write(path, journal.bytes())
+            .map_err(|e| err(format!("cannot write journal `{path}`: {e}")))?;
+    }
+    Ok(())
+}
+
+/// `recover --journal PATH`: replays a write-ahead journal offline and
+/// reports the rebuilt controller intent — last durable snapshot, any
+/// unconcluded transaction or migration, and the recovery action a
+/// restarted controller would take.
+///
+/// # Errors
+///
+/// Returns [`CliError`] (nonzero exit) when the file cannot be read or
+/// the journal is corrupt mid-log ([`hermes_runtime::JournalError`]); a
+/// torn tail is reported and discarded, not an error.
+fn run_recover(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let io = |e: std::io::Error| err(format!("write failed: {e}"));
+    let path = options
+        .journal
+        .as_ref()
+        .ok_or_else(|| err(format!("recover needs --journal PATH\n\n{USAGE}")))?;
+    let bytes =
+        std::fs::read(path).map_err(|e| err(format!("cannot read journal `{path}`: {e}")))?;
+    let replay = replay_bytes(&bytes).map_err(|e| err(format!("journal replay failed: {e}")))?;
+    let intent = RecoveredIntent::from_replay(&replay);
+    let action = intent.planned_action();
+    if options.json {
+        let in_flight = match &intent.in_flight {
+            Some(InFlight::Txn { epoch, .. }) => format!("{{\"txn\":{epoch}}}"),
+            Some(InFlight::Migration { epoch, .. }) => format!("{{\"migration\":{epoch}}}"),
+            None => "null".to_owned(),
+        };
+        let snapshot = match &intent.snapshot {
+            Some(s) => format!("{{\"epoch\":{},\"plan_fp\":{}}}", s.epoch, s.plan_fp),
+            None => "null".to_owned(),
+        };
+        writeln!(
+            out,
+            "{{\"records\":{},\"discarded_tail_bytes\":{},\"max_epoch\":{},\
+             \"snapshot\":{snapshot},\"in_flight\":{in_flight},\"action\":\"{action}\"}}",
+            intent.records, intent.discarded_tail_bytes, intent.max_epoch
+        )
+        .map_err(io)?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "journal: {} record(s) replayed, {} torn tail byte(s) discarded",
+        intent.records, intent.discarded_tail_bytes
+    )
+    .map_err(io)?;
+    writeln!(out, "max journaled epoch: {}", intent.max_epoch).map_err(io)?;
+    match &intent.snapshot {
+        Some(s) => writeln!(
+            out,
+            "snapshot: epoch {} ({} switches occupied, plan fp {:#018x})",
+            s.epoch,
+            s.plan.occupied_switches().len(),
+            s.plan_fp
+        )
+        .map_err(io)?,
+        None => writeln!(out, "snapshot: none").map_err(io)?,
+    }
+    match &intent.in_flight {
+        Some(InFlight::Txn { epoch, kind, prepared, commit_order, commit_acked, .. }) => {
+            writeln!(
+                out,
+                "in flight: {kind:?} transaction, epoch {epoch} ({} prepared, commit {}, \
+                 {} commit ack(s))",
+                prepared.len(),
+                if commit_order.is_some() { "decided" } else { "undecided" },
+                commit_acked.len()
+            )
+            .map_err(io)?;
+        }
+        Some(InFlight::Migration { epoch, order, steps_committed, .. }) => {
+            writeln!(
+                out,
+                "in flight: migration, epoch {epoch} ({}/{} steps committed)",
+                steps_committed.len(),
+                order.len()
+            )
+            .map_err(io)?;
+        }
+        None => writeln!(out, "in flight: nothing").map_err(io)?,
+    }
+    writeln!(out, "recovery action: {action}").map_err(io)?;
+    Ok(())
 }
 
 /// `chaos --trials N`: sweeps seeds `0..N`, checking runtime invariants
@@ -593,6 +710,14 @@ fn run_trials(
                         )));
                     }
                 }
+            }
+            RolloutOutcome::ControllerCrashed { .. } => {
+                // `chaos()` never injects controller crashes (that is the
+                // recovery soak's job); seeing one here is a bug.
+                return Err(err(format!(
+                    "invariant violated: seed {seed} reported a controller crash no profile \
+                     injects"
+                )));
             }
         }
     }
@@ -715,6 +840,7 @@ fn run_migrate(
         ..Default::default()
     };
     let outcome = rt.migrate_with_schedule(tdg, plan_b, &schedule, &cfg);
+    write_journal(&options.journal, rt.journal())?;
     writeln!(out, "seed {}: {}", options.seed, outcome).map_err(io)?;
     let log = rt.log();
     writeln!(
@@ -739,6 +865,9 @@ fn run_migrate(
 /// Returns [`CliError`] on any failure (I/O, parse, deployment).
 pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let io = |e: std::io::Error| err(format!("write failed: {e}"));
+    if options.command == "recover" {
+        return run_recover(options, out);
+    }
     let mut programs = if options.library && options.command == "audit" {
         hermes_dataplane::library::real_programs()
     } else {
@@ -796,6 +925,20 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             if !violations.is_empty() {
                 return Err(err(format!("plan failed verification: {violations:?}")));
             }
+            if options.journal.is_some() {
+                // Install over a clean control plane purely to produce
+                // the durable intent journal of the transaction.
+                let mut rt = DeploymentRuntime::new(
+                    net.clone(),
+                    eps,
+                    FaultInjector::disabled(),
+                    RetryPolicy::default(),
+                );
+                if !rt.rollout(&tdg, plan.clone()).is_committed() {
+                    return Err(err("could not install the plan to journal it"));
+                }
+                write_journal(&options.journal, rt.journal())?;
+            }
             if options.json {
                 let artifacts = generate(&tdg, &net, &plan);
                 writeln!(
@@ -840,12 +983,16 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
                 .deploy(&tdg, &net, &eps)
                 .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
             if let Some(trials) = options.trials {
+                if options.journal.is_some() {
+                    return Err(err("--journal wants a single run, not --trials"));
+                }
                 return run_trials(options, out, &tdg, &net, eps, channel, &plan, trials);
             }
             let injector = FaultInjector::new(options.seed, FaultProfile::chaos());
             let mut runtime = DeploymentRuntime::new(net, eps, injector, RetryPolicy::default())
                 .with_channel_profile(channel);
             let outcome = runtime.rollout(&tdg, plan);
+            write_journal(&options.journal, runtime.journal())?;
             writeln!(out, "seed {}: {}", options.seed, outcome).map_err(io)?;
             let log = runtime.log();
             writeln!(
@@ -1318,7 +1465,107 @@ mod tests {
         let mut out = Vec::new();
         run(&options, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("\"schema_version\": 2"), "{text}");
+        assert!(text.contains("\"schema_version\": 3"), "{text}");
+    }
+
+    #[test]
+    fn recover_flags_parse() {
+        let options = parse_args(&args(&["recover", "--journal", "/tmp/x.hjl", "--json"])).unwrap();
+        assert_eq!(options.command, "recover");
+        assert_eq!(options.journal.as_deref(), Some("/tmp/x.hjl"));
+        assert!(options.json);
+        // recover insists on a journal and refuses program files.
+        let e = parse_args(&args(&["recover"])).unwrap_err();
+        assert!(e.0.contains("--journal"), "{e}");
+        let e = parse_args(&args(&["recover", "a.p4dsl", "--journal", "j"])).unwrap_err();
+        assert!(e.0.contains("not program files"), "{e}");
+        // --journal parses on the runtime commands too.
+        let options = parse_args(&args(&["chaos", "a.p4dsl", "--journal", "/tmp/j.hjl"])).unwrap();
+        assert_eq!(options.journal.as_deref(), Some("/tmp/j.hjl"));
+    }
+
+    #[test]
+    fn end_to_end_journal_round_trip_through_recover() {
+        let dir = std::env::temp_dir().join("hermes-cli-recover-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("counter.p4dsl");
+        std::fs::write(
+            &file,
+            r#"
+            program counter {
+                header ipv4.src: 4;
+                metadata meta.idx: 4;
+                table hash { actions { go { meta.idx = hash(ipv4.src); } } resource 0.2; }
+                table count {
+                    key { meta.idx: exact; }
+                    actions { bump { register(meta.idx); } }
+                    resource 0.4;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let journal = dir.join("deploy.hjl");
+        // deploy --journal writes the journal of a clean install.
+        let options = parse_args(&args(&[
+            "deploy",
+            file.to_str().unwrap(),
+            "--topology",
+            "linear:2",
+            "--journal",
+            journal.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        assert!(journal.exists());
+
+        // recover replays it offline: a concluded deploy affirms the
+        // snapshot.
+        let options =
+            parse_args(&args(&["recover", "--journal", journal.to_str().unwrap()])).unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("record(s) replayed"), "{text}");
+        assert!(text.contains("snapshot: epoch 1"), "{text}");
+        assert!(text.contains("in flight: nothing"), "{text}");
+        assert!(text.contains("recovery action: affirm-snapshot"), "{text}");
+
+        // JSON mode emits the same verdict machine-readably.
+        let options = Options { json: true, ..options };
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"action\":\"affirm-snapshot\""), "{text}");
+        assert!(text.contains("\"in_flight\":null"), "{text}");
+
+        // A truncated journal with no intact tail frame is a torn tail:
+        // reported, discarded, exit zero.
+        let bytes = std::fs::read(&journal).unwrap();
+        let torn = dir.join("torn.hjl");
+        std::fs::write(&torn, &bytes[..bytes.len() - 3]).unwrap();
+        let options = parse_args(&args(&["recover", "--journal", torn.to_str().unwrap()])).unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("torn tail byte(s) discarded"), "{text}");
+
+        // A journal with a corrupt header is a typed error, not a panic.
+        let mut broken = bytes.clone();
+        broken[0] ^= 0xFF;
+        let bad = dir.join("bad.hjl");
+        std::fs::write(&bad, &broken).unwrap();
+        let options = parse_args(&args(&["recover", "--journal", bad.to_str().unwrap()])).unwrap();
+        let mut out = Vec::new();
+        let e = run(&options, &mut out).unwrap_err();
+        assert!(e.0.contains("journal replay failed"), "{e}");
+
+        // Missing file: clean error.
+        let options = parse_args(&args(&["recover", "--journal", "/nonexistent/j.hjl"])).unwrap();
+        let mut out = Vec::new();
+        let e = run(&options, &mut out).unwrap_err();
+        assert!(e.0.contains("cannot read journal"), "{e}");
     }
 
     #[test]

@@ -161,6 +161,14 @@ impl DeploymentPlan {
         self.occupied_switches().len()
     }
 
+    /// Stable content fingerprint of the plan (FNV-1a over the canonical
+    /// JSON serialization; see [`crate::fingerprint`]). The durability
+    /// layer journals this alongside serialized plans so recovery can
+    /// cross-check intent against what the operator re-supplied.
+    pub fn fingerprint(&self) -> u64 {
+        crate::fingerprint::json_fingerprint(self)
+    }
+
     /// Total resource placed on each stage of each switch, keyed by
     /// `(switch, stage)` — the left side of Eq. 9.
     pub fn stage_loads(&self) -> BTreeMap<(SwitchId, usize), f64> {

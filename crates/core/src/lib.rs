@@ -44,6 +44,7 @@ pub mod analyzer;
 pub mod deployment;
 pub mod eval;
 pub mod exact;
+pub mod fingerprint;
 pub mod heuristic;
 pub mod incremental;
 pub mod migrate;
@@ -64,6 +65,7 @@ pub use deployment::{
 };
 pub use eval::IncrementalEval;
 pub use exact::{materialize, OptimalSolver};
+pub use fingerprint::{fnv1a64, json_fingerprint, tdg_fingerprint};
 pub use heuristic::{placement_order, GreedyHeuristic, SplitStrategy};
 pub use incremental::{IncrementalDeployer, IncrementalOutcome, RedeployOptions};
 pub use migrate::{

@@ -25,6 +25,11 @@
 //!   stops serving rather than becoming a zombie serving stale state
 //!   while the controller heals around it.
 
+// The crate-level clippy.toml bans unwrap/expect so the recovery path
+// (journal.rs, recovery.rs) can never panic; this pre-durability module
+// keeps its intentional `expect`s on internal invariants.
+#![allow(clippy::disallowed_methods)]
+
 use hermes_backend::SwitchConfig;
 use hermes_net::SwitchId;
 use serde::{Deserialize, Serialize};

@@ -12,6 +12,11 @@
 //! protocol-level defense (dedup, idempotence, epoch fencing, leases)
 //! lives in [`crate::agent::SwitchAgent`] and the runtime's retry loop.
 
+// The crate-level clippy.toml bans unwrap/expect so the recovery path
+// (journal.rs, recovery.rs) can never panic; this pre-durability module
+// keeps its intentional `expect`s on internal invariants.
+#![allow(clippy::disallowed_methods)]
+
 use crate::agent::{ReplyEnvelope, RequestEnvelope};
 use crate::fault::{validate_probabilities, ProfileError};
 use rand::{rngs::StdRng, RngExt, SeedableRng};

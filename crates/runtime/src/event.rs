@@ -6,7 +6,13 @@
 //! deterministic (ordered maps, fixed field order), so two runs with the
 //! same seed produce byte-identical JSON logs.
 
+// The crate-level clippy.toml bans unwrap/expect so the recovery path
+// (journal.rs, recovery.rs) can never panic; this pre-durability module
+// keeps its intentional `expect`s on internal invariants.
+#![allow(clippy::disallowed_methods)]
+
 use crate::fault::Fault;
+use crate::journal::CrashPoint;
 use hermes_net::SwitchId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -407,6 +413,66 @@ pub enum Event {
         /// Virtual time.
         at_us: u64,
     },
+    /// The controller itself crashed at a journal-write boundary, losing
+    /// all in-memory state. Only the durable journal survives; this event
+    /// is recorded by the restarted controller (the crashing one is, by
+    /// definition, no longer writing).
+    ControllerCrashed {
+        /// The epoch in flight when the crash struck.
+        epoch: u64,
+        /// Which journal boundary the crash struck at.
+        point: CrashPoint,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Post-crash recovery began replaying the journal.
+    RecoveryStarted {
+        /// The fresh epoch recovery reinstalls under.
+        epoch: u64,
+        /// Journal records replayed.
+        replayed: usize,
+        /// Torn-tail bytes the replay discarded.
+        discarded_tail_bytes: usize,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Recovery probed one agent to learn what it is actually serving.
+    AgentReconciled {
+        /// The probed switch.
+        switch: SwitchId,
+        /// The epoch the agent reported serving, if it answered and is
+        /// serving at all.
+        serving_epoch: Option<u64>,
+        /// `false` when every probe to the switch was lost.
+        reachable: bool,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Recovery decided on and applied its repair action.
+    RecoveryApplied {
+        /// The fresh epoch the repair was installed under.
+        epoch: u64,
+        /// Rendered repair action (resume-commit / roll-back / ...).
+        action: String,
+        /// Switches reinstalled under the fresh epoch.
+        reinstalled: usize,
+        /// Switches force-restored out of band.
+        forced: usize,
+        /// Virtual time.
+        at_us: u64,
+    },
+    /// Recovery finished; the invariant "exactly plan A or exactly plan
+    /// B" holds again.
+    RecoveryFinished {
+        /// The epoch now serving.
+        epoch: u64,
+        /// Control-plane messages recovery sent.
+        messages: u64,
+        /// Virtual time from recovery start to finish.
+        recovery_us: u64,
+        /// Virtual time.
+        at_us: u64,
+    },
 }
 
 impl Event {
@@ -445,7 +511,12 @@ impl Event {
             | Event::MigrationStepRolledBack { at_us, .. }
             | Event::MigrationAborted { at_us, .. }
             | Event::MigrationRolledBack { at_us, .. }
-            | Event::MigrationCompleted { at_us, .. } => *at_us,
+            | Event::MigrationCompleted { at_us, .. }
+            | Event::ControllerCrashed { at_us, .. }
+            | Event::RecoveryStarted { at_us, .. }
+            | Event::AgentReconciled { at_us, .. }
+            | Event::RecoveryApplied { at_us, .. }
+            | Event::RecoveryFinished { at_us, .. } => *at_us,
         }
     }
 }
@@ -456,8 +527,10 @@ impl Event {
 /// instead of silently breaking byte-reproducibility baselines.
 ///
 /// History: 1 — original rollout/healing/channel events (no version
-/// field); 2 — adds this field plus the `Migration*` events.
-pub const EVENT_SCHEMA_VERSION: u32 = 2;
+/// field); 2 — adds this field plus the `Migration*` events; 3 — adds the
+/// controller-durability events (`ControllerCrashed`, `RecoveryStarted`,
+/// `AgentReconciled`, `RecoveryApplied`, `RecoveryFinished`).
+pub const EVENT_SCHEMA_VERSION: u32 = 3;
 
 /// Append-only log of runtime events.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

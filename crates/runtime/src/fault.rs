@@ -5,6 +5,12 @@
 //! same rollout produces the identical fault schedule, which is what makes
 //! chaos soak runs reproducible byte-for-byte.
 
+// The crate-level clippy.toml bans unwrap/expect so the recovery path
+// (journal.rs, recovery.rs) can never panic; this pre-durability module
+// keeps its intentional `expect`s on internal invariants.
+#![allow(clippy::disallowed_methods)]
+
+use crate::journal::CrashTiming;
 use hermes_net::{Network, SwitchId};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -66,6 +72,14 @@ pub struct FaultProfile {
     /// A switch hosting MATs crashes *after* the transaction commits,
     /// exercising the healing path.
     pub post_commit_crash_prob: f64,
+    /// The *controller* crashes at a journal-write boundary, losing all
+    /// in-memory state; only the durable journal survives. Evaluated once
+    /// per journal write. Kept at `0.0` by both [`FaultProfile::none`]
+    /// and [`FaultProfile::chaos`] so pre-existing seeded schedules stay
+    /// byte-identical; crash soaks either raise it explicitly or use
+    /// [`FaultInjector::arm_controller_crash_at`] for exhaustive
+    /// boundary coverage.
+    pub controller_crash_prob: f64,
 }
 
 impl FaultProfile {
@@ -78,6 +92,7 @@ impl FaultProfile {
             slow_prob: 0.0,
             partial_prob: 0.0,
             post_commit_crash_prob: 0.0,
+            controller_crash_prob: 0.0,
         }
     }
 
@@ -95,6 +110,7 @@ impl FaultProfile {
             ("slow_prob", self.slow_prob),
             ("partial_prob", self.partial_prob),
             ("post_commit_crash_prob", self.post_commit_crash_prob),
+            ("controller_crash_prob", self.controller_crash_prob),
         ])
     }
 
@@ -109,6 +125,9 @@ impl FaultProfile {
             slow_prob: 0.10,
             partial_prob: 0.10,
             post_commit_crash_prob: 0.30,
+            // Controller crashes are opt-in: leaving this at 0.0 keeps
+            // every pre-durability seeded schedule byte-identical.
+            controller_crash_prob: 0.0,
         }
     }
 }
@@ -167,6 +186,8 @@ pub struct FaultInjector {
     seed: u64,
     rng: StdRng,
     profile: FaultProfile,
+    journal_writes: u64,
+    armed_crash: Option<(u64, CrashTiming)>,
 }
 
 impl FaultInjector {
@@ -189,7 +210,13 @@ impl FaultInjector {
     /// probabilities.
     pub fn try_new(seed: u64, profile: FaultProfile) -> Result<Self, ProfileError> {
         profile.validate()?;
-        Ok(FaultInjector { seed, rng: StdRng::seed_from_u64(seed), profile })
+        Ok(FaultInjector {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            profile,
+            journal_writes: 0,
+            armed_crash: None,
+        })
     }
 
     /// An injector that never faults (for plain installs).
@@ -248,6 +275,55 @@ impl FaultInjector {
         Some(occupied[self.rng.random_range(0..occupied.len())])
     }
 
+    /// Decides whether the *controller* crashes at this journal-write
+    /// boundary, and with which timing relative to the write. Called once
+    /// per journal write; the return short-circuits with **zero RNG
+    /// draws** when `controller_crash_prob` is 0 and no deterministic
+    /// crash is armed, so enabling the durability layer does not perturb
+    /// pre-existing seeded fault schedules.
+    pub fn on_journal_write(&mut self) -> Option<CrashTiming> {
+        let boundary = self.journal_writes;
+        self.journal_writes += 1;
+        if let Some((nth, timing)) = self.armed_crash {
+            return (boundary == nth).then_some(timing);
+        }
+        if self.profile.controller_crash_prob <= 0.0 {
+            return None;
+        }
+        if self.rng.random_bool(self.profile.controller_crash_prob) {
+            let timing = if self.rng.random_bool(0.5) {
+                CrashTiming::BeforeWrite
+            } else {
+                CrashTiming::AfterWrite
+            };
+            return Some(timing);
+        }
+        None
+    }
+
+    /// Arms a deterministic controller crash at the `nth` journal-write
+    /// boundary counted from now (0-based), with the given timing. While
+    /// armed, probabilistic controller crashes are suppressed — soaks use
+    /// this to place exactly one crash at every boundary in turn.
+    pub fn arm_controller_crash_at(&mut self, nth: u64, timing: CrashTiming) {
+        self.journal_writes = 0;
+        self.armed_crash = Some((nth, timing));
+    }
+
+    /// Disarms any armed controller crash (recovery runs under the
+    /// single-fault model: the controller does not crash again while
+    /// recovering).
+    pub fn disarm_controller_crash(&mut self) {
+        self.armed_crash = None;
+    }
+
+    /// Journal-write boundaries observed since construction (or since the
+    /// last [`FaultInjector::arm_controller_crash_at`]). A crash-free dry
+    /// run reads this to learn how many boundaries a scenario has.
+    pub fn journal_writes(&self) -> u64 {
+        self.journal_writes
+    }
+
     /// Deterministic backoff jitter in `[0, span_us]`.
     pub fn jitter_us(&mut self, span_us: u64) -> u64 {
         if span_us == 0 {
@@ -285,13 +361,14 @@ mod tests {
     #[test]
     fn invalid_profiles_are_rejected_with_a_typed_error() {
         type Mutator = fn(&mut FaultProfile, f64);
-        let cases: [(Mutator, &str); 6] = [
+        let cases: [(Mutator, &str); 7] = [
             (|p, v| p.crash_prob = v, "crash_prob"),
             (|p, v| p.reject_prob = v, "reject_prob"),
             (|p, v| p.link_down_prob = v, "link_down_prob"),
             (|p, v| p.slow_prob = v, "slow_prob"),
             (|p, v| p.partial_prob = v, "partial_prob"),
             (|p, v| p.post_commit_crash_prob = v, "post_commit_crash_prob"),
+            (|p, v| p.controller_crash_prob = v, "controller_crash_prob"),
         ];
         for (mutate, field) in cases {
             for bad in [f64::NAN, -0.01, 1.01, f64::INFINITY, f64::NEG_INFINITY] {
@@ -309,6 +386,53 @@ mod tests {
         edge.reject_prob = 1.0;
         assert!(FaultInjector::try_new(0, edge).is_ok());
         assert!(FaultProfile::chaos().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_prob_journal_writes_do_not_perturb_the_schedule() {
+        // With controller_crash_prob == 0 the journal-write hook must make
+        // no RNG draws, so interleaving it must not change other faults.
+        let net = topology::linear(4, 10.0);
+        let plain = {
+            let mut inj = FaultInjector::new(7, FaultProfile::chaos());
+            (0..32).map(|_| inj.on_prepare(&net, 5, 200)).collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let mut inj = FaultInjector::new(7, FaultProfile::chaos());
+            (0..32)
+                .map(|_| {
+                    assert!(inj.on_journal_write().is_none());
+                    inj.on_prepare(&net, 5, 200)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(plain, interleaved);
+    }
+
+    #[test]
+    fn armed_controller_crash_fires_exactly_once_at_the_nth_boundary() {
+        let mut inj = FaultInjector::disabled();
+        inj.arm_controller_crash_at(3, CrashTiming::BeforeWrite);
+        let hits: Vec<Option<CrashTiming>> = (0..6).map(|_| inj.on_journal_write()).collect();
+        assert_eq!(hits, vec![None, None, None, Some(CrashTiming::BeforeWrite), None, None]);
+        assert_eq!(inj.journal_writes(), 6);
+        inj.disarm_controller_crash();
+        assert!(inj.on_journal_write().is_none());
+    }
+
+    #[test]
+    fn probabilistic_controller_crashes_are_seeded_and_bimodal_in_timing() {
+        let mut profile = FaultProfile::none();
+        profile.controller_crash_prob = 0.5;
+        let draw = |seed: u64| {
+            let mut inj = FaultInjector::new(seed, profile);
+            (0..64).map(|_| inj.on_journal_write()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(11), draw(11));
+        let sample = draw(11);
+        assert!(sample.iter().any(|t| matches!(t, Some(CrashTiming::BeforeWrite))));
+        assert!(sample.iter().any(|t| matches!(t, Some(CrashTiming::AfterWrite))));
+        assert!(sample.iter().any(Option::is_none));
     }
 
     #[test]

@@ -38,6 +38,20 @@
 //!   epochs, retries, message fates, fencing, leases, rollbacks, recovery
 //!   latency, and `A_max` before/after healing. Same seed, byte-identical
 //!   JSON.
+//! - [`journal`] — the durable write-ahead intent [`Journal`]: every
+//!   controller state transition (epoch advance, prepare, commit
+//!   decision, lease grant, migration step, snapshot) is recorded as a
+//!   length-framed, CRC-checked record *before* the transition takes
+//!   effect, with snapshot compaction bounding replay cost. A torn tail
+//!   is discarded silently; mid-log corruption is a typed
+//!   [`JournalError`], never a panic.
+//! - [`recovery`] — restart-time replay and reconciliation:
+//!   [`DeploymentRuntime::recover`] rebuilds intent from the journal,
+//!   probes every agent under a fresh fencing epoch, resumes
+//!   transactions whose commit decision was journaled, rolls back those
+//!   without one, and force-restores past an abort threshold — so the
+//!   "exactly plan A or exactly plan B" invariant holds across
+//!   controller crashes too.
 //!
 //! # Example
 //!
@@ -75,7 +89,9 @@ pub mod agent;
 pub mod channel;
 pub mod event;
 pub mod fault;
+pub mod journal;
 pub mod migrate;
+pub mod recovery;
 pub mod runtime;
 
 pub use agent::{
@@ -84,5 +100,13 @@ pub use agent::{
 pub use channel::{ChannelProfile, ControlChannel, Message, SendReceipt};
 pub use event::{Event, EventLog, MessageKind, EVENT_SCHEMA_VERSION};
 pub use fault::{Fault, FaultInjector, FaultProfile, ProfileError};
+pub use journal::{
+    replay_bytes, CrashPoint, CrashTiming, Journal, JournalError, JournalRecord, Replay, TxnKind,
+    JOURNAL_FORMAT_VERSION,
+};
 pub use migrate::{MigrationConfig, MigrationOutcome};
-pub use runtime::{DeploymentRuntime, RetryPolicy, RolloutOutcome};
+pub use recovery::{
+    InFlight, RecoveredIntent, RecoveryAction, RecoveryError, RecoveryReport, SnapshotState,
+    RECOVERY_ABORT_THRESHOLD,
+};
+pub use runtime::{ControllerCrash, DeploymentRuntime, RetryPolicy, RolloutOutcome};

@@ -31,8 +31,14 @@
 //! changes the target mid-flight, and the contract here is bimodal (B or
 //! A). A post-migration switch failure is the next rollout's problem.
 
+// The crate-level clippy.toml bans unwrap/expect so the recovery path
+// (journal.rs, recovery.rs) can never panic; this pre-durability module
+// keeps its intentional `expect`s on internal invariants.
+#![allow(clippy::disallowed_methods)]
+
 use crate::event::Event;
-use crate::runtime::{ActiveDeployment, DeploymentRuntime};
+use crate::journal::{CrashPoint, JournalRecord};
+use crate::runtime::{ActiveDeployment, ControllerCrash, DeploymentRuntime};
 use hermes_backend::{check_transition, validate_plan, EpochTransition};
 use hermes_core::{
     verify, DeploymentPlan, MigrationOrder, MigrationProblem, MigrationSchedule,
@@ -105,6 +111,15 @@ pub enum MigrationOutcome {
         /// reverse-order stepwise undo.
         forced: bool,
     },
+    /// The controller itself crashed mid-migration; only the journal
+    /// survives, and [`DeploymentRuntime::recover`] must run before the
+    /// runtime accepts further work.
+    ControllerCrashed {
+        /// The epoch in flight when the crash struck.
+        epoch: u64,
+        /// Which journal-write boundary the crash struck at.
+        point: CrashPoint,
+    },
 }
 
 impl MigrationOutcome {
@@ -130,6 +145,9 @@ impl fmt::Display for MigrationOutcome {
             MigrationOutcome::RolledBack { epoch, reason, forced: true } => {
                 write!(f, "epoch {epoch} rolled back by full restore: {reason}")
             }
+            MigrationOutcome::ControllerCrashed { epoch, point } => {
+                write!(f, "controller crashed at epoch {epoch} ({point} boundary)")
+            }
         }
     }
 }
@@ -145,18 +163,35 @@ impl DeploymentRuntime {
         target: DeploymentPlan,
         cfg: &MigrationConfig,
     ) -> MigrationOutcome {
+        if let Some(crash) = self.crashed() {
+            return MigrationOutcome::ControllerCrashed { epoch: crash.epoch, point: crash.point };
+        }
+        match self.try_migrate(tdg, target, cfg) {
+            Ok(outcome) => outcome,
+            Err(crash) => {
+                MigrationOutcome::ControllerCrashed { epoch: crash.epoch, point: crash.point }
+            }
+        }
+    }
+
+    fn try_migrate(
+        &mut self,
+        tdg: &Tdg,
+        target: DeploymentPlan,
+        cfg: &MigrationConfig,
+    ) -> Result<MigrationOutcome, ControllerCrash> {
         match self.check_preconditions(tdg, &target) {
             Ok(Some(prior)) => prior,
             Ok(None) => {
                 // Same plan: nothing to do, nothing to disturb.
-                return MigrationOutcome::Migrated {
+                return Ok(MigrationOutcome::Migrated {
                     epoch: self.active_epoch().unwrap_or(0),
                     steps: 0,
                     reconfig_us: 0,
                     messages: 0,
-                };
+                });
             }
-            Err(outcome) => return outcome,
+            Err(outcome) => return Ok(outcome),
         };
         let schedule = {
             let active = self.active.as_ref().expect("preconditions checked");
@@ -165,11 +200,10 @@ impl DeploymentRuntime {
             MigrationScheduler::with_order(cfg.order.clone()).plan(&problem, &ctx)
         };
         match schedule {
-            Ok(schedule) => self.migrate_with_schedule(tdg, target, &schedule, cfg),
+            Ok(schedule) => self.try_migrate_with_schedule(tdg, target, &schedule, cfg),
             Err(e) => {
-                self.epoch += 1;
-                let epoch = self.epoch;
-                self.migration_abort(epoch, format!("no safe schedule: {e}"))
+                let epoch = self.advance_epoch()?;
+                Ok(self.migration_abort(epoch, format!("no safe schedule: {e}")))
             }
         }
     }
@@ -185,20 +219,37 @@ impl DeploymentRuntime {
         schedule: &MigrationSchedule,
         cfg: &MigrationConfig,
     ) -> MigrationOutcome {
+        if let Some(crash) = self.crashed() {
+            return MigrationOutcome::ControllerCrashed { epoch: crash.epoch, point: crash.point };
+        }
+        match self.try_migrate_with_schedule(tdg, target, schedule, cfg) {
+            Ok(outcome) => outcome,
+            Err(crash) => {
+                MigrationOutcome::ControllerCrashed { epoch: crash.epoch, point: crash.point }
+            }
+        }
+    }
+
+    fn try_migrate_with_schedule(
+        &mut self,
+        tdg: &Tdg,
+        target: DeploymentPlan,
+        schedule: &MigrationSchedule,
+        cfg: &MigrationConfig,
+    ) -> Result<MigrationOutcome, ControllerCrash> {
         let prior = match self.check_preconditions(tdg, &target) {
             Ok(Some(prior)) => prior,
             Ok(None) => {
-                return MigrationOutcome::Migrated {
+                return Ok(MigrationOutcome::Migrated {
                     epoch: self.active_epoch().unwrap_or(0),
                     steps: 0,
                     reconfig_us: 0,
                     messages: 0,
-                };
+                });
             }
-            Err(outcome) => return outcome,
+            Err(outcome) => return Ok(outcome),
         };
-        self.epoch += 1;
-        let epoch = self.epoch;
+        let epoch = self.advance_epoch()?;
         let start_us = self.clock_us;
         let messages_before = self.channel.messages_sent();
         self.log.push(Event::MigrationStarted {
@@ -218,16 +269,16 @@ impl DeploymentRuntime {
                 failures: report.failures.iter().map(ToString::to_string).collect(),
                 at_us: self.clock_us,
             });
-            return self.migration_abort(epoch, "target plan failed validation".to_string());
+            return Ok(self.migration_abort(epoch, "target plan failed validation".to_string()));
         }
         let order = schedule.commit_order();
         let covered: BTreeSet<SwitchId> = order.iter().copied().collect();
         let occupied: BTreeSet<SwitchId> = artifacts.switches.keys().copied().collect();
         if covered != occupied || order.len() != covered.len() {
-            return self.migration_abort(
+            return Ok(self.migration_abort(
                 epoch,
                 "schedule does not cover the target plan's switches exactly once".to_string(),
-            );
+            ));
         }
 
         // Prefix gate: every window of the chosen commit order must keep
@@ -252,12 +303,25 @@ impl DeploymentRuntime {
                     detail: v.to_string(),
                     at_us: self.clock_us,
                 });
-                return self.migration_abort(
+                return Ok(self.migration_abort(
                     epoch,
                     format!("mixed-epoch window would break per-packet consistency: {v}"),
-                );
+                ));
             }
         }
+
+        // The migration's intent becomes durable before the first step
+        // touches an agent: a restarted controller can tell exactly which
+        // prefix of `order` had committed from the step checkpoints that
+        // follow this record.
+        self.journal_note(JournalRecord::MigrationBegun {
+            epoch,
+            tdg_fp: hermes_core::tdg_fingerprint(tdg),
+            plan_fp: target.fingerprint(),
+            plan: target.clone(),
+            artifacts: artifacts.clone(),
+            order: order.clone(),
+        })?;
 
         // Execute the schedule step by step; each committed step is a
         // checkpoint (its mixed state was verified safe above).
@@ -319,6 +383,16 @@ impl DeploymentRuntime {
                 }
             }
             if step_ok {
+                self.journal_note(JournalRecord::MigrationStepCommitted {
+                    epoch,
+                    step: idx,
+                    switch,
+                })?;
+                self.journal_note(JournalRecord::LeaseGranted {
+                    epoch,
+                    switch,
+                    until_us: self.clock_us + self.policy.lease_us,
+                })?;
                 committed.push(switch);
                 self.log.push(Event::MigrationStepCommitted {
                     epoch,
@@ -387,7 +461,8 @@ impl DeploymentRuntime {
         }
 
         let steps = schedule.steps.len();
-        self.activate(epoch, tdg.clone(), target, artifacts);
+        self.journal_note(JournalRecord::MigrationCompleted { epoch, steps })?;
+        self.activate(epoch, tdg.clone(), target, artifacts)?;
         let reconfig_us = self.clock_us - start_us;
         let messages = self.channel.messages_sent() - messages_before;
         self.log.push(Event::MigrationCompleted {
@@ -397,7 +472,7 @@ impl DeploymentRuntime {
             messages,
             at_us: self.clock_us,
         });
-        MigrationOutcome::Migrated { epoch, steps, reconfig_us, messages }
+        Ok(MigrationOutcome::Migrated { epoch, steps, reconfig_us, messages })
     }
 
     /// Checks the migration preconditions. `Ok(Some(prior))` means go
@@ -418,8 +493,15 @@ impl DeploymentRuntime {
             Some(_) => "the active deployment runs a different program set; use rollout",
             None => "no active deployment to migrate from; use rollout",
         };
-        self.epoch += 1;
-        let epoch = self.epoch;
+        let epoch = match self.advance_epoch() {
+            Ok(epoch) => epoch,
+            Err(crash) => {
+                return Err(MigrationOutcome::ControllerCrashed {
+                    epoch: crash.epoch,
+                    point: crash.point,
+                })
+            }
+        };
         Err(self.migration_abort(epoch, reason.to_string()))
     }
 
@@ -445,16 +527,22 @@ impl DeploymentRuntime {
         committed: &[SwitchId],
         mut failures: u32,
         cfg: &MigrationConfig,
-    ) -> MigrationOutcome {
+    ) -> Result<MigrationOutcome, ControllerCrash> {
         let undone = committed.len();
+        // The abandonment decision is durable before any undo touches an
+        // agent: a controller that crashes mid-undo is known (on replay)
+        // to have been rolling back, not still migrating forward.
+        self.journal_note(JournalRecord::MigrationRolledBack {
+            epoch,
+            forced: failures > cfg.abort_threshold,
+        })?;
         if failures > cfg.abort_threshold {
             return self.forced_restore(prior, epoch, reason, undone);
         }
         // Undo checkpoints newest-first under a fresh epoch — the
         // abandoned migration epoch is fenced wherever the undo lands, so
         // a straggling migration commit can never re-activate it.
-        self.epoch += 1;
-        let undo_epoch = self.epoch;
+        let undo_epoch = self.advance_epoch()?;
         let mut restored: Vec<SwitchId> = Vec::new();
         for &switch in committed.iter().rev() {
             let ok = match prior.artifacts.switches.get(&switch) {
@@ -508,7 +596,7 @@ impl DeploymentRuntime {
             undone,
             at_us: self.clock_us,
         });
-        MigrationOutcome::RolledBack { epoch, reason, forced: false }
+        Ok(MigrationOutcome::RolledBack { epoch, reason, forced: false })
     }
 
     /// The escalation path: out-of-band full restore of plan A.
@@ -518,8 +606,8 @@ impl DeploymentRuntime {
         epoch: u64,
         reason: String,
         undone: usize,
-    ) -> MigrationOutcome {
-        self.force_restore(Some(prior));
+    ) -> Result<MigrationOutcome, ControllerCrash> {
+        self.force_restore(Some(prior))?;
         self.log.push(Event::MigrationRolledBack {
             epoch,
             reason: reason.clone(),
@@ -527,6 +615,6 @@ impl DeploymentRuntime {
             undone,
             at_us: self.clock_us,
         });
-        MigrationOutcome::RolledBack { epoch, reason, forced: true }
+        Ok(MigrationOutcome::RolledBack { epoch, reason, forced: true })
     }
 }

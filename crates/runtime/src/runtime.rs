@@ -34,12 +34,18 @@
 //! switch already broke per-packet consistency, and repairing service
 //! outranks preserving a guarantee the failure voided.
 
+// The crate-level clippy.toml bans unwrap/expect so the recovery path
+// (journal.rs, recovery.rs) can never panic; this pre-durability module
+// keeps its intentional `expect`s on internal invariants.
+#![allow(clippy::disallowed_methods)]
+
 use crate::agent::{
     AgentError, HandleNote, Reply, ReplyEnvelope, Request, RequestEnvelope, SwitchAgent,
 };
 use crate::channel::{ChannelProfile, ControlChannel, Message, SendReceipt};
 use crate::event::{Event, EventLog, MessageKind};
 use crate::fault::{Fault, FaultInjector};
+use crate::journal::{CrashPoint, CrashTiming, Journal, JournalRecord, TxnKind};
 use hermes_backend::{check_transition, validate_plan, DeploymentArtifacts, EpochTransition};
 use hermes_core::{verify, DeploymentPlan, Epsilon, IncrementalDeployer, RedeployOptions};
 use hermes_net::{Network, SwitchId};
@@ -109,6 +115,15 @@ pub enum RolloutOutcome {
         /// Why the transaction could not commit.
         reason: String,
     },
+    /// The controller itself crashed mid-protocol, losing all in-memory
+    /// state. Only the durable journal survives; the agents are on their
+    /// own until [`DeploymentRuntime::recover`] runs.
+    ControllerCrashed {
+        /// The epoch in flight when the crash struck.
+        epoch: u64,
+        /// Which journal-write boundary the crash struck at.
+        point: CrashPoint,
+    },
 }
 
 impl RolloutOutcome {
@@ -130,7 +145,55 @@ impl fmt::Display for RolloutOutcome {
             RolloutOutcome::RolledBack { epoch, reason } => {
                 write!(f, "epoch {epoch} rolled back: {reason}")
             }
+            RolloutOutcome::ControllerCrashed { epoch, point } => {
+                write!(f, "controller crashed at epoch {epoch} ({point} boundary)")
+            }
         }
+    }
+}
+
+/// The controller crashed at a journal-write boundary. All in-memory
+/// state (epoch counter, active deployment, in-flight transaction) is
+/// gone; only [`DeploymentRuntime::journal`] survives. Returned through
+/// every protocol entry point via `Result`, and sticky: a crashed
+/// runtime refuses further protocol calls until
+/// [`DeploymentRuntime::recover`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerCrash {
+    /// The epoch in flight when the crash struck.
+    pub epoch: u64,
+    /// Which journal-write boundary the crash struck at.
+    pub point: CrashPoint,
+    /// Whether the record at that boundary landed before the crash.
+    pub timing: CrashTiming,
+}
+
+impl fmt::Display for ControllerCrash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let timing = match self.timing {
+            CrashTiming::BeforeWrite => "before",
+            CrashTiming::AfterWrite => "after",
+        };
+        write!(
+            f,
+            "controller crashed at epoch {} ({} boundary, {timing} the journal write)",
+            self.epoch, self.point
+        )
+    }
+}
+
+/// Why [`DeploymentRuntime::install_transaction`] did not commit: a clean
+/// pre-commit abort (previous plan untouched) or a controller crash.
+pub(crate) enum TxnFailure {
+    /// The transaction aborted before any commit was sent.
+    Aborted(String),
+    /// The controller died mid-transaction.
+    Crashed(ControllerCrash),
+}
+
+impl From<ControllerCrash> for TxnFailure {
+    fn from(crash: ControllerCrash) -> Self {
+        TxnFailure::Crashed(crash)
     }
 }
 
@@ -163,6 +226,8 @@ pub struct DeploymentRuntime {
     pub(crate) log: EventLog,
     pub(crate) active: Option<ActiveDeployment>,
     recovery_budget_ms: Option<u64>,
+    pub(crate) journal: Journal,
+    pub(crate) crashed: Option<ControllerCrash>,
 }
 
 impl DeploymentRuntime {
@@ -190,6 +255,8 @@ impl DeploymentRuntime {
             log: EventLog::new(),
             active: None,
             recovery_budget_ms: None,
+            journal: Journal::new(),
+            crashed: None,
         }
     }
 
@@ -241,6 +308,34 @@ impl DeploymentRuntime {
     /// The structured event log.
     pub fn log(&self) -> &EventLog {
         &self.log
+    }
+
+    /// The durable write-ahead intent journal. `journal().bytes()` is
+    /// what a resident controller would persist; the CLI's `--journal`
+    /// flag writes exactly these bytes.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The pending controller crash, if an injected crash struck. While
+    /// set, every protocol entry point short-circuits; only
+    /// [`DeploymentRuntime::recover`] clears it.
+    pub fn crashed(&self) -> Option<ControllerCrash> {
+        self.crashed
+    }
+
+    /// Read access to the fault injector (soaks read
+    /// [`FaultInjector::journal_writes`] after a crash-free dry run to
+    /// learn how many crash boundaries a scenario has).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+
+    /// Mutable access to the fault injector, e.g. to arm a deterministic
+    /// controller crash at an exact journal boundary
+    /// ([`FaultInjector::arm_controller_crash_at`]).
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.injector
     }
 
     /// Current virtual time in microseconds.
@@ -299,13 +394,65 @@ impl DeploymentRuntime {
         self.log.push(Event::SwitchDown { switch, at_us: self.clock_us });
     }
 
+    /// Appends one record to the intent journal, letting the fault
+    /// injector strike the controller at the boundary. Write-ahead
+    /// discipline: call this *before* applying the transition the record
+    /// describes, so a `BeforeWrite` crash loses both the record and the
+    /// transition together.
+    pub(crate) fn journal_note(&mut self, record: JournalRecord) -> Result<(), ControllerCrash> {
+        let timing = self.injector.on_journal_write();
+        if !matches!(timing, Some(CrashTiming::BeforeWrite)) {
+            self.journal.append(&record);
+        }
+        match timing {
+            None => Ok(()),
+            Some(timing) => {
+                let crash =
+                    ControllerCrash { epoch: record.epoch(), point: record.crash_point(), timing };
+                self.crashed = Some(crash);
+                Err(crash)
+            }
+        }
+    }
+
+    /// Advances the controller epoch, journaling the new value *before*
+    /// the in-memory counter moves — so `max(journaled epochs) + 1` is
+    /// always a safe fresh epoch for recovery, no matter where a crash
+    /// strikes.
+    pub(crate) fn advance_epoch(&mut self) -> Result<u64, ControllerCrash> {
+        let next = self.epoch + 1;
+        self.journal_note(JournalRecord::EpochAdvanced { epoch: next })?;
+        self.epoch = next;
+        Ok(next)
+    }
+
+    /// Maps a sticky crash (if any) to the terminal outcome every public
+    /// entry point returns while the controller is down.
+    fn crashed_outcome(crash: ControllerCrash) -> RolloutOutcome {
+        RolloutOutcome::ControllerCrashed { epoch: crash.epoch, point: crash.point }
+    }
+
     /// Installs `plan` for `tdg` as a two-phase transaction, healing
-    /// post-commit switch failures if any occur. Exactly one of two
-    /// terminal states results: a committed, validated plan is serving, or
-    /// the transaction rolled back and the previous plan is untouched.
+    /// post-commit switch failures if any occur. Exactly one of three
+    /// terminal states results: a committed, validated plan is serving;
+    /// the transaction rolled back and the previous plan is untouched; or
+    /// the controller crashed (injected) and only the journal survives.
     pub fn rollout(&mut self, tdg: &Tdg, plan: DeploymentPlan) -> RolloutOutcome {
-        self.epoch += 1;
-        let epoch = self.epoch;
+        if let Some(crash) = self.crashed {
+            return Self::crashed_outcome(crash);
+        }
+        match self.try_rollout(tdg, plan) {
+            Ok(outcome) => outcome,
+            Err(crash) => Self::crashed_outcome(crash),
+        }
+    }
+
+    fn try_rollout(
+        &mut self,
+        tdg: &Tdg,
+        plan: DeploymentPlan,
+    ) -> Result<RolloutOutcome, ControllerCrash> {
+        let epoch = self.advance_epoch()?;
         // Snapshot the pre-rollout deployment: it is what a failed heal
         // rolls back to.
         let prior = self.active.clone();
@@ -316,7 +463,9 @@ impl DeploymentRuntime {
             at_us: self.clock_us,
         });
 
-        // Pre-install validation: constraints + packet equivalence.
+        // Pre-install validation: constraints + packet equivalence. A
+        // refusal here touched no agent, so nothing beyond the epoch
+        // advance needs journaling — recovery sees no in-flight intent.
         let (report, artifacts) =
             validate_plan(tdg, &self.net, &plan, &self.eps, &self.packet_seeds);
         if !report.is_ok() {
@@ -325,13 +474,22 @@ impl DeploymentRuntime {
                 failures: report.failures.iter().map(ToString::to_string).collect(),
                 at_us: self.clock_us,
             });
-            return self.roll_back(epoch, "pre-install validation failed".to_string());
+            return Ok(self.roll_back(epoch, "pre-install validation failed".to_string()));
         }
 
+        self.journal_note(JournalRecord::TxnBegun {
+            epoch,
+            kind: TxnKind::Deploy,
+            tdg_fp: hermes_core::tdg_fingerprint(tdg),
+            plan_fp: plan.fingerprint(),
+            plan: plan.clone(),
+            artifacts: artifacts.clone(),
+        })?;
         match self.install_transaction(tdg, &plan, &artifacts, epoch, true) {
-            Err(reason) => return self.roll_back(epoch, reason),
+            Err(TxnFailure::Crashed(crash)) => return Err(crash),
+            Err(TxnFailure::Aborted(reason)) => return Ok(self.roll_back(epoch, reason)),
             Ok(dead) => {
-                self.activate(epoch, tdg.clone(), plan, artifacts);
+                self.activate(epoch, tdg.clone(), plan, artifacts)?;
                 if !dead.is_empty() {
                     // Some switches were lost during the commit window
                     // itself (unreachable or lease-lapsed): the committed
@@ -354,26 +512,28 @@ impl DeploymentRuntime {
             self.fail_switch(dead);
             return self.heal(prior);
         }
-        RolloutOutcome::Committed { epoch, healed: false }
+        Ok(RolloutOutcome::Committed { epoch, healed: false })
     }
 
     /// Re-homes the MATs lost to down switches and transitions to the
     /// healed plan, looping if the heal's own commit window loses more
     /// switches. On any failure the runtime rolls back to `previous` (the
     /// last-known-good deployment before the failing rollout).
-    fn heal(&mut self, previous: Option<ActiveDeployment>) -> RolloutOutcome {
+    fn heal(
+        &mut self,
+        previous: Option<ActiveDeployment>,
+    ) -> Result<RolloutOutcome, ControllerCrash> {
         let healing_started_us = self.clock_us;
         let a_max_before =
             self.active.as_ref().map_or(0, |a| a.plan.max_inter_switch_bytes(&a.tdg));
         loop {
             let Some(active) = self.active.clone() else {
-                return RolloutOutcome::RolledBack {
+                return Ok(RolloutOutcome::RolledBack {
                     epoch: self.epoch,
                     reason: "nothing to heal".to_string(),
-                };
+                });
             };
-            self.epoch += 1;
-            let epoch = self.epoch;
+            let epoch = self.advance_epoch()?;
             let down = self.net.down_switches();
             self.log.push(Event::HealingStarted {
                 epoch,
@@ -426,11 +586,22 @@ impl DeploymentRuntime {
                     "healed plan failed validation".to_string(),
                 );
             }
+            self.journal_note(JournalRecord::TxnBegun {
+                epoch,
+                kind: TxnKind::Heal,
+                tdg_fp: hermes_core::tdg_fingerprint(&active.tdg),
+                plan_fp: outcome.plan.fingerprint(),
+                plan: outcome.plan.clone(),
+                artifacts: artifacts.clone(),
+            })?;
             match self.install_transaction(&active.tdg, &outcome.plan, &artifacts, epoch, false) {
-                Err(reason) => return self.roll_back_to(previous, epoch, reason),
+                Err(TxnFailure::Crashed(crash)) => return Err(crash),
+                Err(TxnFailure::Aborted(reason)) => {
+                    return self.roll_back_to(previous, epoch, reason)
+                }
                 Ok(dead) => {
                     let a_max_after = outcome.plan.max_inter_switch_bytes(&active.tdg);
-                    self.activate(epoch, active.tdg, outcome.plan, artifacts);
+                    self.activate(epoch, active.tdg, outcome.plan, artifacts)?;
                     if dead.is_empty() {
                         self.log.push(Event::RecoveryCompleted {
                             epoch,
@@ -439,7 +610,7 @@ impl DeploymentRuntime {
                             a_max_after,
                             at_us: self.clock_us,
                         });
-                        return RolloutOutcome::Committed { epoch, healed: true };
+                        return Ok(RolloutOutcome::Committed { epoch, healed: true });
                     }
                     // The heal itself lost switches mid-commit: heal again
                     // (each pass kills at least one more switch, so this
@@ -454,10 +625,12 @@ impl DeploymentRuntime {
     /// mixed-epoch gate + phase 2 (commit with retry, leases, and
     /// unreachable detection).
     ///
-    /// `Err` means the transaction aborted *before any commit was sent*:
-    /// every staged agent received an abort (best-effort; fencing covers
-    /// the lost ones) and nothing was activated. `Ok(dead)` means the
-    /// commit phase ran; `dead` lists switches declared down during it.
+    /// `Err(Aborted)` means the transaction aborted *before any commit
+    /// was sent*: every staged agent received an abort (best-effort;
+    /// fencing covers the lost ones) and nothing was activated.
+    /// `Err(Crashed)` means the controller died at a journal boundary.
+    /// `Ok(dead)` means the commit phase ran; `dead` lists switches
+    /// declared down during it.
     fn install_transaction(
         &mut self,
         tdg: &Tdg,
@@ -465,15 +638,15 @@ impl DeploymentRuntime {
         artifacts: &DeploymentArtifacts,
         epoch: u64,
         check_mixed: bool,
-    ) -> Result<Vec<SwitchId>, String> {
+    ) -> Result<Vec<SwitchId>, TxnFailure> {
         let mut prepared: Vec<SwitchId> = Vec::new();
         for (&switch, config) in &artifacts.switches {
             match self.prepare_with_retry(switch, config, epoch) {
-                Ok(()) => prepared.push(switch),
-                Err(reason) => {
-                    self.abort_prepared(&prepared, epoch);
-                    return Err(reason);
+                Ok(()) => {
+                    self.journal_note(JournalRecord::Prepared { epoch, switch })?;
+                    prepared.push(switch);
                 }
+                Err(reason) => return Err(self.abort_txn(&prepared, epoch, reason)),
             }
         }
         // Faults during prepare (link down, crashed bystander) may have
@@ -481,8 +654,8 @@ impl DeploymentRuntime {
         // still hold on what is actually left before anything activates.
         let violations = verify(tdg, &self.net, plan, &self.eps);
         if !violations.is_empty() {
-            self.abort_prepared(&prepared, epoch);
-            return Err(format!("plan no longer valid at commit time: {}", violations[0]));
+            let reason = format!("plan no longer valid at commit time: {}", violations[0]);
+            return Err(self.abort_txn(&prepared, epoch, reason));
         }
         // Mixed-epoch gate: a same-program plan change is committed switch
         // by switch, so every prefix of the commit order must keep packets
@@ -511,15 +684,21 @@ impl DeploymentRuntime {
                                 detail: v.to_string(),
                                 at_us: self.clock_us,
                             });
-                            self.abort_prepared(&prepared, epoch);
-                            return Err(format!(
+                            let reason = format!(
                                 "mixed-epoch window would break per-packet consistency: {v}"
-                            ));
+                            );
+                            return Err(self.abort_txn(&prepared, epoch, reason));
                         }
                     }
                 }
             }
         }
+
+        // The point of no return: the decision to commit must be durable
+        // *before* the first commit message, so a crashed controller that
+        // already changed an agent's state can never be mistaken for one
+        // that was still free to abort.
+        self.journal_note(JournalRecord::CommitDecided { epoch, order: prepared.clone() })?;
 
         let mut committed: Vec<SwitchId> = Vec::new();
         let mut dead: Vec<SwitchId> = Vec::new();
@@ -532,6 +711,12 @@ impl DeploymentRuntime {
                 lease_refreshed_us = self.clock_us;
             }
             if self.commit_with_retry(switch, epoch) {
+                self.journal_note(JournalRecord::CommitAcked { epoch, switch })?;
+                self.journal_note(JournalRecord::LeaseGranted {
+                    epoch,
+                    switch,
+                    until_us: self.clock_us + self.policy.lease_us,
+                })?;
                 committed.push(switch);
             } else {
                 self.declare_unreachable(switch, epoch, &committed);
@@ -555,8 +740,23 @@ impl DeploymentRuntime {
             }
         }
         dead.sort_unstable();
+        self.journal_note(JournalRecord::TxnCommitted { epoch, dead: dead.clone() })?;
         self.log.push(Event::Committed { epoch, at_us: self.clock_us });
         Ok(dead)
+    }
+
+    /// Journals the abort decision (write-ahead), then best-effort aborts
+    /// every prepared switch. Returns the `TxnFailure` the transaction
+    /// terminates with — `Crashed` if the controller dies at the abort
+    /// boundary itself, `Aborted(reason)` otherwise.
+    fn abort_txn(&mut self, prepared: &[SwitchId], epoch: u64, reason: String) -> TxnFailure {
+        if let Err(crash) =
+            self.journal_note(JournalRecord::TxnAborted { epoch, reason: reason.clone() })
+        {
+            return TxnFailure::Crashed(crash);
+        }
+        self.abort_prepared(prepared, epoch);
+        TxnFailure::Aborted(reason)
     }
 
     /// One switch's prepare with bounded retry and exponential backoff.
@@ -691,7 +891,7 @@ impl DeploymentRuntime {
     /// reply arrives or the exchange times out. In-flight messages for
     /// other exchanges (duplicates, delayed stragglers) are delivered
     /// along the way; stale replies are discarded.
-    fn exchange(
+    pub(crate) fn exchange(
         &mut self,
         switch: SwitchId,
         epoch: u64,
@@ -853,7 +1053,18 @@ impl DeploymentRuntime {
         tdg: Tdg,
         plan: DeploymentPlan,
         artifacts: DeploymentArtifacts,
-    ) {
+    ) -> Result<(), ControllerCrash> {
+        // Activation snapshots are the journal's compaction points: a
+        // self-contained restart state that makes everything before them
+        // replay-irrelevant.
+        self.journal_note(JournalRecord::Snapshot {
+            epoch,
+            tdg_fp: hermes_core::tdg_fingerprint(&tdg),
+            plan_fp: plan.fingerprint(),
+            plan: plan.clone(),
+            artifacts: artifacts.clone(),
+            clock_us: self.clock_us,
+        })?;
         self.log.push(Event::Activated {
             epoch,
             a_max_bytes: plan.max_inter_switch_bytes(&tdg),
@@ -862,6 +1073,7 @@ impl DeploymentRuntime {
             at_us: self.clock_us,
         });
         self.active = Some(ActiveDeployment { epoch, tdg, plan, artifacts });
+        Ok(())
     }
 
     /// Aborts epoch `epoch`, leaving the current active deployment as-is.
@@ -880,15 +1092,31 @@ impl DeploymentRuntime {
         previous: Option<ActiveDeployment>,
         epoch: u64,
         reason: String,
-    ) -> RolloutOutcome {
-        self.force_restore(previous);
-        self.roll_back(epoch, reason)
+    ) -> Result<RolloutOutcome, ControllerCrash> {
+        self.force_restore(previous)?;
+        Ok(self.roll_back(epoch, reason))
     }
 
     /// The out-of-band full restore behind [`DeploymentRuntime::roll_back_to`]:
     /// clears the channel and force-activates `previous`'s configs on
-    /// every surviving agent, bypassing staging, fencing, and leases.
-    pub(crate) fn force_restore(&mut self, previous: Option<ActiveDeployment>) {
+    /// every surviving agent, bypassing staging, fencing, and leases. The
+    /// restored state is journaled (write-ahead) as a fresh snapshot — or
+    /// a `Cleared` marker when there is nothing to restore.
+    pub(crate) fn force_restore(
+        &mut self,
+        previous: Option<ActiveDeployment>,
+    ) -> Result<(), ControllerCrash> {
+        match &previous {
+            Some(p) => self.journal_note(JournalRecord::Snapshot {
+                epoch: p.epoch,
+                tdg_fp: hermes_core::tdg_fingerprint(&p.tdg),
+                plan_fp: p.plan.fingerprint(),
+                plan: p.plan.clone(),
+                artifacts: p.artifacts.clone(),
+                clock_us: self.clock_us,
+            })?,
+            None => self.journal_note(JournalRecord::Cleared { epoch: self.epoch })?,
+        }
         self.channel.clear();
         for (&switch, agent) in &mut self.agents {
             let config = previous.as_ref().and_then(|p| p.artifacts.switches.get(&switch)).cloned();
@@ -896,6 +1124,7 @@ impl DeploymentRuntime {
             agent.force_activate(prev_epoch, config);
         }
         self.active = previous;
+        Ok(())
     }
 }
 
@@ -1027,6 +1256,9 @@ mod tests {
                 RolloutOutcome::RolledBack { .. } => {
                     assert_eq!(rt.active_plan(), None, "failed heal must roll back cleanly");
                 }
+                RolloutOutcome::ControllerCrashed { .. } => {
+                    unreachable!("no controller crash was injected")
+                }
             }
         }
         assert!(healed_seen, "no seed in 0..20 healed successfully");
@@ -1114,6 +1346,9 @@ mod tests {
                         );
                     }
                 }
+                RolloutOutcome::ControllerCrashed { .. } => {
+                    unreachable!("no controller crash was injected")
+                }
             }
             let (_, rt2) = run(seed);
             assert_eq!(rt.log().to_json(), rt2.log().to_json(), "seed {seed} not reproducible");
@@ -1160,6 +1395,82 @@ mod tests {
             assert_ne!(agent.active_epoch(), Some(2));
             assert_ne!(agent.staged_epoch(), Some(2));
         }
+    }
+
+    #[test]
+    fn fault_free_rollout_journals_a_replayable_clean_history() {
+        use crate::journal::JournalRecord;
+        let (tdg, net, plan) = workload();
+        let mut rt = DeploymentRuntime::new(
+            net,
+            Epsilon::loose(),
+            FaultInjector::disabled(),
+            RetryPolicy::default(),
+        );
+        assert!(rt.rollout(&tdg, plan.clone()).is_committed());
+        let replay = rt.journal().replay().expect("clean journal must replay");
+        assert_eq!(replay.discarded_tail_bytes, 0);
+        // Write-ahead order: epoch advance, txn begin, one Prepared +
+        // CommitAcked + LeaseGranted per switch, commit decision before
+        // any ack, then TxnCommitted and the activation snapshot.
+        let kinds: Vec<CrashPoint> =
+            replay.records.iter().map(JournalRecord::crash_point).collect();
+        assert_eq!(kinds[0], CrashPoint::EpochAdvance);
+        assert_eq!(kinds[1], CrashPoint::TxnBegin);
+        let pos = |p: CrashPoint| kinds.iter().position(|&k| k == p).unwrap();
+        assert!(pos(CrashPoint::CommitDecision) < pos(CrashPoint::CommitAck));
+        assert!(pos(CrashPoint::TxnCommit) < pos(CrashPoint::Snapshot));
+        let n = plan.occupied_switch_count();
+        assert_eq!(kinds.iter().filter(|&&k| k == CrashPoint::Prepare).count(), n);
+        assert_eq!(kinds.iter().filter(|&&k| k == CrashPoint::CommitAck).count(), n);
+        assert_eq!(kinds.iter().filter(|&&k| k == CrashPoint::LeaseGrant).count(), n);
+    }
+
+    #[test]
+    fn armed_controller_crash_is_terminal_and_sticky() {
+        let (tdg, net, plan) = workload();
+        // Dry run to count the scenario's journal boundaries.
+        let boundaries = {
+            let mut rt = DeploymentRuntime::new(
+                net.clone(),
+                Epsilon::loose(),
+                FaultInjector::disabled(),
+                RetryPolicy::default(),
+            );
+            assert!(rt.rollout(&tdg, plan.clone()).is_committed());
+            rt.injector().journal_writes()
+        };
+        assert!(boundaries > 4, "a committing rollout must cross several boundaries");
+        // Crash at the commit-decision boundary and check stickiness.
+        let mut rt = DeploymentRuntime::new(
+            net,
+            Epsilon::loose(),
+            FaultInjector::disabled(),
+            RetryPolicy::default(),
+        );
+        let n = plan.occupied_switch_count() as u64;
+        // Boundary layout for a clean deploy: 0 = epoch advance, 1 = txn
+        // begin, 2..2+n = prepares, then the commit decision.
+        rt.injector_mut().arm_controller_crash_at(2 + n, CrashTiming::AfterWrite);
+        let outcome = rt.rollout(&tdg, plan.clone());
+        match outcome {
+            RolloutOutcome::ControllerCrashed { epoch, point } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(point, CrashPoint::CommitDecision);
+            }
+            other => panic!("expected a controller crash, got {other}"),
+        }
+        assert!(rt.crashed().is_some());
+        assert_eq!(rt.active_plan(), None, "the crash lost all in-memory state");
+        // Sticky: further protocol calls refuse without touching agents.
+        let again = rt.rollout(&tdg, plan);
+        assert!(matches!(again, RolloutOutcome::ControllerCrashed { .. }));
+        // The journal survived and replays cleanly up to the crash.
+        let replay = rt.journal().replay().expect("journal must replay");
+        assert!(matches!(
+            replay.records.last(),
+            Some(crate::journal::JournalRecord::CommitDecided { epoch: 1, .. })
+        ));
     }
 
     #[test]

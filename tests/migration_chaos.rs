@@ -127,6 +127,9 @@ fn soak(net: &Network, tdg: &Tdg, label: &str) -> (u64, u64) {
                 // mean the executor bailed instead of rolling back.
                 panic!("{label} seed {seed}: unexpected abort: {reason}");
             }
+            MigrationOutcome::ControllerCrashed { .. } => {
+                unreachable!("{label} seed {seed}: no controller crash was injected")
+            }
         }
         // Reproducibility: same seed, same outcome, byte-identical log.
         let (rt2, outcome2) = run_once(tdg, net, &plan_a, &plan_b, seed);

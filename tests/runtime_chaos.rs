@@ -71,6 +71,9 @@ fn soak(net: &Network, label: &str) {
                     "{label} seed {seed}: rollback left a plan active"
                 );
             }
+            RolloutOutcome::ControllerCrashed { .. } => {
+                unreachable!("{label} seed {seed}: no controller crash was injected")
+            }
         }
         // Reproducibility: the same seed yields a byte-identical log.
         let (rt2, _) = run_once(&tdg, net, seed);
@@ -148,6 +151,9 @@ fn lossy_soak(net: &Network, label: &str) {
                     );
                 }
             }
+            RolloutOutcome::ControllerCrashed { .. } => {
+                unreachable!("{label} seed {seed}: no controller crash was injected")
+            }
         }
         let (rt2, outcome2) = run_once(seed);
         assert_eq!(outcome, outcome2, "{label} seed {seed}: outcome not reproducible");
@@ -202,6 +208,9 @@ fn rollback_preserves_previous_epoch() {
                     before.as_ref(),
                     "seed {seed}: rollback must restore the prior plan"
                 );
+            }
+            RolloutOutcome::ControllerCrashed { .. } => {
+                unreachable!("seed {seed}: no controller crash was injected")
             }
         }
     }
