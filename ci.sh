@@ -26,6 +26,9 @@ cargo test -q --release --test eval_equivalence
 echo "==> migration property suite + mid-migration chaos soak"
 cargo test -q --release --test migration --test migration_chaos
 
+echo "==> target-model equivalence suite (default byte-identity + mixed topology + serde golden)"
+cargo test -q --release --test target_equivalence
+
 echo "==> durability suites: journal fuzz, event-schema round trip, recovery soak"
 cargo test -q --release --test journal_fuzz --test event_schema --test recovery_chaos
 
@@ -67,6 +70,16 @@ if [[ "$mig_a" != "$mig_b" ]]; then
   exit 1
 fi
 echo "smoke output stable: $mig_a"
+
+echo "==> target frontier determinism smoke (per-target greedy plans, fixed workload)"
+tgt_a="$(cargo run -q --release -p hermes-bench --bin targets -- --smoke)"
+tgt_b="$(cargo run -q --release -p hermes-bench --bin targets -- --smoke)"
+if [[ "$tgt_a" != "$tgt_b" ]]; then
+  echo "targets smoke is nondeterministic:" >&2
+  diff <(printf '%s\n' "$tgt_a") <(printf '%s\n' "$tgt_b") >&2 || true
+  exit 1
+fi
+echo "smoke output stable: ${tgt_a:0:120}..."
 
 echo "==> recovery determinism smoke (crash at every boundary, virtual clock)"
 rec_a="$(cargo run -q --release -p hermes-bench --bin recovery -- --smoke)"

@@ -184,6 +184,23 @@ mod tests {
     }
 
     #[test]
+    fn budget_certificates_surface_through_the_audit_json() {
+        let programs = library::real_programs();
+        // A deep, wide pipeline whose total-resource budget is the only
+        // binding constraint: HC309 must fire instead of HC303.
+        let mut net = hermes_core::test_support::tiny_switches(1, 64, 4.0);
+        let id = net.switch_ids().next().unwrap();
+        net.switch_mut(id).total_budget = 0.5;
+        let eps = Epsilon::loose();
+        let report = audit_instance(&programs, &net, &eps, AnalysisMode::PaperLiteral);
+        assert!(report.summary.proven_infeasible, "{report}");
+        assert!(report.diagnostics.iter().any(|d| d.code == "HC309"), "{report}");
+        assert!(!report.diagnostics.iter().any(|d| d.code == "HC303"), "{report}");
+        let json = report.to_json();
+        assert!(json.contains("HC309"));
+    }
+
+    #[test]
     fn feasible_instance_audit_is_error_free() {
         let programs = vec![library::l3_router()];
         let net = hermes_net::topology::fat_tree(4, 0.5);

@@ -178,10 +178,10 @@ fn first_fit(
                     ),
                 });
             }
-            let sw = net.switch(candidates[current]);
+            let model = net.switch(candidates[current]).target_model();
             let mut attempt = on_current.clone();
             attempt.insert(id);
-            if stage_feasible(tdg, &attempt, sw.stages, sw.stage_capacity) {
+            if stage_feasible(tdg, &attempt, &model) {
                 on_current = attempt;
                 assign[id.index()] = current;
                 break;

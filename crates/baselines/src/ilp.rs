@@ -532,13 +532,13 @@ fn solve_program_packing(
             .max()
             .unwrap_or(0);
         let c = (min_c..q).find(|&c| {
-            let sw = net.switch(candidates[c]);
-            if used[c] + resource > sw.total_capacity() + 1e-9 {
+            let model = net.switch(candidates[c]).target_model();
+            if used[c] + resource > model.total_capacity() + 1e-9 {
                 return false;
             }
             let mut attempt = on_switch[c].clone();
             attempt.insert(id);
-            hermes_core::stage_feasible(tdg, &attempt, sw.stages, sw.stage_capacity)
+            hermes_core::stage_feasible(tdg, &attempt, &model)
         })?;
         used[c] += resource;
         local_assign[id.index()] = c;

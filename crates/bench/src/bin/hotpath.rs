@@ -588,8 +588,7 @@ fn smoke() {
     let ids: Vec<NodeId> = tdg.node_ids().take(10).collect();
     let shape = {
         let net = topology::linear(3, 10.0);
-        let sw = net.switch(net.programmable_switches()[0]);
-        (sw.stages, sw.stage_capacity)
+        net.switch(net.programmable_switches()[0]).target_model()
     };
     let mut cache = StageFeasCache::new(&tdg);
     let mut probes = 0u32;
@@ -600,9 +599,9 @@ fn smoke() {
             .filter(|(i, _)| mask & (1 << i) != 0)
             .map(|(_, &id)| id)
             .collect();
-        let expect = stage_feasible(&tdg, &set, shape.0, shape.1);
+        let expect = stage_feasible(&tdg, &set, &shape);
         assert_eq!(
-            cache.feasible_set(&tdg, shape.0, shape.1, &set),
+            cache.feasible_set(&tdg, &shape, &set),
             expect,
             "cache diverged on mask {mask:#x}"
         );

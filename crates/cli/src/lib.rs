@@ -25,7 +25,7 @@ use hermes_core::{
 use hermes_dataplane::lint::lint_composition;
 use hermes_dataplane::parser::parse_programs;
 use hermes_net::topology::{self, WanConfig};
-use hermes_net::{Network, SwitchId};
+use hermes_net::{builtin_targets, parse_target, Network, SwitchId, TargetSpecError};
 use hermes_runtime::{
     replay_bytes, ChannelProfile, DeploymentRuntime, Event, FaultInjector, FaultProfile, InFlight,
     Journal, MigrationConfig, RecoveredIntent, RetryPolicy, RolloutOutcome,
@@ -118,6 +118,23 @@ impl From<ChannelSpecError> for CliError {
     fn from(e: ChannelSpecError) -> Self {
         CliError(e.to_string())
     }
+}
+
+impl From<TargetSpecError> for CliError {
+    fn from(e: TargetSpecError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// Parses the topology spec and retargets its programmable switches per
+/// `--target`, when given. The flag is a no-op for topologies with no
+/// programmable switch.
+fn parse_network(options: &Options) -> Result<Network, CliError> {
+    let mut net = parse_topology(&options.topology)?;
+    if let Some(spec) = &options.target {
+        parse_target(spec)?.apply(&mut net);
+    }
+    Ok(net)
 }
 
 /// Parses a control-channel spec: `none`, `lossy`, or comma-separated
@@ -371,6 +388,9 @@ pub struct Options {
     /// Journal path: written after the run (deploy/chaos/migrate), read
     /// and replayed offline (recover).
     pub journal: Option<String>,
+    /// Target spec (audit/deploy/migrate): retargets the topology's
+    /// programmable switches before planning.
+    pub target: Option<String>,
 }
 
 impl Default for Options {
@@ -393,6 +413,7 @@ impl Default for Options {
             order: "auto".to_owned(),
             exclude: None,
             journal: None,
+            target: None,
         }
     }
 }
@@ -403,26 +424,30 @@ hermes — network-wide data plane program deployment
 
 USAGE:
   hermes analyze  <files…> [--dot]
-  hermes audit    <files…> [--library] [--topology SPEC] [--eps1 US]
-                  [--eps2 N] [--json]
-  hermes deploy   <files…> [--topology SPEC] [--solver NAME]
+  hermes audit    <files…> [--library] [--topology SPEC] [--target SPEC]
+                  [--eps1 US] [--eps2 N] [--json]
+  hermes deploy   <files…> [--topology SPEC] [--target SPEC] [--solver NAME]
                   [--eps1 US] [--eps2 N] [--time-limit SECS] [--json]
                   [--journal PATH]
   hermes simulate <files…> [--topology SPEC] [--solver NAME]
   hermes chaos    <files…> [--topology SPEC] [--solver NAME] [--seed N]
                   [--trials N] [--channel SPEC] [--eps1 US] [--eps2 N]
                   [--json] [--journal PATH]
-  hermes migrate  <files…> [--topology SPEC] [--from-solver NAME]
-                  [--solver NAME] [--exclude N] [--order SPEC] [--seed N]
-                  [--channel SPEC] [--eps1 US] [--eps2 N]
-                  [--time-limit SECS] [--json] [--journal PATH]
+  hermes migrate  <files…> [--topology SPEC] [--target SPEC]
+                  [--from-solver NAME] [--solver NAME] [--exclude N]
+                  [--order SPEC] [--seed N] [--channel SPEC] [--eps1 US]
+                  [--eps2 N] [--time-limit SECS] [--json] [--journal PATH]
   hermes recover  --journal PATH [--json]
+  hermes targets
 
 TOPOLOGY SPECS:  linear:N  star:N  fattree:K  wan:1..10  waxman:N,A,B,SEED
 SOLVERS:         greedy exact milp portfolio ffl ffls ms sonata speed mtp
                  fp p4all
 CHANNEL SPECS:   none  lossy  drop=P,dup=P,reorder=P,delay=P,span=US
 ORDER SPECS:     auto  greedy  exact  in-order  comma-separated indices
+TARGET SPECS:    tofino  smartnic  soft
+                 NAME:stages=N,cap=C,budget=B,latency=US (knob overrides)
+                 mix:tofino+smartnic+soft (cycled over switches)
 
 `audit` runs the static workload audit (lints, TDG dataflow, dependency
 soundness) plus the pre-solve infeasibility bounds for the given topology
@@ -456,7 +481,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         iter.next().ok_or_else(|| err(format!("missing command\n\n{USAGE}")))?.clone();
     if !matches!(
         options.command.as_str(),
-        "analyze" | "audit" | "deploy" | "simulate" | "chaos" | "migrate" | "recover"
+        "analyze" | "audit" | "deploy" | "simulate" | "chaos" | "migrate" | "recover" | "targets"
     ) {
         return Err(err(format!("unknown command `{}`\n\n{USAGE}", options.command)));
     }
@@ -498,6 +523,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                 parse_channel(&spec)?;
                 options.channel = spec;
             }
+            "--target" => {
+                let spec = value(&mut iter)?;
+                parse_target(&spec)?;
+                options.target = Some(spec);
+            }
             "--from-solver" => {
                 let name = value(&mut iter)?;
                 solver(&name, Duration::from_secs(1)).map_err(|e| err(e.to_string()))?;
@@ -531,6 +561,12 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         }
         if !options.files.is_empty() {
             return Err(err("recover replays a journal, not program files".to_owned()));
+        }
+        return Ok(options);
+    }
+    if options.command == "targets" {
+        if !options.files.is_empty() {
+            return Err(err("targets lists built-in models and takes no program files".to_owned()));
         }
         return Ok(options);
     }
@@ -753,7 +789,7 @@ fn run_migrate(
     tdg: &hermes_tdg::Tdg,
 ) -> Result<(), CliError> {
     let io = |e: std::io::Error| err(format!("write failed: {e}"));
-    let net = parse_topology(&options.topology)?;
+    let net = parse_network(options)?;
     let eps = Epsilon::new(options.eps1, options.eps2);
     let channel = parse_channel(&options.channel)?;
     let order = resolve_order(&parse_order(&options.order)?, &net)?;
@@ -868,6 +904,12 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
     if options.command == "recover" {
         return run_recover(options, out);
     }
+    if options.command == "targets" {
+        for model in builtin_targets() {
+            writeln!(out, "{model}").map_err(io)?;
+        }
+        return Ok(());
+    }
     let mut programs = if options.library && options.command == "audit" {
         hermes_dataplane::library::real_programs()
     } else {
@@ -894,7 +936,7 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             }
         }
         "audit" => {
-            let net = parse_topology(&options.topology)?;
+            let net = parse_network(options)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
             let report = hermes_analysis::audit_instance(
                 &programs,
@@ -915,7 +957,7 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             }
         }
         "deploy" => {
-            let net = parse_topology(&options.topology)?;
+            let net = parse_network(options)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
             let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
             let plan = algo
@@ -953,7 +995,7 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             }
         }
         "simulate" => {
-            let net = parse_topology(&options.topology)?;
+            let net = parse_network(options)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
             let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
             let plan = algo
@@ -975,7 +1017,7 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             .map_err(io)?;
         }
         "chaos" => {
-            let net = parse_topology(&options.topology)?;
+            let net = parse_network(options)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
             let channel = parse_channel(&options.channel)?;
             let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
@@ -1079,6 +1121,48 @@ mod tests {
         for name in SOLVER_NAMES {
             assert!(e.0.contains(name), "error does not list `{name}`: {e}");
         }
+    }
+
+    #[test]
+    fn target_flag_parses_and_retargets_the_network() {
+        let options = parse_args(&args(&["deploy", "a.p4dsl", "--target", "smartnic"])).unwrap();
+        assert_eq!(options.target.as_deref(), Some("smartnic"));
+        let net = parse_network(&Options {
+            topology: "linear:3".to_owned(),
+            target: Some("mix:tofino+smartnic".to_owned()),
+            ..Options::default()
+        })
+        .unwrap();
+        let kinds: Vec<_> = net.switch_ids().map(|s| net.switch(s).target).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                hermes_net::TargetKind::Pipeline,
+                hermes_net::TargetKind::SmartNic,
+                hermes_net::TargetKind::Pipeline
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_target_specs_are_rejected_at_parse_time() {
+        let e = parse_args(&args(&["deploy", "a.p4dsl", "--target", "fpga"])).unwrap_err();
+        assert!(e.0.contains("unknown target `fpga`"), "{e}");
+        let e = parse_args(&args(&["audit", "--library", "--target", "smartnic:stages=0"]))
+            .unwrap_err();
+        assert!(e.0.contains("finite and positive"), "{e}");
+    }
+
+    #[test]
+    fn targets_subcommand_lists_builtin_models() {
+        let options = parse_args(&args(&["targets"])).unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        for name in ["tofino", "smartnic", "soft"] {
+            assert!(text.contains(name), "missing `{name}` in:\n{text}");
+        }
+        assert!(parse_args(&args(&["targets", "a.p4dsl"])).is_err());
     }
 
     #[test]

@@ -145,8 +145,7 @@ impl Solver for OptimalSolver {
         let q = candidates.len();
         let symmetric = eps.max_latency_us.is_infinite()
             && candidates.windows(2).all(|w| {
-                let (a, b) = (net.switch(w[0]), net.switch(w[1]));
-                a.stages == b.stages && (a.stage_capacity - b.stage_capacity).abs() < 1e-12
+                net.switch(w[0]).target_model().symmetric_to(&net.switch(w[1]).target_model())
             });
 
         // Leaf fast path precondition: with no latency bound and every
@@ -160,10 +159,7 @@ impl Solver for OptimalSolver {
             candidates.iter().map(|&id| net.switch(id).total_capacity()).collect();
         let packings: Vec<Packing> = candidates
             .iter()
-            .map(|&id| {
-                let sw = net.switch(id);
-                Packing::new(sw.stages, sw.stage_capacity, tdg.node_count())
-            })
+            .map(|&id| Packing::new(&net.switch(id).target_model(), tdg.node_count()))
             .collect();
 
         let mut search = Search {
@@ -249,7 +245,8 @@ struct Search<'a> {
     symmetric: bool,
     /// Leaves may be scored from `eval.amax()` without materializing.
     fast_leaves: bool,
-    /// Per-candidate `stages * stage_capacity`.
+    /// Per-candidate [`hermes_net::TargetModel::total_capacity`] (budget
+    /// clamp included).
     total_caps: Vec<f64>,
     eval: IncrementalEval,
     /// Per-candidate incremental pipeline state: nodes reach each switch
@@ -391,8 +388,8 @@ pub fn materialize(
         if nodes.is_empty() {
             continue;
         }
-        let sw = net.switch(switch);
-        let placements = assign_stages(tdg, &nodes, switch, sw.stages, sw.stage_capacity).ok()?;
+        let model = net.switch(switch).target_model();
+        let placements = assign_stages(tdg, &nodes, switch, &model).ok()?;
         for p in placements {
             plan.place(p);
         }

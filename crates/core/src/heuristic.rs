@@ -16,7 +16,7 @@ use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilo
 use crate::solver::{SearchContext, SolveOutcome, SolveStats, Solver};
 use crate::stage_assign::{assign_stages, fits_total_capacity};
 use crate::stage_cache::StageFeasCache;
-use hermes_net::{nearest_programmable, shortest_path, Network, SwitchId};
+use hermes_net::{nearest_programmable, shortest_path, Network, SwitchId, TargetModel};
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -82,8 +82,7 @@ impl GreedyHeuristic {
     pub fn split(
         &self,
         tdg: &Tdg,
-        stages: usize,
-        stage_capacity: f64,
+        model: &TargetModel,
     ) -> Result<Vec<BTreeSet<NodeId>>, DeployError> {
         let order = placement_order(tdg);
         let all: BTreeSet<NodeId> = tdg.node_ids().collect();
@@ -91,8 +90,8 @@ impl GreedyHeuristic {
         // One feasibility cache across the recursion *and* the coalescing
         // pass: the bisection re-probes the same node sets at many depths.
         let mut cache = StageFeasCache::new(tdg);
-        self.split_rec(tdg, &order, all, stages, stage_capacity, &mut segments, 0, &mut cache)?;
-        Ok(coalesce(tdg, segments, stages, stage_capacity, &mut cache))
+        self.split_rec(tdg, &order, all, model, &mut segments, 0, &mut cache)?;
+        Ok(coalesce(tdg, segments, model, &mut cache))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -101,8 +100,7 @@ impl GreedyHeuristic {
         tdg: &Tdg,
         topo: &[NodeId],
         nodes: BTreeSet<NodeId>,
-        stages: usize,
-        stage_capacity: f64,
+        model: &TargetModel,
         out: &mut Vec<BTreeSet<NodeId>>,
         depth: u64,
         cache: &mut StageFeasCache,
@@ -112,9 +110,7 @@ impl GreedyHeuristic {
         }
         // Algorithm 2 line 2: resource fit — tightened with a stage-assignment
         // probe so every returned segment is actually deployable.
-        if fits_total_capacity(tdg, &nodes, stages, stage_capacity)
-            && cache.feasible_set(tdg, stages, stage_capacity, &nodes)
-        {
+        if fits_total_capacity(tdg, &nodes, model) && cache.feasible_set(tdg, model, &nodes) {
             out.push(nodes);
             return Ok(());
         }
@@ -171,8 +167,8 @@ impl GreedyHeuristic {
         let cut = cut.clamp(1, n - 1);
         let left: BTreeSet<NodeId> = local[..cut].iter().copied().collect();
         let right: BTreeSet<NodeId> = local[cut..].iter().copied().collect();
-        self.split_rec(tdg, topo, left, stages, stage_capacity, out, depth * 2 + 1, cache)?;
-        self.split_rec(tdg, topo, right, stages, stage_capacity, out, depth * 2 + 2, cache)?;
+        self.split_rec(tdg, topo, left, model, out, depth * 2 + 1, cache)?;
+        self.split_rec(tdg, topo, right, model, out, depth * 2 + 2, cache)?;
         Ok(())
     }
 }
@@ -253,6 +249,22 @@ pub fn placement_order(tdg: &Tdg) -> Vec<NodeId> {
     order
 }
 
+/// The weakest pipeline any programmable switch offers: fewest
+/// budget-effective stages, smallest per-stage capacity, tightest total
+/// budget. Segments split against this model fit every switch. On a
+/// homogeneous default network this is bit-identical to the paper's
+/// `(min stages, min stage_capacity)` pair.
+pub(crate) fn conservative_model(net: &Network, programmable: &[SwitchId]) -> TargetModel {
+    let models: Vec<TargetModel> =
+        programmable.iter().map(|&s| net.switch(s).target_model()).collect();
+    let stages = models.iter().map(TargetModel::effective_stages).min().expect("non-empty");
+    let capacity = models.iter().map(|m| m.stage_capacity).fold(f64::INFINITY, f64::min);
+    let budget = models.iter().map(|m| m.total_budget).fold(f64::INFINITY, f64::min);
+    let mut model = TargetModel::pipeline(stages, capacity);
+    model.total_budget = budget;
+    model
+}
+
 impl GreedyHeuristic {
     /// Capacity-bounded splitter used when the recursive bisection needs
     /// more switches than the network offers. Chooses cut positions along
@@ -271,8 +283,7 @@ impl GreedyHeuristic {
     pub fn split_bounded(
         &self,
         tdg: &Tdg,
-        stages: usize,
-        stage_capacity: f64,
+        model: &TargetModel,
         max_segments: usize,
     ) -> Result<Vec<BTreeSet<NodeId>>, DeployError> {
         let order = placement_order(tdg);
@@ -282,7 +293,7 @@ impl GreedyHeuristic {
         }
         for &id in &order {
             let r = tdg.node(id).mat.resource();
-            if r > stages as f64 * stage_capacity + 1e-9 {
+            if !model.fits_total(r) {
                 return Err(DeployError::MatTooLarge {
                     mat: tdg.node(id).name.clone(),
                     resource: r,
@@ -316,8 +327,8 @@ impl GreedyHeuristic {
         let cache = std::cell::RefCell::new(StageFeasCache::new(tdg));
         let feasible_range = |from: usize, to: usize| -> bool {
             let set: BTreeSet<NodeId> = order[from..to].iter().copied().collect();
-            fits_total_capacity(tdg, &set, stages, stage_capacity)
-                && cache.borrow_mut().feasible_set(tdg, stages, stage_capacity, &set)
+            fits_total_capacity(tdg, &set, model)
+                && cache.borrow_mut().feasible_set(tdg, model, &set)
         };
         // Greedy check: extend each segment as far as possible, ending only
         // at boundaries within the cost threshold. Feasibility of a range
@@ -377,8 +388,7 @@ impl GreedyHeuristic {
 fn coalesce(
     tdg: &Tdg,
     segments: Vec<BTreeSet<NodeId>>,
-    stages: usize,
-    stage_capacity: f64,
+    model: &TargetModel,
     cache: &mut StageFeasCache,
 ) -> Vec<BTreeSet<NodeId>> {
     let mut out: Vec<BTreeSet<NodeId>> = Vec::with_capacity(segments.len());
@@ -386,9 +396,7 @@ fn coalesce(
         if let Some(last) = out.last_mut() {
             let mut union = last.clone();
             union.extend(seg.iter().copied());
-            if fits_total_capacity(tdg, &union, stages, stage_capacity)
-                && cache.feasible_set(tdg, stages, stage_capacity, &union)
-            {
+            if fits_total_capacity(tdg, &union, model) && cache.feasible_set(tdg, model, &union) {
                 *last = union;
                 continue;
             }
@@ -465,14 +473,12 @@ impl GreedyHeuristic {
         if tdg.node_count() == 0 {
             return Ok(DeploymentPlan::new());
         }
-        // Homogeneous-pipeline assumption of the paper: split against the
-        // weakest programmable switch so segments fit anywhere.
-        let stages = programmable.iter().map(|&s| net.switch(s).stages).min().expect("non-empty");
-        let capacity = programmable
-            .iter()
-            .map(|&s| net.switch(s).stage_capacity)
-            .fold(f64::INFINITY, f64::min);
-        let mut segments = self.split(tdg, stages, capacity)?;
+        // Homogeneous-pipeline assumption of the paper, generalized to
+        // heterogeneous targets: split against the weakest programmable
+        // switch along every axis (fewest budget-effective stages, smallest
+        // per-stage capacity, tightest budget) so segments fit anywhere.
+        let split_model = conservative_model(net, &programmable);
+        let mut segments = self.split(tdg, &split_model)?;
 
         // Algorithm 2 lines 21–29: enumerate anchor switches. Two passes:
         // first with the paper's recursive split, then — if no anchor has
@@ -498,7 +504,7 @@ impl GreedyHeuristic {
             }
             if pass == 0 {
                 let max_segments = eps.max_switches.min(programmable.len());
-                match self.split_bounded(tdg, stages, capacity, max_segments) {
+                match self.split_bounded(tdg, &split_model, max_segments) {
                     Ok(bounded) if bounded.len() < segments.len() => segments = bounded,
                     _ => break,
                 }
@@ -580,8 +586,8 @@ impl GreedyHeuristic {
                 if current >= candidates.len() || current >= eps.max_switches {
                     return None;
                 }
-                let sw = net.switch(candidates[current]);
-                if cache.feasible_with(tdg, sw.stages, sw.stage_capacity, &words, id) {
+                let sw_model = net.switch(candidates[current]).target_model();
+                if cache.feasible_with(tdg, &sw_model, &words, id) {
                     words[id.index() / 64] |= 1u64 << (id.index() % 64);
                     on_current += 1;
                     assign[id.index()] = current;
@@ -612,8 +618,8 @@ impl GreedyHeuristic {
         let mut plan = DeploymentPlan::new();
         for (i, segment) in segments.iter().enumerate() {
             let s = candidates[i];
-            let sw = net.switch(s);
-            let placements = assign_stages(tdg, segment, s, sw.stages, sw.stage_capacity).ok()?;
+            let model = net.switch(s).target_model();
+            let placements = assign_stages(tdg, segment, s, &model).ok()?;
             for p in placements {
                 plan.place(p);
             }
@@ -706,13 +712,7 @@ mod tests {
     /// 0.5 capacity), linked linearly.
     fn figure4_network() -> Network {
         let mut net = Network::new();
-        let mk = |name: &str| Switch {
-            name: name.into(),
-            programmable: true,
-            stages: 2,
-            stage_capacity: 0.5,
-            latency_us: 1.0,
-        };
+        let mk = |name: &str| Switch { stages: 2, stage_capacity: 0.5, ..Switch::tofino(name) };
         let s1 = net.add_switch(mk("s1"));
         let s2 = net.add_switch(mk("s2"));
         let s3 = net.add_switch(mk("s3"));
@@ -725,7 +725,7 @@ mod tests {
     fn figure4_first_cut_minimizes_crossing_bytes() {
         let tdg = figure4_tdg();
         let h = GreedyHeuristic::new();
-        let segments = h.split(&tdg, 2, 0.5).unwrap();
+        let segments = h.split(&tdg, &TargetModel::pipeline(2, 0.5)).unwrap();
         assert_eq!(segments.len(), 3, "five MATs over two-MAT switches");
         // First segment boundary separates {a..} from {..e} such that the
         // overall plan overhead is 4 bytes.
@@ -747,7 +747,7 @@ mod tests {
         ];
         let mut naive = DeploymentPlan::new();
         for (i, seg) in naive_segments.iter().enumerate() {
-            for p in assign_stages(&tdg, seg, ids[i], 2, 0.5).unwrap() {
+            for p in assign_stages(&tdg, seg, ids[i], &TargetModel::pipeline(2, 0.5)).unwrap() {
                 naive.place(p);
             }
         }
@@ -830,7 +830,7 @@ mod tests {
         let tdg = figure4_tdg();
         for strat in [SplitStrategy::Balanced, SplitStrategy::Random(7)] {
             let h = GreedyHeuristic::with_strategy(strat);
-            let segs = h.split(&tdg, 2, 0.5).unwrap();
+            let segs = h.split(&tdg, &TargetModel::pipeline(2, 0.5)).unwrap();
             let total: usize = segs.iter().map(BTreeSet::len).sum();
             assert_eq!(total, 5, "{strat:?} loses nodes");
         }
@@ -842,13 +842,7 @@ mod tests {
         // A larger network than Figure 4's, because random splits can
         // produce more (smaller) segments than the min-metadata split.
         let mut net = Network::new();
-        let mk = |name: String| Switch {
-            name,
-            programmable: true,
-            stages: 2,
-            stage_capacity: 0.5,
-            latency_us: 1.0,
-        };
+        let mk = |name: String| Switch { stages: 2, stage_capacity: 0.5, ..Switch::tofino(name) };
         let ids: Vec<SwitchId> = (0..5).map(|i| net.add_switch(mk(format!("s{i}")))).collect();
         for w in ids.windows(2) {
             net.add_link(w[0], w[1], 10.0).unwrap();

@@ -235,10 +235,10 @@ impl IncrementalDeployer {
                 .max()
                 .unwrap_or(0);
             let slot = order[min_rank..].iter().copied().find(|&s| {
-                let sw = net.switch(s);
+                let model = net.switch(s).target_model();
                 let mut attempt = per_switch.get(&s).cloned().unwrap_or_default();
                 attempt.insert(id);
-                stage_feasible(new_tdg, &attempt, sw.stages, sw.stage_capacity)
+                stage_feasible(new_tdg, &attempt, &model)
             })?;
             assignment.insert(id, slot);
             per_switch.entry(slot).or_default().insert(id);
@@ -248,8 +248,8 @@ impl IncrementalDeployer {
         // dependent pair.
         let mut plan = DeploymentPlan::new();
         for (&s, nodes) in &per_switch {
-            let sw = net.switch(s);
-            let placements = assign_stages(new_tdg, nodes, s, sw.stages, sw.stage_capacity).ok()?;
+            let model = net.switch(s).target_model();
+            let placements = assign_stages(new_tdg, nodes, s, &model).ok()?;
             for p in placements {
                 plan.place(p);
             }

@@ -393,8 +393,8 @@ impl StepSim {
         for &s in &occupied_b {
             let resident: BTreeSet<NodeId> =
                 from.nodes_on(s).union(&to.nodes_on(s)).copied().collect();
-            let sw = net.switch(s);
-            if !cache.feasible_set(tdg, sw.stages, sw.stage_capacity, &resident) {
+            let model = net.switch(s).target_model();
+            if !cache.feasible_set(tdg, &model, &resident) {
                 return Err(MigrateError::StagingInfeasible(s));
             }
             staged_nodes.insert(s, resident.len());

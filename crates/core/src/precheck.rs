@@ -29,7 +29,7 @@
 //! [`SearchContext::raise_floor`]: crate::solver::SearchContext::raise_floor
 
 use crate::deployment::Epsilon;
-use hermes_net::Network;
+use hermes_net::{Network, TargetModel};
 use hermes_tdg::{NodeId, Tdg};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -64,6 +64,33 @@ pub enum Certificate {
         required: f64,
         /// Σ stages · C_stage over programmable up switches.
         available: f64,
+    },
+    /// One MAT would fit some switch's pipeline stages, but exceeds every
+    /// programmable target's total-resource *budget* — the heterogeneity
+    /// generalization of `MatTooLarge` (which fires when not even the
+    /// pipeline sum suffices).
+    MatExceedsTargetBudget {
+        /// Program-qualified MAT name.
+        mat: String,
+        /// Its resource demand.
+        resource: f64,
+        /// The largest budget-clamped per-switch capacity available.
+        max_capacity: f64,
+        /// The largest raw pipeline sum (`C_stage × C_res`) available —
+        /// `resource` fits under this, which is what makes the budget the
+        /// binding constraint.
+        max_pipeline: f64,
+    },
+    /// Aggregate demand fits the summed pipeline stages of the
+    /// programmable switches but exceeds their summed target budgets —
+    /// the heterogeneity generalization of `InsufficientCapacity`.
+    BudgetedCapacityInsufficient {
+        /// Σ R(a) over all MATs.
+        required: f64,
+        /// Σ budget-clamped capacities over programmable up switches.
+        available: f64,
+        /// Σ raw pipeline sums over the same switches.
+        pipeline_available: f64,
     },
     /// A dependency chain is longer than any switch pipeline, so the
     /// program must span at least two switches — but the network has fewer
@@ -112,6 +139,8 @@ impl Certificate {
             Certificate::SwitchFloorExceedsBound { .. } => "HC305",
             Certificate::LatencyFloorExceedsBound { .. } => "HC306",
             Certificate::AmaxFloor { .. } => "HC307",
+            Certificate::MatExceedsTargetBudget { .. } => "HC308",
+            Certificate::BudgetedCapacityInsufficient { .. } => "HC309",
         }
     }
 
@@ -150,6 +179,22 @@ impl fmt::Display for Certificate {
             Certificate::AmaxFloor { bytes, witness } => {
                 write!(f, "A_max >= {bytes} B in every feasible plan ({witness})")
             }
+            Certificate::MatExceedsTargetBudget { mat, resource, max_capacity, max_pipeline } => {
+                write!(
+                    f,
+                    "MAT `{mat}` needs R={resource:.2}, within the largest pipeline sum \
+                     {max_pipeline:.2} but over every target budget (best: {max_capacity:.2})"
+                )
+            }
+            Certificate::BudgetedCapacityInsufficient {
+                required,
+                available,
+                pipeline_available,
+            } => write!(
+                f,
+                "total demand {required:.2} fits the summed pipelines ({pipeline_available:.2}) \
+                 but exceeds the summed target budgets ({available:.2})"
+            ),
         }
     }
 }
@@ -178,26 +223,51 @@ impl Precheck {
             return Precheck { certificates: certs };
         }
 
-        // Per-switch capacities, descending — the prefix-sum argument
-        // below needs the greedy (largest-first) packing order.
-        let mut caps: Vec<f64> = prog.iter().map(|&s| net.switch(s).total_capacity()).collect();
+        // Per-switch cost models; capacities descending — the prefix-sum
+        // argument below needs the greedy (largest-first) packing order.
+        let models: Vec<TargetModel> = prog.iter().map(|&s| net.switch(s).target_model()).collect();
+        let mut caps: Vec<f64> = models.iter().map(TargetModel::total_capacity).collect();
         caps.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
         let cap_max = caps[0];
+        // The budget-free view: what the pipelines could hold if only
+        // per-stage capacity bound. On default networks this equals the
+        // clamped numbers, so the budget-specific certificates never fire.
+        let pipe_max =
+            models.iter().map(TargetModel::pipeline_capacity).fold(f64::NEG_INFINITY, f64::max);
 
         for node in tdg.nodes() {
-            if node.mat.resource() > cap_max + TOL {
-                certs.push(Certificate::MatTooLarge {
-                    mat: node.name.clone(),
-                    resource: node.mat.resource(),
-                    max_capacity: cap_max,
-                });
+            let r = node.mat.resource();
+            if r > cap_max + TOL {
+                if r <= pipe_max + TOL {
+                    certs.push(Certificate::MatExceedsTargetBudget {
+                        mat: node.name.clone(),
+                        resource: r,
+                        max_capacity: cap_max,
+                        max_pipeline: pipe_max,
+                    });
+                } else {
+                    certs.push(Certificate::MatTooLarge {
+                        mat: node.name.clone(),
+                        resource: r,
+                        max_capacity: cap_max,
+                    });
+                }
             }
         }
 
         let required = tdg.total_resource();
         let available: f64 = caps.iter().sum();
         if required > available + TOL {
-            certs.push(Certificate::InsufficientCapacity { required, available });
+            let pipeline_available: f64 = models.iter().map(TargetModel::pipeline_capacity).sum();
+            if required <= pipeline_available + TOL {
+                certs.push(Certificate::BudgetedCapacityInsufficient {
+                    required,
+                    available,
+                    pipeline_available,
+                });
+            } else {
+                certs.push(Certificate::InsufficientCapacity { required, available });
+            }
         }
 
         // Minimum occupied switches: even packing greedily into the
@@ -218,13 +288,18 @@ impl Precheck {
         // Chain bound: `longest` MATs in dependency sequence need strictly
         // increasing stages when co-resident (Eq. 8), so a chain longer
         // than the deepest pipeline must split across >= 2 switches —
-        // and the chain's bottleneck edge byte count floors A_max.
-        let max_stages = prog.iter().map(|&s| net.switch(s).stages).max().unwrap_or(0);
+        // and the chain's bottleneck edge byte count floors A_max. A
+        // software target has no architectural stage limit
+        // (`stage_limit() == None`), so its presence disables the bound.
+        let max_stages = models
+            .iter()
+            .map(|m| m.stage_limit())
+            .try_fold(0usize, |acc, limit| limit.map(|l| acc.max(l)));
         let longest = longest_chain(tdg);
         let mut amax_floor = 0u64;
         let mut witness = String::new();
         let mut route_needed = false;
-        if let Some((len, path)) = &longest {
+        if let (Some((len, path)), Some(max_stages)) = (&longest, max_stages) {
             if *len > max_stages {
                 route_needed = true;
                 needed = needed.max(2);

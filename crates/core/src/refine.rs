@@ -14,7 +14,7 @@ use crate::deployment::{DeploymentPlan, Epsilon};
 use crate::eval::IncrementalEval;
 use crate::exact::materialize;
 use crate::stage_cache::StageFeasCache;
-use hermes_net::{Network, SwitchId};
+use hermes_net::{Network, SwitchId, TargetModel};
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -49,13 +49,8 @@ pub fn refine(
     }
 
     let q = candidates.len();
-    let shapes: Vec<(usize, f64)> = candidates
-        .iter()
-        .map(|&id| {
-            let sw = net.switch(id);
-            (sw.stages, sw.stage_capacity)
-        })
-        .collect();
+    let shapes: Vec<TargetModel> =
+        candidates.iter().map(|&id| net.switch(id).target_model()).collect();
     let mut eval = IncrementalEval::new(tdg, q);
     let mut cache = StageFeasCache::new(tdg);
     let word_len = cache.word_len();
@@ -95,14 +90,8 @@ pub fn refine(
                 switch_words[target][n / 64] |= 1u64 << (n % 64);
                 let gain = eval.amax();
                 let accept = gain < current
-                    && {
-                        let (stages, cap) = shapes[home];
-                        cache.feasible_words(tdg, stages, cap, &switch_words[home])
-                    }
-                    && {
-                        let (stages, cap) = shapes[target];
-                        cache.feasible_words(tdg, stages, cap, &switch_words[target])
-                    }
+                    && cache.feasible_words(tdg, &shapes[home], &switch_words[home])
+                    && cache.feasible_words(tdg, &shapes[target], &switch_words[target])
                     && eval.is_acyclic();
                 if !accept {
                     eval.unplace(n);

@@ -7,9 +7,15 @@
 //! across consecutive stages, mirroring the "(a portion of)" language of
 //! the paper. The algorithm is a dependency-levelled first fit — the same
 //! family as the FFL strategy of Jose et al. \[8\].
+//!
+//! All capacity questions are answered by the switch's [`TargetModel`]:
+//! per-stage capacity, packing depth, and (for budgeted targets such as
+//! SmartNICs) the per-switch total-resource budget enforced incrementally
+//! by the internal `Packing` state. Budget-free targets take the exact code path the scalar
+//! `(stages, stage_capacity)` API used to.
 
 use crate::deployment::StagePlacement;
-use hermes_net::SwitchId;
+use hermes_net::{SwitchId, TargetModel, CAP_TOL};
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -34,6 +40,12 @@ pub enum StageAssignError {
         /// Program-qualified name of the MAT.
         mat: String,
     },
+    /// Placing the MAT would exceed the target's per-switch total-resource
+    /// budget (only possible on budgeted targets such as SmartNICs).
+    OverBudget {
+        /// Program-qualified name of the MAT.
+        mat: String,
+    },
 }
 
 impl fmt::Display for StageAssignError {
@@ -48,14 +60,18 @@ impl fmt::Display for StageAssignError {
             StageAssignError::SliceTooLarge { mat } => {
                 write!(f, "a slice of `{mat}` exceeds one stage's capacity")
             }
+            StageAssignError::OverBudget { mat } => {
+                write!(f, "placing `{mat}` exceeds the switch's total-resource budget")
+            }
         }
     }
 }
 
 impl std::error::Error for StageAssignError {}
 
-/// Assigns `nodes` (a subset of `tdg`) to the stages of `switch`, which
-/// offers `stages` stages of `stage_capacity` normalized units each.
+/// Assigns `nodes` (a subset of `tdg`) to the stages of `switch`, whose
+/// pipeline shape (stage count, per-stage capacity, total budget) comes
+/// from `model`.
 ///
 /// Nodes are processed in topological order; each starts at the first
 /// stage after all its in-subset predecessors finish and greedily fills
@@ -68,29 +84,24 @@ pub fn assign_stages(
     tdg: &Tdg,
     nodes: &BTreeSet<NodeId>,
     switch: SwitchId,
-    stages: usize,
-    stage_capacity: f64,
+    model: &TargetModel,
 ) -> Result<Vec<StagePlacement>, StageAssignError> {
-    let slices = assign_slices(tdg, nodes, stages, stage_capacity)?;
+    let slices = assign_slices(tdg, nodes, model)?;
     Ok(slices
         .into_iter()
         .map(|(node, stage, fraction)| StagePlacement { node, switch, stage, fraction })
         .collect())
 }
 
-/// `true` iff `nodes` admits a dependency-respecting stage assignment on a
-/// pipeline of `stages` × `stage_capacity`. Used as the fit probe of the
-/// splitting recursion, where no concrete switch has been chosen yet.
-pub fn stage_feasible(
-    tdg: &Tdg,
-    nodes: &BTreeSet<NodeId>,
-    stages: usize,
-    stage_capacity: f64,
-) -> bool {
-    assign_slices(tdg, nodes, stages, stage_capacity).is_ok()
+/// `true` iff `nodes` admits a dependency-respecting stage assignment on
+/// `model`'s pipeline. Used as the fit probe of the splitting recursion,
+/// where no concrete switch has been chosen yet.
+pub fn stage_feasible(tdg: &Tdg, nodes: &BTreeSet<NodeId>, model: &TargetModel) -> bool {
+    assign_slices(tdg, nodes, model).is_ok()
 }
 
-/// Sentinel in [`Packing::end_stage`] for a node not placed yet.
+/// Sentinel in [`Packing::end_stage`] for a node not placed yet. Doubles
+/// as the stage marker of budget-snapshot entries in push logs.
 pub(crate) const UNPLACED: u32 = u32::MAX;
 
 /// Name-free push failure for hot probe paths; [`StageAssignError`]
@@ -104,6 +115,8 @@ pub(crate) enum PushFail {
     OutOfStages,
     /// See [`StageAssignError::SliceTooLarge`].
     SliceTooLarge,
+    /// See [`StageAssignError::OverBudget`].
+    OverBudget,
 }
 
 impl PushFail {
@@ -116,12 +129,14 @@ impl PushFail {
             PushFail::SliceTooLarge => {
                 StageAssignError::SliceTooLarge { mat: tdg.node(id).name.clone() }
             }
+            PushFail::OverBudget => StageAssignError::OverBudget { mat: tdg.node(id).name.clone() },
         }
     }
 }
 
-/// Incremental first-fit pipeline state: per-stage remaining capacity plus
-/// the last stage occupied by each already-placed node.
+/// Incremental first-fit pipeline state: per-stage remaining capacity, the
+/// last stage occupied by each already-placed node, and (for budgeted
+/// targets) the running total-resource usage.
 ///
 /// [`assign_slices`] and the memoized feasibility cache
 /// ([`crate::stage_cache::StageFeasCache`]) both drive this one
@@ -134,19 +149,26 @@ impl PushFail {
 pub(crate) struct Packing {
     stages: usize,
     stage_capacity: f64,
+    /// Per-switch total-resource budget; `INFINITY` on budget-free targets,
+    /// where the budget check below compiles to an always-false compare.
+    budget: f64,
+    /// Total resource of successfully placed nodes (budget accounting).
+    used: f64,
     remaining: Vec<f64>,
     /// `end_stage[node index]` = last stage occupied, or [`UNPLACED`].
     end_stage: Vec<u32>,
 }
 
 impl Packing {
-    /// An empty pipeline of `stages` × `stage_capacity` for a TDG of
-    /// `node_count` nodes.
-    pub(crate) fn new(stages: usize, stage_capacity: f64, node_count: usize) -> Self {
+    /// An empty pipeline shaped like `model` for a TDG of `node_count`
+    /// nodes.
+    pub(crate) fn new(model: &TargetModel, node_count: usize) -> Self {
         Packing {
-            stages,
-            stage_capacity,
-            remaining: vec![stage_capacity; stages],
+            stages: model.stages,
+            stage_capacity: model.stage_capacity,
+            budget: model.total_budget,
+            used: 0.0,
+            remaining: vec![model.stage_capacity; model.stages],
             end_stage: vec![UNPLACED; node_count],
         }
     }
@@ -168,31 +190,43 @@ impl Packing {
     /// modified stage is appended to `log`, so [`Packing::revert`]
     /// restores the exact bit-for-bit pipeline state. (Re-adding slice
     /// fractions instead would accumulate floating-point drift over
-    /// millions of push/undo cycles in the exact search.) On failure the
-    /// partial modifications are rolled back here and `log` is unchanged.
+    /// millions of push/undo cycles in the exact search.) On budgeted
+    /// targets the prior `used` total is snapshotted first under the
+    /// [`UNPLACED`] stage marker — budget-free targets log nothing extra.
+    /// On failure the partial modifications are rolled back here and `log`
+    /// is unchanged.
     pub(crate) fn push_logged(&mut self, tdg: &Tdg, id: NodeId, log: &mut Vec<(u32, f64)>) -> bool {
         let base = log.len();
+        if self.budget.is_finite() {
+            log.push((UNPLACED, self.used));
+        }
         let result = self.push_core(tdg, id, &mut |_, stage, old, _| {
             log.push((u32::try_from(stage).expect("pipeline depth fits u32"), old));
         });
         if result.is_err() {
-            for &(stage, old) in log[base..].iter().rev() {
-                self.remaining[stage as usize] = old;
-            }
-            log.truncate(base);
+            self.unwind(log, base);
         }
         result.is_ok()
     }
 
     /// Undoes a successful [`Packing::push_logged`] of `id`, restoring the
-    /// logged `remaining` snapshots in reverse and truncating `log` back
-    /// to `base` (its length before the push).
+    /// logged `remaining` (and `used`) snapshots in reverse and truncating
+    /// `log` back to `base` (its length before the push).
     pub(crate) fn revert(&mut self, id: NodeId, log: &mut Vec<(u32, f64)>, base: usize) {
+        self.unwind(log, base);
+        self.end_stage[id.index()] = UNPLACED;
+    }
+
+    /// Restores every snapshot in `log[base..]` in reverse and truncates.
+    fn unwind(&mut self, log: &mut Vec<(u32, f64)>, base: usize) {
         for &(stage, old) in log[base..].iter().rev() {
-            self.remaining[stage as usize] = old;
+            if stage == UNPLACED {
+                self.used = old;
+            } else {
+                self.remaining[stage as usize] = old;
+            }
         }
         log.truncate(base);
-        self.end_stage[id.index()] = UNPLACED;
     }
 
     /// The one first-fit loop behind both entry points; `on_slice` sees
@@ -204,6 +238,12 @@ impl Packing {
         on_slice: &mut dyn FnMut(NodeId, usize, f64, f64),
     ) -> Result<(), PushFail> {
         let mat = &tdg.node(id).mat;
+        let resource = mat.resource();
+        // Always-false on budget-free targets (`used + r > INF` never holds),
+        // and checked before any mutation so failure needs no rollback.
+        if self.used + resource > self.budget + CAP_TOL {
+            return Err(PushFail::OverBudget);
+        }
         let earliest = tdg
             .in_edges(id)
             .map(|e| self.end_stage[e.from.index()])
@@ -214,7 +254,7 @@ impl Packing {
         if earliest >= self.stages {
             return Err(PushFail::ChainTooLong);
         }
-        let mut need = mat.resource();
+        let mut need = resource;
         let mut stage = earliest;
         let mut last = earliest;
         while need > 1e-12 {
@@ -224,7 +264,7 @@ impl Packing {
             let old = self.remaining[stage];
             let take = need.min(old);
             if take > 1e-12 {
-                if take > self.stage_capacity + 1e-9 {
+                if take > self.stage_capacity + CAP_TOL {
                     return Err(PushFail::SliceTooLarge);
                 }
                 on_slice(id, stage, old, take);
@@ -236,6 +276,9 @@ impl Packing {
                 stage += 1;
             }
         }
+        if self.budget.is_finite() {
+            self.used += resource;
+        }
         self.end_stage[id.index()] =
             u32::try_from(last).expect("pipeline depth fits u32 (UNPLACED is reserved)");
         Ok(())
@@ -246,8 +289,7 @@ impl Packing {
 fn assign_slices(
     tdg: &Tdg,
     nodes: &BTreeSet<NodeId>,
-    stages: usize,
-    stage_capacity: f64,
+    model: &TargetModel,
 ) -> Result<Vec<(NodeId, usize, f64)>, StageAssignError> {
     if nodes.is_empty() {
         return Ok(Vec::new());
@@ -259,7 +301,7 @@ fn assign_slices(
         .filter(|id| nodes.contains(id))
         .collect();
 
-    let mut packing = Packing::new(stages, stage_capacity, tdg.node_count());
+    let mut packing = Packing::new(model, tdg.node_count());
     let mut placements = Vec::new();
     for &id in &order {
         packing.push(tdg, id, |node, stage, take| placements.push((node, stage, take)))?;
@@ -268,15 +310,12 @@ fn assign_slices(
 }
 
 /// `true` iff `nodes` could plausibly fit the switch by total resource
-/// (the quick check of Algorithm 2 line 2: `Σ R(a) <= C_stage * C_res`).
-pub fn fits_total_capacity(
-    tdg: &Tdg,
-    nodes: &BTreeSet<NodeId>,
-    stages: usize,
-    stage_capacity: f64,
-) -> bool {
+/// (the quick check of Algorithm 2 line 2: `Σ R(a) <= C_stage * C_res`,
+/// clamped by the target's budget). Delegates to
+/// [`TargetModel::fits_total`] — the single definition of "fits".
+pub fn fits_total_capacity(tdg: &Tdg, nodes: &BTreeSet<NodeId>, model: &TargetModel) -> bool {
     let total: f64 = nodes.iter().map(|&id| tdg.node(id).mat.resource()).sum();
-    total <= stages as f64 * stage_capacity + 1e-9
+    model.fits_total(total)
 }
 
 #[cfg(test)]
@@ -329,10 +368,14 @@ mod tests {
         tdg.node_ids().collect()
     }
 
+    fn shape(stages: usize, stage_capacity: f64) -> TargetModel {
+        TargetModel::pipeline(stages, stage_capacity)
+    }
+
     #[test]
     fn chain_occupies_increasing_stages() {
         let tdg = chain(&[0.5, 0.5, 0.5]);
-        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let p = assign_stages(&tdg, &all(&tdg), sw(), &shape(12, 1.0)).unwrap();
         let span = |i: usize| {
             let id = tdg.node_ids().nth(i).unwrap();
             let stages: Vec<usize> = p.iter().filter(|x| x.node == id).map(|x| x.stage).collect();
@@ -345,14 +388,14 @@ mod tests {
     #[test]
     fn independent_nodes_share_a_stage() {
         let tdg = independent(&[0.3, 0.3, 0.3]);
-        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let p = assign_stages(&tdg, &all(&tdg), sw(), &shape(12, 1.0)).unwrap();
         assert!(p.iter().all(|x| x.stage == 0), "all fit stage 0: {p:?}");
     }
 
     #[test]
     fn capacity_forces_next_stage() {
         let tdg = independent(&[0.7, 0.7]);
-        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let p = assign_stages(&tdg, &all(&tdg), sw(), &shape(12, 1.0)).unwrap();
         let stages: BTreeSet<usize> = p.iter().map(|x| x.stage).collect();
         assert_eq!(stages.len(), 2, "0.7 + 0.7 cannot share a unit stage");
     }
@@ -360,7 +403,7 @@ mod tests {
     #[test]
     fn large_mat_splits_across_stages() {
         let tdg = independent(&[2.5]);
-        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let p = assign_stages(&tdg, &all(&tdg), sw(), &shape(12, 1.0)).unwrap();
         assert_eq!(p.len(), 3, "2.5 units split over 3 stages: {p:?}");
         let total: f64 = p.iter().map(|x| x.fraction).sum();
         assert!((total - 2.5).abs() < 1e-9);
@@ -369,21 +412,21 @@ mod tests {
     #[test]
     fn chain_longer_than_pipeline_fails() {
         let tdg = chain(&[0.1; 5]);
-        let err = assign_stages(&tdg, &all(&tdg), sw(), 4, 1.0).unwrap_err();
+        let err = assign_stages(&tdg, &all(&tdg), sw(), &shape(4, 1.0)).unwrap_err();
         assert!(matches!(err, StageAssignError::ChainTooLong { stages: 4 }));
     }
 
     #[test]
     fn resource_overflow_fails() {
         let tdg = independent(&[1.0, 1.0, 1.0]);
-        let err = assign_stages(&tdg, &all(&tdg), sw(), 2, 1.0).unwrap_err();
+        let err = assign_stages(&tdg, &all(&tdg), sw(), &shape(2, 1.0)).unwrap_err();
         assert!(matches!(err, StageAssignError::OutOfStages { .. }));
     }
 
     #[test]
     fn per_stage_capacity_respected() {
         let tdg = independent(&[0.6, 0.6, 0.6, 0.6]);
-        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let p = assign_stages(&tdg, &all(&tdg), sw(), &shape(12, 1.0)).unwrap();
         let mut load = std::collections::BTreeMap::new();
         for x in &p {
             *load.entry(x.stage).or_insert(0.0) += x.fraction;
@@ -398,33 +441,93 @@ mod tests {
         // Chain t0 -> t1; assign only t1: it may start at stage 0.
         let tdg = chain(&[0.5, 0.5]);
         let t1 = tdg.node_ids().nth(1).unwrap();
-        let p = assign_stages(&tdg, &BTreeSet::from([t1]), sw(), 12, 1.0).unwrap();
+        let p = assign_stages(&tdg, &BTreeSet::from([t1]), sw(), &shape(12, 1.0)).unwrap();
         assert_eq!(p[0].stage, 0);
     }
 
     #[test]
     fn empty_set_is_trivially_placed() {
         let tdg = chain(&[0.5]);
-        let p = assign_stages(&tdg, &BTreeSet::new(), sw(), 12, 1.0).unwrap();
+        let p = assign_stages(&tdg, &BTreeSet::new(), sw(), &shape(12, 1.0)).unwrap();
         assert!(p.is_empty());
     }
 
     #[test]
     fn fits_total_capacity_quick_check() {
         let tdg = independent(&[1.0, 1.0]);
-        assert!(fits_total_capacity(&tdg, &all(&tdg), 2, 1.0));
-        assert!(!fits_total_capacity(&tdg, &all(&tdg), 1, 1.0));
+        assert!(fits_total_capacity(&tdg, &all(&tdg), &shape(2, 1.0)));
+        assert!(!fits_total_capacity(&tdg, &all(&tdg), &shape(1, 1.0)));
     }
 
     #[test]
     fn split_mat_still_precedes_successor() {
         // t0 (1.5 units) -> t1: t1 must start after t0's last slice.
         let tdg = chain(&[1.5, 0.5]);
-        let p = assign_stages(&tdg, &all(&tdg), sw(), 12, 1.0).unwrap();
+        let p = assign_stages(&tdg, &all(&tdg), sw(), &shape(12, 1.0)).unwrap();
         let id0 = tdg.node_ids().next().unwrap();
         let id1 = tdg.node_ids().nth(1).unwrap();
         let end0 = p.iter().filter(|x| x.node == id0).map(|x| x.stage).max().unwrap();
         let begin1 = p.iter().filter(|x| x.node == id1).map(|x| x.stage).min().unwrap();
         assert!(end0 < begin1, "end0={end0} begin1={begin1}");
+    }
+
+    #[test]
+    fn budget_rejects_what_stages_alone_would_accept() {
+        // 2.0 units over 12 x 1.0 stages fits easily — but not a 1.5 budget.
+        let tdg = independent(&[1.0, 1.0]);
+        let mut budgeted = shape(12, 1.0);
+        budgeted.total_budget = 1.5;
+        let err = assign_stages(&tdg, &all(&tdg), sw(), &budgeted).unwrap_err();
+        assert!(matches!(err, StageAssignError::OverBudget { .. }), "{err}");
+        assert!(!stage_feasible(&tdg, &all(&tdg), &budgeted));
+        assert!(!fits_total_capacity(&tdg, &all(&tdg), &budgeted));
+        assert!(stage_feasible(&tdg, &all(&tdg), &shape(12, 1.0)));
+    }
+
+    #[test]
+    fn smartnic_model_packs_deep_stages_within_budget() {
+        // 1.5-unit MATs fit a 2.0-capacity SmartNIC stage whole; four of
+        // them total 6.0 = exactly the budget.
+        let nic = TargetModel::smartnic();
+        let tdg = independent(&[1.5, 1.5, 1.5, 1.5]);
+        let p = assign_stages(&tdg, &all(&tdg), sw(), &nic).unwrap();
+        let total: f64 = p.iter().map(|x| x.fraction).sum();
+        assert!((total - 6.0).abs() < 1e-9);
+        let over = independent(&[1.5, 1.5, 1.5, 1.5, 0.5]);
+        let err = assign_stages(&over, &all(&over), sw(), &nic).unwrap_err();
+        assert!(matches!(err, StageAssignError::OverBudget { .. }));
+    }
+
+    #[test]
+    fn push_logged_rolls_back_budget_exactly() {
+        let tdg = independent(&[1.0, 1.0]);
+        let ids: Vec<NodeId> = tdg.node_ids().collect();
+        let mut budgeted = shape(12, 1.0);
+        budgeted.total_budget = 1.5;
+        let mut packing = Packing::new(&budgeted, tdg.node_count());
+        let mut log = Vec::new();
+        assert!(packing.push_logged(&tdg, ids[0], &mut log));
+        let used_after_first = packing.used;
+        let log_after_first = log.len();
+        // Second push exceeds the budget: state must roll back exactly.
+        assert!(!packing.push_logged(&tdg, ids[1], &mut log));
+        assert_eq!(packing.used.to_bits(), used_after_first.to_bits());
+        assert_eq!(log.len(), log_after_first);
+        // Reverting the first push restores the pristine packing.
+        packing.revert(ids[0], &mut log, 0);
+        assert_eq!(packing.used.to_bits(), 0.0f64.to_bits());
+        assert!(log.is_empty());
+        assert!(packing.push_logged(&tdg, ids[1], &mut log), "budget freed");
+    }
+
+    #[test]
+    fn budget_free_push_logs_no_extra_entries() {
+        let tdg = independent(&[0.5]);
+        let id = tdg.node_ids().next().unwrap();
+        let mut packing = Packing::new(&shape(12, 1.0), tdg.node_count());
+        let mut log = Vec::new();
+        assert!(packing.push_logged(&tdg, id, &mut log));
+        assert_eq!(log.len(), 1, "one slice, one snapshot, no budget sentinel");
+        assert_eq!(packing.used, 0.0, "budget accounting off for infinite budgets");
     }
 }

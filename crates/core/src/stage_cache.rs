@@ -2,7 +2,7 @@
 //!
 //! Every solver in the portfolio asks the same question thousands of times:
 //! *does this set of MATs admit a dependency-respecting stage assignment on
-//! a pipeline of `stages` × `stage_capacity`?* The reference answer
+//! this target's pipeline?* The reference answer
 //! ([`crate::stage_assign::stage_feasible`]) repacks the whole set from
 //! scratch on each call. [`StageFeasCache`] memoizes the answer per
 //! `(switch shape, node-set fingerprint)` and keeps the packed pipeline
@@ -13,9 +13,11 @@
 //!
 //! # Key scheme
 //!
-//! The outer key is the switch *shape* `(stages, stage_capacity.to_bits())`
-//! — switches with identical pipelines share one sub-cache, which is what
-//! makes the symmetric-switch testbeds cache-friendly. The inner key is the
+//! The outer key is the switch *shape* [`TargetModel::shape_key`] —
+//! `(stages, stage_capacity bits, total_budget bits)`, so switches with
+//! identical pipelines share one sub-cache (which is what
+//! makes the symmetric-switch testbeds cache-friendly) while budgeted
+//! targets can never share verdicts with budget-free ones. The inner key is the
 //! node-set fingerprint: the set's membership bitset (`u64` words over
 //! dense [`NodeId`] indices), an exact key rather than a lossy hash so a
 //! collision can never flip a feasibility verdict.
@@ -33,6 +35,7 @@
 //! infeasible base) falls back to a full — still memoized — repack.
 
 use crate::stage_assign::Packing;
+use hermes_net::TargetModel;
 use hermes_tdg::{NodeId, Tdg};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -63,6 +66,9 @@ pub struct StageCacheStats {
 /// Fingerprint -> verdict map for one pipeline shape (`None` = infeasible).
 type ShapeMap = BTreeMap<Box<[u64]>, Option<PackEntry>>;
 
+/// The target fingerprint keying sub-caches: [`TargetModel::shape_key`].
+type ShapeKey = (usize, u64, u64);
+
 /// Memoized stage-feasibility cache for one TDG.
 ///
 /// Bound to the TDG it was built from (the topological order is computed
@@ -74,8 +80,8 @@ pub struct StageFeasCache {
     topo_order: Vec<NodeId>,
     /// Node index -> topo rank.
     topo_pos: Vec<u32>,
-    /// `(stages, stage_capacity.to_bits())` -> fingerprint -> verdict.
-    shapes: BTreeMap<(usize, u64), ShapeMap>,
+    /// [`TargetModel::shape_key`] -> fingerprint -> verdict.
+    shapes: BTreeMap<ShapeKey, ShapeMap>,
     entries: usize,
     key_scratch: Vec<u64>,
     stats: StageCacheStats,
@@ -114,14 +120,13 @@ impl StageFeasCache {
         self.stats
     }
 
-    /// Is `base ∪ {node}` stage-feasible on a `stages` × `stage_capacity`
-    /// pipeline? `base` is the membership bitset of the base set (exactly
+    /// Is `base ∪ {node}` stage-feasible on `model`'s pipeline? `base` is
+    /// the membership bitset of the base set (exactly
     /// [`StageFeasCache::word_len`] words); `node` need not be in `base`.
     pub fn feasible_with(
         &mut self,
         tdg: &Tdg,
-        stages: usize,
-        stage_capacity: f64,
+        model: &TargetModel,
         base: &[u64],
         node: NodeId,
     ) -> bool {
@@ -130,7 +135,7 @@ impl StageFeasCache {
         self.key_scratch.extend_from_slice(base);
         self.key_scratch[node.index() / 64] |= 1u64 << (node.index() % 64);
 
-        let shape = (stages, stage_capacity.to_bits());
+        let shape = model.shape_key();
         if let Some(entry) = self.shapes.get(&shape).and_then(|m| m.get(&self.key_scratch[..])) {
             self.stats.hits += 1;
             return entry.is_some();
@@ -141,7 +146,7 @@ impl StageFeasCache {
         let base_entry = match self.shapes.get(&shape).and_then(|m| m.get(base)) {
             Some(e) => e.clone(),
             None => {
-                let e = full_pack(&self.topo_order, tdg, stages, stage_capacity, base);
+                let e = full_pack(&self.topo_order, tdg, model, base);
                 self.stats.full_packs += 1;
                 self.insert(shape, base.to_vec().into_boxed_slice(), e.clone());
                 e
@@ -160,7 +165,7 @@ impl StageFeasCache {
             }
             _ => {
                 self.stats.full_packs += 1;
-                full_pack(&self.topo_order, tdg, stages, stage_capacity, &self.key_scratch)
+                full_pack(&self.topo_order, tdg, model, &self.key_scratch)
             }
         };
         let feasible = child.is_some();
@@ -170,21 +175,15 @@ impl StageFeasCache {
     }
 
     /// Memoized full feasibility check of an arbitrary fingerprint.
-    pub fn feasible_words(
-        &mut self,
-        tdg: &Tdg,
-        stages: usize,
-        stage_capacity: f64,
-        words: &[u64],
-    ) -> bool {
+    pub fn feasible_words(&mut self, tdg: &Tdg, model: &TargetModel, words: &[u64]) -> bool {
         debug_assert_eq!(words.len(), self.word_len());
-        let shape = (stages, stage_capacity.to_bits());
+        let shape = model.shape_key();
         if let Some(entry) = self.shapes.get(&shape).and_then(|m| m.get(words)) {
             self.stats.hits += 1;
             return entry.is_some();
         }
         self.stats.full_packs += 1;
-        let entry = full_pack(&self.topo_order, tdg, stages, stage_capacity, words);
+        let entry = full_pack(&self.topo_order, tdg, model, words);
         let feasible = entry.is_some();
         self.insert(shape, words.to_vec().into_boxed_slice(), entry);
         feasible
@@ -196,8 +195,7 @@ impl StageFeasCache {
     pub fn feasible_set(
         &mut self,
         tdg: &Tdg,
-        stages: usize,
-        stage_capacity: f64,
+        model: &TargetModel,
         nodes: &BTreeSet<NodeId>,
     ) -> bool {
         let words = self.word_len();
@@ -207,12 +205,12 @@ impl StageFeasCache {
             self.key_scratch[id.index() / 64] |= 1u64 << (id.index() % 64);
         }
         let key = std::mem::take(&mut self.key_scratch);
-        let feasible = self.feasible_words(tdg, stages, stage_capacity, &key);
+        let feasible = self.feasible_words(tdg, model, &key);
         self.key_scratch = key;
         feasible
     }
 
-    fn insert(&mut self, shape: (usize, u64), key: Box<[u64]>, entry: Option<PackEntry>) {
+    fn insert(&mut self, shape: ShapeKey, key: Box<[u64]>, entry: Option<PackEntry>) {
         if self.entries >= MAX_ENTRIES {
             self.shapes.clear();
             self.entries = 0;
@@ -227,11 +225,10 @@ impl StageFeasCache {
 fn full_pack(
     topo_order: &[NodeId],
     tdg: &Tdg,
-    stages: usize,
-    stage_capacity: f64,
+    model: &TargetModel,
     words: &[u64],
 ) -> Option<PackEntry> {
-    let mut packing = Packing::new(stages, stage_capacity, tdg.node_count());
+    let mut packing = Packing::new(model, tdg.node_count());
     let mut last_pos_plus1 = 0u32;
     for (rank, &id) in topo_order.iter().enumerate() {
         if words[id.index() / 64] & (1u64 << (id.index() % 64)) == 0 {
@@ -263,12 +260,13 @@ mod tests {
         let mut cache = StageFeasCache::new(&tdg);
         let ids: Vec<NodeId> = tdg.node_ids().collect();
         for (stages, cap) in [(2usize, 1.0f64), (3, 0.7), (4, 0.3)] {
+            let model = TargetModel::pipeline(stages, cap);
             for mask in 0u32..(1 << ids.len()) {
                 let set: BTreeSet<NodeId> =
                     ids.iter().filter(|id| mask & (1 << id.index()) != 0).copied().collect();
                 assert_eq!(
-                    cache.feasible_set(&tdg, stages, cap, &set),
-                    stage_feasible(&tdg, &set, stages, cap),
+                    cache.feasible_set(&tdg, &model, &set),
+                    stage_feasible(&tdg, &set, &model),
                     "mask {mask:#b} stages {stages} cap {cap}"
                 );
             }
@@ -283,13 +281,14 @@ mod tests {
         // Grow a set in topo order one node at a time, as the DFS does.
         let mut base = vec![0u64; cache.word_len()];
         let mut set = BTreeSet::new();
+        let model = TargetModel::pipeline(3, 1.0);
         for &id in &ids {
             let expect = {
                 let mut s = set.clone();
                 s.insert(id);
-                stage_feasible(&tdg, &s, 3, 1.0)
+                stage_feasible(&tdg, &s, &model)
             };
-            assert_eq!(cache.feasible_with(&tdg, 3, 1.0, &base, id), expect, "extend by {id}");
+            assert_eq!(cache.feasible_with(&tdg, &model, &base, id), expect, "extend by {id}");
             base[id.index() / 64] |= 1u64 << (id.index() % 64);
             set.insert(id);
         }
@@ -301,9 +300,10 @@ mod tests {
         let tdg = chain_tdg(&[4, 4], 0.5);
         let mut cache = StageFeasCache::new(&tdg);
         let set: BTreeSet<NodeId> = tdg.node_ids().collect();
-        assert!(cache.feasible_set(&tdg, 4, 1.0, &set));
+        let model = TargetModel::pipeline(4, 1.0);
+        assert!(cache.feasible_set(&tdg, &model, &set));
         let before = cache.stats();
-        assert!(cache.feasible_set(&tdg, 4, 1.0, &set));
+        assert!(cache.feasible_set(&tdg, &model, &set));
         let after = cache.stats();
         assert_eq!(after.hits, before.hits + 1);
         assert_eq!(after.full_packs, before.full_packs);
@@ -315,11 +315,15 @@ mod tests {
         let mut cache = StageFeasCache::new(&tdg);
         let set: BTreeSet<NodeId> = tdg.node_ids().collect();
         // Same set, different pipeline shapes: verdicts must not bleed.
-        assert!(!cache.feasible_set(&tdg, 2, 0.6, &set));
-        assert!(cache.feasible_set(&tdg, 4, 0.7, &set));
+        assert!(!cache.feasible_set(&tdg, &TargetModel::pipeline(2, 0.6), &set));
+        assert!(cache.feasible_set(&tdg, &TargetModel::pipeline(4, 0.7), &set));
         let w = words_of(&cache, &set);
-        assert!(!cache.feasible_words(&tdg, 2, 0.6, &w));
-        assert!(cache.feasible_words(&tdg, 4, 0.7, &w));
+        assert!(!cache.feasible_words(&tdg, &TargetModel::pipeline(2, 0.6), &w));
+        assert!(cache.feasible_words(&tdg, &TargetModel::pipeline(4, 0.7), &w));
+        // A budget turns the same stage shape into a different cache key.
+        let mut budgeted = TargetModel::pipeline(4, 0.7);
+        budgeted.total_budget = 1.0;
+        assert!(!cache.feasible_words(&tdg, &budgeted, &w), "budget must not reuse verdict");
     }
 
     #[test]
@@ -332,9 +336,10 @@ mod tests {
         let base_words = words_of(&cache, &base);
         let full: BTreeSet<NodeId> = ids.iter().copied().collect();
         for stages in [2usize, 3, 4] {
+            let model = TargetModel::pipeline(stages, 1.0);
             assert_eq!(
-                cache.feasible_with(&tdg, stages, 1.0, &base_words, ids[1]),
-                stage_feasible(&tdg, &full, stages, 1.0),
+                cache.feasible_with(&tdg, &model, &base_words, ids[1]),
+                stage_feasible(&tdg, &full, &model),
                 "stages {stages}"
             );
         }

@@ -65,11 +65,9 @@ pub fn tiny_switches(n: usize, stages: usize, cap: f64) -> Network {
     let ids: Vec<SwitchId> = (0..n)
         .map(|i| {
             net.add_switch(Switch {
-                name: format!("s{i}"),
-                programmable: true,
                 stages,
                 stage_capacity: cap,
-                latency_us: 1.0,
+                ..Switch::tofino(format!("s{i}"))
             })
         })
         .collect();

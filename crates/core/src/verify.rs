@@ -105,6 +105,16 @@ pub enum Violation {
         /// The bound ε₂.
         bound: usize,
     },
+    /// A switch with a finite total-resource budget (SmartNIC-style
+    /// target) holds more load across all stages than its budget allows.
+    TargetBudgetExceeded {
+        /// Switch name.
+        switch: String,
+        /// Total load placed on the switch (all stages).
+        used: f64,
+        /// The switch's total-resource budget.
+        budget: f64,
+    },
 }
 
 impl Violation {
@@ -124,6 +134,7 @@ impl Violation {
             Violation::StageOverload { .. } => "HV410",
             Violation::LatencyBound { .. } => "HV411",
             Violation::SwitchBound { .. } => "HV412",
+            Violation::TargetBudgetExceeded { .. } => "HV413",
         }
     }
 }
@@ -165,6 +176,9 @@ impl fmt::Display for Violation {
             }
             Violation::SwitchBound { occupied, bound } => {
                 write!(f, "{occupied} occupied switches exceed eps2 = {bound} (Eq. 5)")
+            }
+            Violation::TargetBudgetExceeded { switch, used, budget } => {
+                write!(f, "`{switch}` holds {used:.3} units against a total budget of {budget:.3}")
             }
         }
     }
@@ -282,14 +296,32 @@ pub fn verify(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) ->
     for p in plan.placements() {
         *loads.entry((p.switch, p.stage)).or_insert(0.0) += p.fraction;
     }
-    for ((switch, stage), load) in loads {
-        let cap = net.switch(switch).stage_capacity;
-        if load > cap + TOL {
+    for ((switch, stage), load) in &loads {
+        let cap = net.switch(*switch).stage_capacity;
+        if *load > cap + TOL {
             out.push(Violation::StageOverload {
-                switch: net.switch(switch).name.clone(),
-                stage,
-                load,
+                switch: net.switch(*switch).name.clone(),
+                stage: *stage,
+                load: *load,
                 capacity: cap,
+            });
+        }
+    }
+
+    // Per-switch total-resource budgets (targets with a finite budget only;
+    // the default pipeline target has an infinite budget, so this emits
+    // nothing on pre-target topologies).
+    let mut switch_used: BTreeMap<SwitchId, f64> = BTreeMap::new();
+    for ((switch, _), load) in &loads {
+        *switch_used.entry(*switch).or_insert(0.0) += load;
+    }
+    for (switch, used) in switch_used {
+        let budget = net.switch(switch).total_budget;
+        if budget.is_finite() && used > budget + TOL {
+            out.push(Violation::TargetBudgetExceeded {
+                switch: net.switch(switch).name.clone(),
+                used,
+                budget,
             });
         }
     }
@@ -407,6 +439,35 @@ mod tests {
         let tight = Epsilon::new(0.0, 0);
         let violations = verify(&tdg, &net, &plan, &tight);
         assert!(violations.iter().any(|v| matches!(v, Violation::SwitchBound { .. })));
+    }
+
+    #[test]
+    fn target_budget_violation_detected() {
+        // A switch with a finite total budget rejects a plan whose combined
+        // load exceeds it even though every stage individually fits.
+        let tdg = Tdg::from_program(&library::acl(), AnalysisMode::PaperLiteral);
+        let mut net = topology::linear(1, 10.0);
+        let s = net.switch_ids().next().unwrap();
+        net.switch_mut(s).total_budget = 0.3;
+        let mut plan = DeploymentPlan::new();
+        for (i, id) in tdg.node_ids().enumerate() {
+            plan.place(StagePlacement {
+                node: id,
+                switch: s,
+                stage: i,
+                fraction: tdg.node(id).mat.resource(),
+            });
+        }
+        let violations = verify(&tdg, &net, &plan, &Epsilon::loose());
+        let budget = violations
+            .iter()
+            .find(|v| matches!(v, Violation::TargetBudgetExceeded { .. }))
+            .expect("budget violation");
+        assert_eq!(budget.code(), "HV413");
+        // No budget set => no violation, regardless of load.
+        net.switch_mut(s).total_budget = f64::INFINITY;
+        let clean = verify(&tdg, &net, &plan, &Epsilon::loose());
+        assert!(!clean.iter().any(|v| matches!(v, Violation::TargetBudgetExceeded { .. })));
     }
 
     #[test]

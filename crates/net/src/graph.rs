@@ -6,6 +6,7 @@
 //! and a maximum transmission latency `t_s(u)`; each link has a
 //! transmission latency `t_l(u, v)`.
 
+use crate::target::{TargetKind, TargetModel};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -31,7 +32,12 @@ impl fmt::Display for SwitchId {
 }
 
 /// One switch of the substrate network.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Serialize`/`Deserialize` are hand-written: the two target-model fields
+/// are emitted only when they differ from the paper defaults and default
+/// when absent, so default (paper-model) switches round-trip byte-identically
+/// to the pre-target wire format.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Switch {
     /// Human-readable name (unique within the network).
     pub name: String,
@@ -46,6 +52,53 @@ pub struct Switch {
     /// `t_s(u)` — maximum transmission latency through the switch, in
     /// microseconds.
     pub latency_us: f64,
+    /// Target-model family ([`TargetKind::Pipeline`] is the paper's default
+    /// hardware model; the field is skipped in serialization so default
+    /// switches round-trip byte-identically to the pre-target format).
+    pub target: TargetKind,
+    /// Per-switch total resource budget in normalized units; `INFINITY`
+    /// (the default, skipped in serialization) means only the pipeline sum
+    /// `C_stage × C_res` bounds the switch.
+    pub total_budget: f64,
+}
+
+impl Serialize for Switch {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_owned(), self.name.to_value()),
+            ("programmable".to_owned(), self.programmable.to_value()),
+            ("stages".to_owned(), self.stages.to_value()),
+            ("stage_capacity".to_owned(), self.stage_capacity.to_value()),
+            ("latency_us".to_owned(), self.latency_us.to_value()),
+        ];
+        if !self.target.is_pipeline() {
+            fields.push(("target".to_owned(), self.target.to_value()));
+        }
+        if self.total_budget.is_finite() {
+            fields.push(("total_budget".to_owned(), self.total_budget.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for Switch {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Switch {
+            name: Deserialize::from_value(v.get_field("name")?)?,
+            programmable: Deserialize::from_value(v.get_field("programmable")?)?,
+            stages: Deserialize::from_value(v.get_field("stages")?)?,
+            stage_capacity: Deserialize::from_value(v.get_field("stage_capacity")?)?,
+            latency_us: Deserialize::from_value(v.get_field("latency_us")?)?,
+            target: match v.get_field("target") {
+                Ok(t) => Deserialize::from_value(t)?,
+                Err(_) => TargetKind::Pipeline,
+            },
+            total_budget: match v.get_field("total_budget") {
+                Ok(b) => Deserialize::from_value(b)?,
+                Err(_) => f64::INFINITY,
+            },
+        })
+    }
 }
 
 impl Switch {
@@ -57,7 +110,26 @@ impl Switch {
             stages: TOFINO_STAGES,
             stage_capacity: 1.0,
             latency_us: 1.0,
+            target: TargetKind::Pipeline,
+            total_budget: f64::INFINITY,
         }
+    }
+
+    /// A SmartNIC-like programmable switch: fewer, deeper stages plus a
+    /// per-switch total-resource budget (see [`TargetModel::smartnic`]).
+    pub fn smartnic(name: impl Into<String>) -> Self {
+        let mut sw = Switch::tofino(name);
+        TargetModel::smartnic().apply_to(&mut sw);
+        sw
+    }
+
+    /// A software switch: no architectural stage limit (packing depth
+    /// [`crate::target::SOFT_STAGES`]), a total budget, and a latency
+    /// multiplier (see [`TargetModel::software`]).
+    pub fn software(name: impl Into<String>) -> Self {
+        let mut sw = Switch::tofino(name);
+        TargetModel::software().apply_to(&mut sw);
+        sw
     }
 
     /// A legacy (non-programmable) switch that only forwards, 1 µs.
@@ -68,12 +140,43 @@ impl Switch {
             stages: 0,
             stage_capacity: 0.0,
             latency_us: 1.0,
+            target: TargetKind::Pipeline,
+            total_budget: f64::INFINITY,
         }
     }
 
-    /// Total resource capacity across all stages (`C_stage * C_res`).
+    /// This switch's pipeline cost model — the one authority every
+    /// capacity/fit decision routes through. A cheap `Copy` view; safe to
+    /// construct inside hot loops.
+    pub fn target_model(&self) -> TargetModel {
+        let name = match self.target {
+            TargetKind::SmartNic => "smartnic",
+            TargetKind::Software => "soft",
+            TargetKind::Pipeline if !self.programmable => "legacy",
+            TargetKind::Pipeline
+                if self.stages == TOFINO_STAGES
+                    && self.stage_capacity == 1.0
+                    && self.total_budget.is_infinite() =>
+            {
+                "tofino"
+            }
+            TargetKind::Pipeline => "pipeline",
+        };
+        TargetModel {
+            name,
+            kind: self.target,
+            stages: self.stages,
+            stage_capacity: self.stage_capacity,
+            total_budget: self.total_budget,
+            latency_us: self.latency_us,
+        }
+    }
+
+    /// Total resource capacity across all stages: `C_stage * C_res`,
+    /// clamped by the target budget when one is set (delegates to
+    /// [`TargetModel::total_capacity`], the single definition of "fits").
     pub fn total_capacity(&self) -> f64 {
-        self.stages as f64 * self.stage_capacity
+        self.target_model().total_capacity()
     }
 }
 

@@ -26,7 +26,11 @@
 
 pub mod graph;
 pub mod paths;
+pub mod target;
 pub mod topology;
 
 pub use graph::{Link, Network, NetworkError, Switch, SwitchId, TOFINO_STAGES};
 pub use paths::{k_shortest_paths, nearest_programmable, shortest_path, Path};
+pub use target::{
+    builtin_targets, parse_target, TargetKind, TargetModel, TargetSpec, TargetSpecError, CAP_TOL,
+};

@@ -69,13 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Deploy on two small switches (forcing coordination).
     let mut net = Network::new();
-    let small = |name: &str| Switch {
-        name: name.to_owned(),
-        programmable: true,
-        stages: 4,
-        stage_capacity: 0.6,
-        latency_us: 1.0,
-    };
+    let small = |name: &str| Switch { stages: 4, stage_capacity: 0.6, ..Switch::tofino(name) };
     let s1 = net.add_switch(small("edge"));
     let s2 = net.add_switch(small("core"));
     net.add_link(s1, s2, 25.0)?;

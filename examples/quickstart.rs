@@ -39,13 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- A two-switch network, two MATs per switch -------------------
     let mut net = Network::new();
-    let small = |name: &str| Switch {
-        name: name.to_owned(),
-        programmable: true,
-        stages: 2,
-        stage_capacity: 0.5,
-        latency_us: 1.0,
-    };
+    let small = |name: &str| Switch { stages: 2, stage_capacity: 0.5, ..Switch::tofino(name) };
     let s1 = net.add_switch(small("s1"));
     let s2 = net.add_switch(small("s2"));
     net.add_link(s1, s2, 10.0)?;

@@ -23,6 +23,7 @@ use hermes::dataplane::fieldset::FieldTable;
 use hermes::dataplane::library;
 use hermes::dataplane::synthetic::{SyntheticConfig, SyntheticGenerator};
 use hermes::net::topology;
+use hermes::net::TargetModel;
 use hermes::tdg::{
     classify, classify_profiles, metadata_amount, metadata_amount_profiles, AnalysisMode,
     MatProfile, NodeId, Tdg,
@@ -158,7 +159,7 @@ proptest! {
         let tdg = synthetic_tdg(seed, 2);
         let n = tdg.node_count();
         prop_assume!(n > 0);
-        let stage_capacity = f64::from(cap_tenths) / 10.0;
+        let model = TargetModel::pipeline(stages, f64::from(cap_tenths) / 10.0);
         let mut cache = StageFeasCache::new(&tdg);
         let mut state = seed ^ 0x5EED_CAFE;
         for _ in 0..40 {
@@ -168,10 +169,10 @@ proptest! {
                     set.insert(id);
                 }
             }
-            let expect = stage_feasible(&tdg, &set, stages, stage_capacity);
-            prop_assert_eq!(cache.feasible_set(&tdg, stages, stage_capacity, &set), expect);
+            let expect = stage_feasible(&tdg, &set, &model);
+            prop_assert_eq!(cache.feasible_set(&tdg, &model, &set), expect);
             // Second probe of the same set must come back identical.
-            prop_assert_eq!(cache.feasible_set(&tdg, stages, stage_capacity, &set), expect);
+            prop_assert_eq!(cache.feasible_set(&tdg, &model, &set), expect);
         }
     }
 
@@ -186,7 +187,7 @@ proptest! {
     ) {
         let tdg = synthetic_tdg(seed, 2);
         prop_assume!(tdg.node_count() > 0);
-        let stage_capacity = f64::from(cap_tenths) / 10.0;
+        let model = TargetModel::pipeline(stages, f64::from(cap_tenths) / 10.0);
         let mut cache = StageFeasCache::new(&tdg);
         let mut words = vec![0u64; cache.word_len()];
         let mut set = BTreeSet::new();
@@ -197,11 +198,8 @@ proptest! {
             }
             let mut grown = set.clone();
             grown.insert(id);
-            let expect = stage_feasible(&tdg, &grown, stages, stage_capacity);
-            prop_assert_eq!(
-                cache.feasible_with(&tdg, stages, stage_capacity, &words, id),
-                expect
-            );
+            let expect = stage_feasible(&tdg, &grown, &model);
+            prop_assert_eq!(cache.feasible_with(&tdg, &model, &words, id), expect);
             if expect {
                 words[id.index() / 64] |= 1u64 << (id.index() % 64);
                 set = grown;

@@ -48,11 +48,9 @@ fn random_instance(seed: u64) -> (Tdg, Network) {
     let ids: Vec<_> = (0..switches)
         .map(|i| {
             net.add_switch(Switch {
-                name: format!("s{i}"),
-                programmable: true,
                 stages: 3,
                 stage_capacity: 0.5,
-                latency_us: 1.0,
+                ..Switch::tofino(format!("s{i}"))
             })
         })
         .collect();

@@ -35,7 +35,7 @@ proptest! {
         let tdg = synthetic_tdg(seed, programs);
         for strategy in [SplitStrategy::MinMetadata, SplitStrategy::Balanced, SplitStrategy::Random(seed)] {
             let segments = GreedyHeuristic::with_strategy(strategy)
-                .split(&tdg, 12, 1.0)
+                .split(&tdg, &hermes::net::TargetModel::tofino())
                 .expect("synthetic MATs fit a Tofino pipeline");
             let mut seen = BTreeSet::new();
             for seg in &segments {
