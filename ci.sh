@@ -17,6 +17,12 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> SIMD feature gate: simd-fieldset build + dataplane tests"
+# The explicit SSE2 kernels live behind a feature flag; the gate keeps the
+# cfg matrix (feature on/off) compiling and byte-equivalent everywhere.
+cargo build --release --features simd-fieldset
+cargo test -q --release -p hermes-dataplane --features simd-fieldset
+
 echo "==> solver property suite"
 cargo test -q --release --test solver_portfolio
 
@@ -32,8 +38,43 @@ cargo test -q --release --test target_equivalence
 echo "==> durability suites: journal fuzz, event-schema round trip, recovery soak"
 cargo test -q --release --test journal_fuzz --test event_schema --test recovery_chaos
 
-echo "==> hot-path evaluator smoke"
-cargo run -q --release -p hermes-bench --bin hotpath -- --smoke
+echo "==> hot-path evaluator + parallel-search smoke (double run, byte-diff)"
+# The smoke probe solves the library workload at 1/2/4/8 workers and
+# prints only deterministic fields; two runs must be byte-identical.
+hot_a="$(cargo run -q --release -p hermes-bench --bin hotpath -- --smoke)"
+hot_b="$(cargo run -q --release -p hermes-bench --bin hotpath -- --smoke)"
+if [[ "$hot_a" != "$hot_b" ]]; then
+  echo "hotpath smoke is nondeterministic:" >&2
+  diff <(printf '%s\n' "$hot_a") <(printf '%s\n' "$hot_b") >&2 || true
+  exit 1
+fi
+echo "smoke output stable: $hot_a"
+
+echo "==> parallel deploy determinism smoke (--threads 4 vs --threads 1, byte-diff)"
+# A 4-worker deploy must emit byte-identical artifacts to a single-worker
+# deploy of the same workload — the CLI face of the determinism guarantee.
+dep_1="$(cargo run -q --release -p hermes-cli --bin hermes -- \
+  deploy tests/fixtures/audit_workload.p4dsl --topology linear:3 \
+  --solver exact --threads 1 --json)"
+dep_4a="$(cargo run -q --release -p hermes-cli --bin hermes -- \
+  deploy tests/fixtures/audit_workload.p4dsl --topology linear:3 \
+  --solver exact --threads 4 --json)"
+dep_4b="$(cargo run -q --release -p hermes-cli --bin hermes -- \
+  deploy tests/fixtures/audit_workload.p4dsl --topology linear:3 \
+  --solver exact --threads 4 --json)"
+if [[ "$dep_1" != "$dep_4a" || "$dep_4a" != "$dep_4b" ]]; then
+  echo "deploy --threads output diverges across worker counts or runs:" >&2
+  diff <(printf '%s\n' "$dep_1") <(printf '%s\n' "$dep_4a") >&2 || true
+  diff <(printf '%s\n' "$dep_4a") <(printf '%s\n' "$dep_4b") >&2 || true
+  exit 1
+fi
+echo "deploy --threads 4 matches --threads 1 byte-for-byte"
+
+echo "==> chaos rollout smoke under --threads 4 (fixed seed)"
+cargo run -q --release -p hermes-cli --bin hermes -- \
+  chaos tests/fixtures/audit_workload.p4dsl --topology linear:3 \
+  --solver exact --threads 4 --seed 7 > /dev/null
+echo "chaos rollout with a 4-worker solver completed"
 
 echo "==> audit-engine smoke (oracle equivalence + certificate fast-path)"
 cargo run -q --release -p hermes-bench --bin audit -- --smoke

@@ -32,6 +32,7 @@ use hermes_tdg::{NodeId, Tdg};
 use serde::Serialize;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::BTreeSet;
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -313,6 +314,34 @@ struct MicroOps {
     speedup: f64,
 }
 
+/// One worker count on the thread-scaling curve of the work-stealing
+/// parallel exact search.
+#[derive(Serialize)]
+struct ThreadPoint {
+    workers: usize,
+    nodes_explored: u64,
+    wall_ms: f64,
+    nodes_per_sec: f64,
+    /// Throughput relative to the 1-worker point of the same curve.
+    speedup_vs_1: f64,
+    steals: u64,
+    bound_prunes: u64,
+    subtree_roots: usize,
+    frontier_depth: usize,
+    objective: Option<u64>,
+    exhausted: bool,
+}
+
+/// Thread-scaling curve of the bare parallel exact search. `speedup_vs_1`
+/// only means anything relative to `host_parallelism`: on a 1-core host
+/// every point time-slices the same CPU and the curve is honestly flat.
+#[derive(Serialize)]
+struct ThreadScaling {
+    topology: String,
+    host_parallelism: usize,
+    points: Vec<ThreadPoint>,
+}
+
 #[derive(Serialize)]
 struct Report {
     workload_programs: usize,
@@ -320,6 +349,7 @@ struct Report {
     reps: usize,
     scenarios: Vec<Scenario>,
     evaluator_microops: MicroOps,
+    thread_scaling: ThreadScaling,
 }
 
 /// Repeats one bare solve until the cumulative wall crosses
@@ -448,6 +478,67 @@ fn bench_scenario(name: &str, net: &Network) -> Scenario {
         before_seeded_ms,
         after_seeded_ms,
         after_portfolio_proven_ms: proven.map(|d| d.as_secs_f64() * 1000.0),
+    }
+}
+
+/// Measures the work-stealing parallel exact search at 1/2/4/8 workers on
+/// the binding linear-4 scenario, via [`OptimalSolver::solve_instrumented`]
+/// for the steal / frontier telemetry. Nodes/sec uses the same sustained
+/// accumulation as the bare runs.
+fn bench_thread_scaling() -> ThreadScaling {
+    let tdg = analyze(&workload(10));
+    let net = tighten(topology::linear(4, 10.0), 0.97);
+    let eps = Epsilon::loose();
+    let solver = OptimalSolver::bare();
+    let mut points: Vec<ThreadPoint> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (mut nodes, mut wall) = (0u64, Duration::ZERO);
+        let (mut steals, mut prunes) = (0u64, 0u64);
+        let (mut roots, mut depth) = (0usize, 0usize);
+        let (mut objective, mut exhausted) = (None, false);
+        let mut first = true;
+        while first || wall < MEASURE_FLOOR {
+            let ctx = SearchContext::with_time_limit(BARE_BUDGET)
+                .with_threads(NonZeroUsize::new(workers).expect("worker counts are nonzero"));
+            let start = Instant::now();
+            let (result, stats) = solver.solve_instrumented(&tdg, &net, &eps, &ctx);
+            wall += start.elapsed();
+            steals += stats.steals;
+            prunes += stats.bound_prunes;
+            if let Ok(o) = &result {
+                nodes += o.stats.nodes_explored;
+            }
+            if first {
+                roots = stats.subtree_roots;
+                depth = stats.frontier_depth;
+                if let Ok(o) = &result {
+                    objective = Some(o.objective);
+                    exhausted = o.stats.proven_bound.is_some();
+                }
+                first = false;
+            }
+        }
+        let secs = wall.as_secs_f64().max(f64::EPSILON);
+        let rate = nodes as f64 / secs;
+        let base = points.first().map_or(rate, |p: &ThreadPoint| p.nodes_per_sec);
+        points.push(ThreadPoint {
+            workers,
+            nodes_explored: nodes,
+            wall_ms: secs * 1000.0,
+            nodes_per_sec: rate,
+            speedup_vs_1: rate / base.max(f64::EPSILON),
+            steals,
+            bound_prunes: prunes,
+            subtree_roots: roots,
+            frontier_depth: depth,
+            objective,
+            exhausted,
+        });
+    }
+    ThreadScaling {
+        topology: "linear-4".to_owned(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, NonZeroUsize::get),
+        points,
     }
 }
 
@@ -608,8 +699,42 @@ fn smoke() {
         probes += 1;
     }
 
+    // Parallel determinism probe: the work-stealing search must return
+    // the exact same plan, objective, optimality proof, and proven bound
+    // at every worker count, run after run. Only deterministic fields are
+    // compared (never node counts or wall clock), so CI can byte-diff two
+    // full `--smoke` outputs. Stock linear-3 is the probe scenario: its
+    // optimum (objective 1) beats the greedy seed, so the parallel engine
+    // actually searches instead of early-outing on a zero-objective seed.
+    let net = topology::linear(3, 10.0);
+    let eps = Epsilon::loose();
+    let solve = |workers: usize| {
+        let ctx = SearchContext::with_time_limit(Duration::from_secs(60))
+            .with_threads(NonZeroUsize::new(workers).expect("worker counts are nonzero"));
+        OptimalSolver::new().solve(&tdg, &net, &eps, &ctx).expect("workload is feasible")
+    };
+    let reference = solve(1);
+    let mut parallel_runs = 0u32;
+    for workers in [1usize, 2, 4, 8] {
+        for _ in 0..2 {
+            let o = solve(workers);
+            assert_eq!(o.plan, reference.plan, "plan diverged at {workers} workers");
+            assert_eq!(o.objective, reference.objective, "objective diverged at {workers} workers");
+            assert_eq!(
+                o.proven_optimal, reference.proven_optimal,
+                "optimality proof diverged at {workers} workers"
+            );
+            assert_eq!(
+                o.stats.proven_bound, reference.stats.proven_bound,
+                "proven bound diverged at {workers} workers"
+            );
+            parallel_runs += 1;
+        }
+    }
+
     println!(
-        "{{\"evaluator_steps\":{steps},\"evaluator_ok\":true,\"cache_probes\":{probes},\"cache_ok\":true}}"
+        "{{\"evaluator_steps\":{steps},\"evaluator_ok\":true,\"cache_probes\":{probes},\"cache_ok\":true,\"parallel_runs\":{parallel_runs},\"parallel_objective\":{},\"parallel_proven\":{},\"parallel_ok\":true}}",
+        reference.objective, reference.proven_optimal
     );
 }
 
@@ -633,6 +758,7 @@ fn main() {
         reps: REPS,
         scenarios,
         evaluator_microops: bench_microops(),
+        thread_scaling: bench_thread_scaling(),
     };
     if maybe_json(&report) {
         return;
@@ -674,5 +800,24 @@ fn main() {
     println!(
         "(c) evaluator micro-ops: {:.0} ns/op incremental ({:.3} allocs/op) vs {:.0} ns/op scratch — {:.1}x",
         m.incremental_ns_per_op, m.incremental_allocs_per_op, m.scratch_ns_per_op, m.speedup
+    );
+
+    let ts = &report.thread_scaling;
+    let mut w = Table::new(["workers", "nodes/s", "speedup", "steals", "roots", "depth"]);
+    for p in &ts.points {
+        w.row([
+            p.workers.to_string(),
+            format!("{:.0}", p.nodes_per_sec),
+            format!("{:.2}x", p.speedup_vs_1),
+            p.steals.to_string(),
+            p.subtree_roots.to_string(),
+            p.frontier_depth.to_string(),
+        ]);
+    }
+    println!(
+        "\n(d) work-stealing thread scaling — {} (host parallelism {})\n{}",
+        ts.topology,
+        ts.host_parallelism,
+        w.render()
     );
 }

@@ -329,12 +329,31 @@ pub fn solver(
     name: &str,
     time_limit: Duration,
 ) -> Result<Box<dyn DeploymentAlgorithm>, UnknownSolverError> {
+    solver_with_threads(name, time_limit, None)
+}
+
+/// Like [`solver`], but also stamps a worker budget for parallel searches
+/// onto the returned solver's [`SearchContext`] (`None` = available
+/// parallelism). Single-threaded solvers ignore the budget.
+///
+/// # Errors
+///
+/// Returns [`UnknownSolverError`] listing the valid set on unknown names.
+pub fn solver_with_threads(
+    name: &str,
+    time_limit: Duration,
+    threads: Option<std::num::NonZeroUsize>,
+) -> Result<Box<dyn DeploymentAlgorithm>, UnknownSolverError> {
     let config = IlpConfig { time_limit, ..Default::default() };
     Ok(match name.to_ascii_lowercase().as_str() {
         "greedy" | "hermes" => Box::new(GreedyHeuristic::new()),
-        "exact" | "optimal" => Box::new(Budgeted::new(OptimalSolver::default(), time_limit)),
+        "exact" | "optimal" => {
+            Box::new(Budgeted::new(OptimalSolver::default(), time_limit).with_threads(threads))
+        }
         "milp" | "ilp" => Box::new(Budgeted::new(MilpHermes::default(), time_limit)),
-        "portfolio" => Box::new(Budgeted::new(Portfolio::greedy_exact(), time_limit)),
+        "portfolio" => {
+            Box::new(Budgeted::new(Portfolio::greedy_exact(), time_limit).with_threads(threads))
+        }
         "ffl" => Box::new(FirstFitByLevel),
         "ffls" => Box::new(FirstFitByLevelAndSize),
         "ms" | "min-stage" => Box::new(IlpBaseline::min_stage(config)),
@@ -364,6 +383,9 @@ pub struct Options {
     pub eps2: usize,
     /// Solver time limit in seconds.
     pub time_limit_secs: u64,
+    /// Worker budget for the parallel exact search (deploy). `None` =
+    /// all available cores.
+    pub threads: Option<std::num::NonZeroUsize>,
     /// Emit Graphviz dot (analyze).
     pub dot: bool,
     /// Emit JSON artifacts (deploy) or the event log (chaos).
@@ -403,6 +425,7 @@ impl Default for Options {
             eps1: f64::INFINITY,
             eps2: usize::MAX,
             time_limit_secs: 10,
+            threads: None,
             dot: false,
             json: false,
             seed: 0,
@@ -427,8 +450,8 @@ USAGE:
   hermes audit    <files…> [--library] [--topology SPEC] [--target SPEC]
                   [--eps1 US] [--eps2 N] [--json]
   hermes deploy   <files…> [--topology SPEC] [--target SPEC] [--solver NAME]
-                  [--eps1 US] [--eps2 N] [--time-limit SECS] [--json]
-                  [--journal PATH]
+                  [--eps1 US] [--eps2 N] [--time-limit SECS] [--threads N]
+                  [--json] [--journal PATH]
   hermes simulate <files…> [--topology SPEC] [--solver NAME]
   hermes chaos    <files…> [--topology SPEC] [--solver NAME] [--seed N]
                   [--trials N] [--channel SPEC] [--eps1 US] [--eps2 N]
@@ -459,6 +482,11 @@ with its transient-overhead curve, and executes it step by step under the
 seeded fault injector and the given channel. Every schedule prefix is
 verified against per-stage capacity and the mixed-epoch consistency gate
 before the first commit; a mid-migration failure rolls back to plan A.
+
+`--threads N` caps the worker pool of the parallel exact search (and the
+per-racer budget of the portfolio) at N OS threads; the default is the
+machine's available parallelism. Results are byte-identical at every
+thread count.
 
 `--journal PATH` writes the controller's write-ahead intent journal to
 PATH after the run. `recover` replays such a journal offline — without a
@@ -509,6 +537,13 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--time-limit" | "--budget" => {
                 options.time_limit_secs =
                     value(&mut iter)?.parse().map_err(|_| err("--time-limit needs seconds"))?
+            }
+            "--threads" => {
+                options.threads = Some(
+                    value(&mut iter)?
+                        .parse()
+                        .map_err(|_| err("--threads needs a positive integer"))?,
+                )
             }
             "--seed" => {
                 options.seed =
@@ -959,7 +994,11 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
         "deploy" => {
             let net = parse_network(options)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
-            let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
+            let algo = solver_with_threads(
+                &options.solver,
+                Duration::from_secs(options.time_limit_secs),
+                options.threads,
+            )?;
             let plan = algo
                 .deploy(&tdg, &net, &eps)
                 .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
@@ -997,7 +1036,11 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
         "simulate" => {
             let net = parse_network(options)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
-            let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
+            let algo = solver_with_threads(
+                &options.solver,
+                Duration::from_secs(options.time_limit_secs),
+                options.threads,
+            )?;
             let plan = algo
                 .deploy(&tdg, &net, &eps)
                 .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
@@ -1020,7 +1063,11 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
             let net = parse_network(options)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
             let channel = parse_channel(&options.channel)?;
-            let algo = solver(&options.solver, Duration::from_secs(options.time_limit_secs))?;
+            let algo = solver_with_threads(
+                &options.solver,
+                Duration::from_secs(options.time_limit_secs),
+                options.threads,
+            )?;
             let plan = algo
                 .deploy(&tdg, &net, &eps)
                 .map_err(|e| err(format!("{} failed: {e}", algo.name())))?;
@@ -1103,6 +1150,23 @@ mod tests {
         assert_eq!(options.time_limit_secs, 7);
         assert!(options.json);
         assert!(options.eps1.is_infinite());
+    }
+
+    #[test]
+    fn threads_flag_parses_positive_and_rejects_zero_and_garbage() {
+        let options = parse_args(&args(&["deploy", "a.p4dsl", "--threads", "4"])).unwrap();
+        assert_eq!(options.threads, std::num::NonZeroUsize::new(4));
+        assert_eq!(parse_args(&args(&["deploy", "a.p4dsl"])).unwrap().threads, None);
+        let e = parse_args(&args(&["deploy", "a.p4dsl", "--threads", "0"])).unwrap_err();
+        assert!(e.0.contains("--threads needs a positive integer"), "{e}");
+        let e = parse_args(&args(&["deploy", "a.p4dsl", "--threads", "lots"])).unwrap_err();
+        assert!(e.0.contains("--threads needs a positive integer"), "{e}");
+        assert!(parse_args(&args(&["deploy", "a.p4dsl", "--threads"])).is_err());
+    }
+
+    #[test]
+    fn help_documents_the_threads_flag() {
+        assert!(USAGE.contains("--threads N"), "usage must document --threads");
     }
 
     #[test]

@@ -115,6 +115,23 @@ impl IncrementalEval {
         self.q
     }
 
+    /// Clears every placement, restoring the pristine post-construction
+    /// state without reallocating. Parallel search workers call this
+    /// between subtree replays; state must end up bit-for-bit identical to
+    /// a freshly built evaluator (occupancy sums included — they are
+    /// assigned, not accumulated, so no float residue survives).
+    pub fn reset(&mut self) {
+        self.assign.fill(UNASSIGNED);
+        self.used_capacity.fill(0.0);
+        self.nodes_on.fill(0);
+        self.occupied = 0;
+        self.pair_bytes.fill(0);
+        self.order_edges.fill(0);
+        self.amax = 0;
+        self.at_max = 0;
+        self.acyclic = true;
+    }
+
     /// The running objective: the largest per-ordered-pair byte total.
     pub fn amax(&self) -> u64 {
         self.amax
@@ -409,6 +426,33 @@ mod tests {
         eval.unplace(4);
         assert_eq!((eval.amax(), eval.is_acyclic(), eval.occupied()), before);
         check_against_reference(&eval, &tdg, q);
+    }
+
+    #[test]
+    fn reset_matches_freshly_constructed_evaluator() {
+        let tdg = chain_tdg(&[4, 4, 4, 4], 0.2);
+        let q = 3;
+        let mut recycled = IncrementalEval::new(&tdg, q);
+        for (node, c) in [(0usize, 0usize), (1, 1), (2, 2), (3, 0), (4, 1)] {
+            recycled.place(node, c);
+        }
+        recycled.reset();
+        let mut fresh = IncrementalEval::new(&tdg, q);
+        // Replaying the same sequence on both must agree bit-for-bit on
+        // every observable (float occupancy included).
+        for (node, c) in [(0usize, 2usize), (1, 0), (2, 1), (3, 2), (4, 0)] {
+            recycled.place(node, c);
+            fresh.place(node, c);
+        }
+        assert_eq!(recycled.assignment(), fresh.assignment());
+        assert_eq!(recycled.amax(), fresh.amax());
+        assert_eq!(recycled.is_acyclic(), fresh.is_acyclic());
+        assert_eq!(recycled.occupied(), fresh.occupied());
+        for c in 0..q {
+            assert_eq!(recycled.nodes_on(c), fresh.nodes_on(c));
+            assert_eq!(recycled.used_capacity(c).to_bits(), fresh.used_capacity(c).to_bits());
+        }
+        check_against_reference(&recycled, &tdg, q);
     }
 
     #[test]

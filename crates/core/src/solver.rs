@@ -38,6 +38,7 @@
 use crate::deployment::{DeployError, DeploymentAlgorithm, DeploymentPlan, Epsilon};
 use hermes_net::Network;
 use hermes_tdg::Tdg;
+use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -94,6 +95,11 @@ pub struct SearchContext {
     cancel: CancelToken,
     incumbent: Arc<AtomicU64>,
     floor: Arc<AtomicU64>,
+    /// Worker budget for parallel searches; `None` = available parallelism.
+    /// Plain data (not shared through an `Arc`): a portfolio hands every
+    /// racer a clone with its own cap so racers × workers never exceed the
+    /// requested total.
+    threads: Option<NonZeroUsize>,
 }
 
 impl Default for SearchContext {
@@ -110,6 +116,7 @@ impl SearchContext {
             cancel: CancelToken::new(),
             incumbent: Arc::new(AtomicU64::new(NO_BOUND)),
             floor: Arc::new(AtomicU64::new(0)),
+            threads: None,
         }
     }
 
@@ -131,6 +138,31 @@ impl SearchContext {
     /// The shared cancellation token.
     pub fn cancel_token(&self) -> &CancelToken {
         &self.cancel
+    }
+
+    /// Returns this context with an explicit worker budget for parallel
+    /// searches (the parallel exact solver sizes its subtree pool from it).
+    /// The budget is per-clone data: capping a racer's clone does not
+    /// affect the parent context.
+    #[must_use]
+    pub fn with_threads(mut self, threads: NonZeroUsize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The explicit worker budget, if one was set via
+    /// [`SearchContext::with_threads`].
+    pub fn thread_budget(&self) -> Option<NonZeroUsize> {
+        self.threads
+    }
+
+    /// The worker count a parallel search should use: the explicit budget,
+    /// else [`std::thread::available_parallelism`] (1 when unknown).
+    pub fn worker_count(&self) -> usize {
+        match self.threads {
+            Some(n) => n.get(),
+            None => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+        }
     }
 
     /// The shared incumbent slot, for lower-level searches that consume
@@ -244,12 +276,21 @@ pub trait Solver: DeploymentAlgorithm + Send + Sync {
 pub struct Budgeted<S> {
     solver: S,
     budget: Duration,
+    threads: Option<NonZeroUsize>,
 }
 
 impl<S: Solver> Budgeted<S> {
     /// Wraps `solver` so `deploy` runs under `budget`.
     pub fn new(solver: S, budget: Duration) -> Self {
-        Budgeted { solver, budget }
+        Budgeted { solver, budget, threads: None }
+    }
+
+    /// Sets the worker budget `deploy` stamps onto its [`SearchContext`]
+    /// (`None` keeps the available-parallelism default).
+    #[must_use]
+    pub fn with_threads(mut self, threads: Option<NonZeroUsize>) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The wrapped solver.
@@ -274,9 +315,11 @@ impl<S: Solver> DeploymentAlgorithm for Budgeted<S> {
         net: &Network,
         eps: &Epsilon,
     ) -> Result<DeploymentPlan, DeployError> {
-        self.solver
-            .solve(tdg, net, eps, &SearchContext::with_time_limit(self.budget))
-            .map(|o| o.plan)
+        let mut ctx = SearchContext::with_time_limit(self.budget);
+        if let Some(threads) = self.threads {
+            ctx = ctx.with_threads(threads);
+        }
+        self.solver.solve(tdg, net, eps, &ctx).map(|o| o.plan)
     }
 
     fn is_exhaustive(&self) -> bool {
@@ -340,6 +383,7 @@ pub struct RaceReport {
 pub struct Portfolio {
     label: String,
     racers: Vec<Box<dyn Solver>>,
+    exact_workers: Option<NonZeroUsize>,
 }
 
 impl std::fmt::Debug for Portfolio {
@@ -347,6 +391,7 @@ impl std::fmt::Debug for Portfolio {
         f.debug_struct("Portfolio")
             .field("label", &self.label)
             .field("racers", &self.racers.iter().map(|r| r.name().to_owned()).collect::<Vec<_>>())
+            .field("exact_workers", &self.exact_workers)
             .finish()
     }
 }
@@ -354,7 +399,34 @@ impl std::fmt::Debug for Portfolio {
 impl Portfolio {
     /// Portfolio over `racers` in priority order.
     pub fn new(label: impl Into<String>, racers: Vec<Box<dyn Solver>>) -> Self {
-        Portfolio { label: label.into(), racers }
+        Portfolio { label: label.into(), racers, exact_workers: None }
+    }
+
+    /// Pins the per-racer worker budget handed to parallel racers (the
+    /// exact search) instead of deriving it from the race context.
+    #[must_use]
+    pub fn with_worker_budget(mut self, workers: NonZeroUsize) -> Self {
+        self.exact_workers = Some(workers);
+        self
+    }
+
+    /// The pinned per-racer worker budget, if any (set by
+    /// [`Portfolio::standard`] and [`Portfolio::with_worker_budget`]).
+    pub fn worker_budget(&self) -> Option<NonZeroUsize> {
+        self.exact_workers
+    }
+
+    /// The worker budget each racer's child context will carry in
+    /// [`Portfolio::race`]: the pinned budget when set, otherwise the
+    /// context's thread count minus one OS thread per *other* racer, so
+    /// racers × workers never exceeds the requested total. Every racer but
+    /// the parallel exact search is single-threaded, so reserving one
+    /// thread each is exact, not an estimate.
+    pub fn planned_workers(&self, ctx: &SearchContext) -> NonZeroUsize {
+        self.exact_workers.unwrap_or_else(|| {
+            let spare = ctx.worker_count().saturating_sub(self.racers.len().saturating_sub(1));
+            NonZeroUsize::new(spare.max(1)).expect("max(1) is nonzero")
+        })
     }
 
     /// The default deterministic pairing: the greedy heuristic publishes
@@ -370,8 +442,12 @@ impl Portfolio {
         )
     }
 
-    /// Preset sized to `threads` racers: 1 → greedy; 2 → greedy + exact;
-    /// 3 → + MILP; 4 and up → + balanced-split greedy.
+    /// Preset sized to `threads` total OS threads: 1 → greedy; 2 → greedy
+    /// + exact; 3 → + MILP; 4 and up → + balanced-split greedy.
+    ///
+    /// The exact racer's internal worker pool is budgeted so racers ×
+    /// workers ≤ `threads`: one OS thread per single-threaded racer, the
+    /// remainder to the parallel exact search (never below 1).
     pub fn standard(threads: usize) -> Self {
         use crate::heuristic::{GreedyHeuristic, SplitStrategy};
         let mut racers: Vec<Box<dyn Solver>> = vec![Box::new(GreedyHeuristic::new())];
@@ -384,7 +460,9 @@ impl Portfolio {
         if threads >= 4 {
             racers.push(Box::new(GreedyHeuristic::with_strategy(SplitStrategy::Balanced)));
         }
+        let workers = threads.saturating_sub(racers.len().saturating_sub(1)).max(1);
         Portfolio::new(format!("Portfolio(x{})", racers.len()), racers)
+            .with_worker_budget(NonZeroUsize::new(workers).expect("max(1) is nonzero"))
     }
 
     /// The racers' names, in priority order.
@@ -423,13 +501,16 @@ impl Portfolio {
             return Err(DeployError::ProvenInfeasible { certificate: cert.clone() });
         }
         ctx.raise_floor(precheck.amax_floor());
+        // Cap every racer's internal worker pool so the race as a whole
+        // respects the requested thread budget (racers × workers ≤ total).
+        let workers = self.planned_workers(ctx);
         let start = Instant::now();
         let results: Vec<Result<SolveOutcome, DeployError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .racers
                 .iter()
                 .map(|racer| {
-                    let child = ctx.clone();
+                    let child = ctx.clone().with_threads(workers);
                     scope.spawn(move || {
                         let result = racer.solve(tdg, net, eps, &child);
                         if let Ok(outcome) = &result {
@@ -674,6 +755,30 @@ mod tests {
         assert_eq!(Portfolio::standard(2).racer_names().len(), 2);
         assert_eq!(Portfolio::standard(4).racer_names().len(), 4);
         assert_eq!(Portfolio::standard(16).racer_names().len(), 4);
+    }
+
+    #[test]
+    fn standard_presets_budget_workers_within_requested_threads() {
+        // racers × workers ≤ requested: every single-threaded racer
+        // reserves one OS thread, the exact racer gets the remainder.
+        for (threads, racers, workers) in
+            [(1, 1, 1), (2, 2, 1), (3, 3, 1), (4, 4, 1), (8, 4, 5), (16, 4, 13)]
+        {
+            let p = Portfolio::standard(threads);
+            assert_eq!(p.racer_names().len(), racers, "racers at {threads}");
+            let budget = p.worker_budget().expect("standard pins a budget").get();
+            assert_eq!(budget, workers, "workers at {threads}");
+            assert!(budget + racers - 1 <= threads.max(1), "oversubscribed at {threads}");
+            // The pinned budget wins over whatever the race context says.
+            let ctx = SearchContext::unbounded()
+                .with_threads(std::num::NonZeroUsize::new(64).expect("nonzero"));
+            assert_eq!(p.planned_workers(&ctx).get(), workers);
+        }
+        // Without a pinned budget the context's thread count is split.
+        let p = Portfolio::new("P", vec![]);
+        let ctx = SearchContext::unbounded()
+            .with_threads(std::num::NonZeroUsize::new(6).expect("nonzero"));
+        assert_eq!(p.planned_workers(&ctx).get(), 6);
     }
 
     #[test]

@@ -173,6 +173,17 @@ impl Packing {
         }
     }
 
+    /// Empties the pipeline, restoring the pristine post-construction
+    /// state without reallocating — the per-subtree analogue of
+    /// [`IncrementalEval::reset`](crate::eval::IncrementalEval::reset):
+    /// `remaining` is reassigned (not incrementally repaired), so no float
+    /// residue from prior placements survives.
+    pub(crate) fn reset(&mut self) {
+        self.used = 0.0;
+        self.remaining.fill(self.stage_capacity);
+        self.end_stage.fill(UNPLACED);
+    }
+
     /// Places `id` at the first stage after its already-placed
     /// predecessors, greedily filling consecutive stages; each emitted
     /// slice is `(node, stage, fraction)`.
@@ -518,6 +529,34 @@ mod tests {
         assert_eq!(packing.used.to_bits(), 0.0f64.to_bits());
         assert!(log.is_empty());
         assert!(packing.push_logged(&tdg, ids[1], &mut log), "budget freed");
+    }
+
+    #[test]
+    fn reset_matches_freshly_constructed_packing() {
+        let tdg = chain(&[0.7, 1.4, 0.3]);
+        let ids: Vec<NodeId> = tdg.node_ids().collect();
+        let mut budgeted = shape(12, 1.0);
+        budgeted.total_budget = 5.0;
+        let mut recycled = Packing::new(&budgeted, tdg.node_count());
+        let mut log = Vec::new();
+        for &id in &ids {
+            assert!(recycled.push_logged(&tdg, id, &mut log));
+        }
+        recycled.reset();
+        log.clear();
+        let mut fresh = Packing::new(&budgeted, tdg.node_count());
+        let mut fresh_log = Vec::new();
+        // Replaying onto the recycled packing must agree bit-for-bit with a
+        // fresh one, including the float budget/remaining bookkeeping.
+        for &id in &ids {
+            assert!(recycled.push_logged(&tdg, id, &mut log));
+            assert!(fresh.push_logged(&tdg, id, &mut fresh_log));
+        }
+        assert_eq!(recycled.used.to_bits(), fresh.used.to_bits());
+        assert_eq!(recycled.end_stage, fresh.end_stage);
+        let bits = |p: &Packing| p.remaining.iter().map(|r| r.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&recycled), bits(&fresh));
+        assert_eq!(log, fresh_log);
     }
 
     #[test]

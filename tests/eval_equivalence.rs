@@ -9,15 +9,20 @@
 //!   sequences;
 //! - the memoized [`StageFeasCache`] against [`stage_feasible`] on random
 //!   node subsets and pipeline shapes;
+//! - the work-stealing parallel exact search against its single-threaded
+//!   engine: byte-identical `SolveOutcome`s at worker counts 2–8, across
+//!   pre-published incumbents, pre-expired deadlines, and pre-cancelled
+//!   contexts;
 //!
 //! plus a regression test that the fixed-seed portfolio smoke output is
 //! byte-identical to the fixture recorded when the portfolio runner
 //! landed (`tests/fixtures/portfolio_smoke.json`).
 
 use hermes::core::eval::UNASSIGNED;
+use hermes::core::test_support::{chain_tdg, tiny_switches};
 use hermes::core::{
-    stage_feasible, Epsilon, IncrementalEval, Portfolio, ProgramAnalyzer, SearchContext,
-    StageFeasCache,
+    stage_feasible, DeployError, Epsilon, IncrementalEval, OptimalSolver, Portfolio,
+    ProgramAnalyzer, SearchContext, SolveOutcome, Solver, StageFeasCache,
 };
 use hermes::dataplane::fieldset::FieldTable;
 use hermes::dataplane::library;
@@ -30,7 +35,8 @@ use hermes::tdg::{
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-use std::time::Duration;
+use std::num::NonZeroUsize;
+use std::time::{Duration, Instant};
 
 /// Splitmix64 — deterministic op streams without threading `StdRng`
 /// through every property.
@@ -45,6 +51,35 @@ fn splitmix64(state: &mut u64) -> u64 {
 fn synthetic_tdg(seed: u64, programs: usize) -> Tdg {
     let mut generator = SyntheticGenerator::new(seed, SyntheticConfig::default());
     ProgramAnalyzer::new().analyze(&generator.programs(programs))
+}
+
+/// Deterministic stop shapes for the parallel-equivalence property.
+/// `Expired` and `Cancelled` stop the search before its first node;
+/// `Generous` and `Unbounded` let it run to exhaustion. Mid-flight expiry
+/// is inherently timing-dependent, so these four are the only stop shapes
+/// whose outcome is well-defined enough to compare byte-for-byte.
+fn stop_context(stop: usize) -> SearchContext {
+    match stop % 4 {
+        0 => SearchContext::unbounded(),
+        1 => SearchContext::with_time_limit(Duration::from_secs(30)),
+        2 => SearchContext::with_deadline(Instant::now()),
+        _ => {
+            let ctx = SearchContext::unbounded();
+            ctx.cancel_token().cancel();
+            ctx
+        }
+    }
+}
+
+/// Zeroes the two legitimately nondeterministic stats (raw node count and
+/// wall clock); everything else — plan bytes, objective, optimality flag,
+/// proven bound, error variant — must match exactly.
+fn normalized(result: Result<SolveOutcome, DeployError>) -> Result<SolveOutcome, DeployError> {
+    result.map(|mut outcome| {
+        outcome.stats.nodes_explored = 0;
+        outcome.stats.wall = Duration::ZERO;
+        outcome
+    })
 }
 
 /// From-scratch `A_max`: rebuild the ordered-pair byte matrix per probe.
@@ -174,6 +209,51 @@ proptest! {
             // Second probe of the same set must come back identical.
             prop_assert_eq!(cache.feasible_set(&tdg, &model, &set), expect);
         }
+    }
+
+    /// The work-stealing parallel exact search returns byte-identical
+    /// `SolveOutcome`s (plan, objective, optimality proof, proven bound —
+    /// every stat except raw node counts and wall clock) to the
+    /// single-threaded engine at worker counts 2–8, across random chains,
+    /// switch counts, pre-published incumbents, pre-expired deadlines, and
+    /// pre-cancelled contexts, for both the seeded and the bare solver.
+    #[test]
+    fn parallel_exact_is_byte_identical_to_sequential(
+        seed in 0u64..2048,
+        threads in 2usize..9,
+        q in 2usize..4,
+        stop in 0usize..4,
+        bare in any::<bool>(),
+        prebound_raw in 0u64..64,
+    ) {
+        // The vendored proptest shim has no `prop::option`; fold the top
+        // quarter of the range into "no pre-published incumbent".
+        let prebound = (prebound_raw < 48).then_some(prebound_raw);
+        let mut state = seed ^ 0x9E37_0001;
+        let len = 3 + (splitmix64(&mut state) as usize) % 4;
+        // Edge widths must be nonzero (`Field::new` rejects zero-width fields).
+        let bytes: Vec<u32> = (0..len).map(|_| 1 + (splitmix64(&mut state) % 15) as u32).collect();
+        let tdg = chain_tdg(&bytes, 0.2 + 0.1 * ((splitmix64(&mut state) % 4) as f64));
+        let stages = 2 + (splitmix64(&mut state) as usize) % 2;
+        let net = tiny_switches(q, stages, 0.5 + 0.1 * ((splitmix64(&mut state) % 4) as f64));
+        let solver = if bare { OptimalSolver::bare() } else { OptimalSolver::default() };
+        let eps = Epsilon::loose();
+
+        let run = |workers: usize| {
+            let ctx = stop_context(stop)
+                .with_threads(NonZeroUsize::new(workers).expect("workers >= 1"));
+            if let Some(bound) = prebound {
+                ctx.publish_incumbent(bound);
+            }
+            normalized(solver.solve(&tdg, &net, &eps, &ctx))
+        };
+
+        let reference = run(1);
+        let parallel = run(threads);
+        prop_assert_eq!(
+            parallel, reference,
+            "threads={} stop={} bare={} prebound={:?}", threads, stop, bare, prebound
+        );
     }
 
     /// `feasible_with` (the incremental "does node n still fit" fast path)
