@@ -38,6 +38,9 @@ cargo test -q --release --test target_equivalence
 echo "==> durability suites: journal fuzz, event-schema round trip, recovery soak"
 cargo test -q --release --test journal_fuzz --test event_schema --test recovery_chaos
 
+echo "==> state-access soundness suite (fast-pass/oracle equivalence, relaxed-plan verification)"
+cargo test -q --release --test stateaccess_soundness
+
 echo "==> hot-path evaluator + parallel-search smoke (double run, byte-diff)"
 # The smoke probe solves the library workload at 1/2/4/8 workers and
 # prints only deterministic fields; two runs must be byte-identical.
@@ -91,6 +94,24 @@ if ! diff <(printf '%s\n' "$audit_out") tests/fixtures/audit_golden.json; then
   exit 1
 fi
 echo "audit golden matches"
+
+echo "==> state-access report golden diff (aggregation fixture, linear:3, relaxed mode)"
+# Pins the classifier verdicts, the HS5xx diagnostics, the HC310
+# certificate, and the relaxed-edge accounting in one artifact.
+# REGEN_GOLDEN=1 ./ci.sh rewrites the fixture instead of failing.
+state_out="$(cargo run -q --release -p hermes-cli --bin hermes -- \
+  audit tests/fixtures/stateaccess_workload.p4dsl \
+  --state-report --relax-state --topology linear:3 --json)"
+if [[ "${REGEN_GOLDEN:-0}" == "1" ]]; then
+  printf '%s\n' "$state_out" > tests/fixtures/stateaccess_golden.json
+  echo "state-access golden regenerated"
+elif ! diff <(printf '%s\n' "$state_out") tests/fixtures/stateaccess_golden.json; then
+  echo "state report drifted from tests/fixtures/stateaccess_golden.json" >&2
+  echo "re-generate with REGEN_GOLDEN=1 if the new verdicts are intentional" >&2
+  exit 1
+else
+  echo "state-access golden matches"
+fi
 
 echo "==> portfolio determinism smoke (fixed seed, 2 threads, 2 s budget)"
 smoke_a="$(cargo run -q --release -p hermes-bench --bin portfolio -- --smoke)"

@@ -68,16 +68,30 @@ pub fn lint_to_diagnostic(lint: &Lint) -> Diagnostic {
             },
             "the downstream program silently clobbers the upstream value; split the field",
         ),
+        Lint::NonCommutativeMultiWriter { field, first_table, second_table } => (
+            Severity::Warning,
+            Span {
+                mat: Some(first_table.clone()),
+                mat_to: Some(second_table.clone()),
+                field: Some(field.clone()),
+                program: None,
+            },
+            "unify the writers on one fold kind to unlock commutative relaxation",
+        ),
     };
     Diagnostic::new(lint.code(), severity, lint.to_string()).with_span(span).with_hint(hint)
 }
 
 /// Re-renders a pre-solve certificate as a diagnostic: infeasibility
-/// proofs are errors, objective floors are informational.
+/// proofs are errors, objective floors and relaxation notices are
+/// informational.
 pub fn certificate_to_diagnostic(cert: &Certificate) -> Diagnostic {
     if cert.is_infeasible() {
         Diagnostic::new(cert.code(), Severity::Error, cert.to_string())
             .with_hint("no search can find a plan; relax the eps budget or grow the network")
+    } else if matches!(cert, Certificate::RelaxationApplied { .. }) {
+        Diagnostic::new(cert.code(), Severity::Info, cert.to_string())
+            .with_hint("relaxed edges carry no A(a,b) bytes; HV414 fires if one is unjustified")
     } else {
         Diagnostic::new(cert.code(), Severity::Info, cert.to_string())
             .with_hint("proven objective floor; a plan reaching it is optimal by construction")

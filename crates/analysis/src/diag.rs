@@ -14,7 +14,9 @@
 //! | `HG2xx` | dependency-graph soundness (`crate::graphcheck`)|
 //! | `HC3xx` | pre-solve certificates (`hermes_core::precheck`)|
 //! | `HV4xx` | plan verifier (`hermes_core::verify`)          |
+//! | `HS5xx` | state-access report (`crate::stateaccess`)     |
 
+use crate::stateaccess::StateReport;
 use hermes_core::precheck::Certificate;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -192,7 +194,7 @@ pub struct AuditSummary {
 /// The complete result of an audit: sorted diagnostics, the raw precheck
 /// certificates (proof objects, not just their diagnostic rendering), and
 /// a summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AuditReport {
     /// All findings, sorted by (code, severity, span, message).
     pub diagnostics: Vec<Diagnostic>,
@@ -200,12 +202,53 @@ pub struct AuditReport {
     pub certificates: Vec<Certificate>,
     /// Aggregate counts.
     pub summary: AuditSummary,
+    /// The per-field state-access report, when the audit ran with
+    /// `--state-report`. Absent otherwise, and omitted from JSON so
+    /// reports without it stay byte-identical to older snapshots.
+    pub state: Option<StateReport>,
+}
+
+// Hand-written (rather than derived) so an absent state report is omitted
+// from the JSON instead of serialized as `"state": null` — existing report
+// snapshots must not change shape when the feature is off.
+impl Serialize for AuditReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("diagnostics".to_owned(), self.diagnostics.to_value()),
+            ("certificates".to_owned(), self.certificates.to_value()),
+            ("summary".to_owned(), self.summary.to_value()),
+        ];
+        if let Some(state) = &self.state {
+            fields.push(("state".to_owned(), state.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for AuditReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(AuditReport {
+            diagnostics: Deserialize::from_value(v.get_field("diagnostics")?)?,
+            certificates: Deserialize::from_value(v.get_field("certificates")?)?,
+            summary: Deserialize::from_value(v.get_field("summary")?)?,
+            state: match v.get_field("state") {
+                Ok(sv) => Some(Deserialize::from_value(sv)?),
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl AuditReport {
-    /// Builds a report: sorts the diagnostics and computes the summary.
+    /// Builds a report: stable-sorts the diagnostics keyed by
+    /// `(code, span)` first — so findings group by kind and then by
+    /// location, independently of message wording — with the remaining
+    /// fields as tie-breakers for full byte-determinism, then dedups.
     pub fn new(mut diagnostics: Vec<Diagnostic>, certificates: Vec<Certificate>) -> Self {
-        diagnostics.sort();
+        diagnostics.sort_by(|a, b| {
+            (&a.code, &a.span, a.severity, &a.message, &a.hint)
+                .cmp(&(&b.code, &b.span, b.severity, &b.message, &b.hint))
+        });
         diagnostics.dedup();
         let summary = AuditSummary {
             errors: diagnostics.iter().filter(|d| d.severity == Severity::Error).count(),
@@ -214,7 +257,15 @@ impl AuditReport {
             certificates: certificates.len(),
             proven_infeasible: certificates.iter().any(Certificate::is_infeasible),
         };
-        AuditReport { diagnostics, certificates, summary }
+        AuditReport { diagnostics, certificates, summary, state: None }
+    }
+
+    /// Attaches a state-access report (see `crate::stateaccess`); the
+    /// report's `HS5xx` diagnostics must already be in `diagnostics`.
+    #[must_use]
+    pub fn with_state(mut self, state: StateReport) -> Self {
+        self.state = Some(state);
+        self
     }
 
     /// `true` when any error-severity diagnostic is present (the CLI exits
@@ -242,6 +293,24 @@ impl fmt::Display for AuditReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for d in &self.diagnostics {
             writeln!(f, "{d}")?;
+        }
+        if let Some(state) = &self.state {
+            for row in &state.fields {
+                writeln!(
+                    f,
+                    "state: {} ({} {} B): {} — {} writer(s), {} reader(s)",
+                    row.field, row.kind, row.bytes, row.class, row.writer_mats, row.reader_mats
+                )?;
+            }
+            writeln!(
+                f,
+                "state: {} of {} fields relaxable; {} of {} dependency edges relaxed ({})",
+                state.relaxable_fields,
+                state.total_fields,
+                state.relaxed_edges,
+                state.total_edges,
+                state.mode
+            )?;
         }
         if self.summary.proven_infeasible {
             writeln!(f, "instance: PROVEN INFEASIBLE before search")?;

@@ -35,6 +35,10 @@ fn strength(dep: DependencyType) -> u8 {
         DependencyType::Action => 2,
         DependencyType::Successor => 1,
         DependencyType::ReverseMatch => 0,
+        // Relaxed edges rank by the base type they were derived from.
+        DependencyType::RelaxedMatch
+        | DependencyType::RelaxedAction
+        | DependencyType::RelaxedReverse => strength(dep.base()),
     }
 }
 
@@ -166,7 +170,10 @@ pub fn check_program(program: &Program, mode: AnalysisMode) -> Vec<Diagnostic> {
                         .with_span(Span::edge(name(i), name(j)).in_program(program.name())),
                 ),
                 (Some(dep), Some(&(rec_dep, rec_bytes))) => {
-                    if dep != rec_dep {
+                    // Relaxed edges must re-derive as their base type; the
+                    // relaxation itself is certified by the plan verifier,
+                    // not re-proved here.
+                    if dep != rec_dep.base() {
                         out.push(
                             type_mismatch(name(i), name(j), rec_dep, dep)
                                 .with_span(Span::edge(name(i), name(j)).in_program(program.name())),
@@ -207,9 +214,11 @@ pub fn check_tdg(tdg: &Tdg) -> Vec<Diagnostic> {
         let (u, v) = (e.from.index(), e.to.index());
         let (a, b) = (&tdg.nodes()[u].mat, &tdg.nodes()[v].mat);
         if e.dep != DependencyType::Successor {
+            // A relaxed edge re-derives as its base type; whether the
+            // relaxation is justified is the verifier's job (HV414).
             match classify(a, b, false) {
                 None => out.push(spurious_edge(name(u), name(v), e.dep)),
-                Some(derived) if derived != e.dep => {
+                Some(derived) if derived != e.dep.base() => {
                     if strength(e.dep) < strength(derived) {
                         out.push(type_downgrade(name(u), name(v), e.dep, derived));
                     } else {

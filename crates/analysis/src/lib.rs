@@ -15,6 +15,10 @@
 //!    workload, and [`hermes_core::precheck`] certificates over a full
 //!    deployment instance. The `hermes audit` CLI subcommand is a thin
 //!    shell around [`audit::audit_instance`].
+//! 4. [`stateaccess`] — the state-access report behind `hermes audit
+//!    --state-report`: per-field replicability/commutativity verdicts
+//!    (`HS5xx`), with a naive oracle pinned to the fast classifier in
+//!    `hermes_tdg::stateaccess` by property tests.
 //!
 //! Every finding is a [`Diagnostic`] with a stable machine code (see
 //! [`diag`] for the code-block table), so CI can golden-diff audit output
@@ -27,8 +31,13 @@ pub mod audit;
 pub mod dataflow;
 pub mod diag;
 pub mod graphcheck;
+pub mod stateaccess;
 
 pub use audit::{audit_instance, audit_programs};
 pub use dataflow::{dataflow_diagnostics, dataflow_reference};
 pub use diag::{AuditReport, AuditSummary, Diagnostic, Severity, Span};
 pub use graphcheck::{check_program, check_tdg};
+pub use stateaccess::{
+    oracle_classification, state_diagnostics, state_report, state_report_of_tdg, FieldReport,
+    StateReport,
+};

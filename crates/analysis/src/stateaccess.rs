@@ -1,0 +1,378 @@
+//! Pass 4 — state-access reporting: the naive classification oracle and
+//! the `HS5xx` diagnostics behind `hermes audit --state-report`.
+//!
+//! [`hermes_tdg::stateaccess`] classifies fields in one linear pass over
+//! interned accumulators; this module keeps [`oracle_classification`] — a
+//! deliberately naive per-field rescan written from the lattice definition
+//! rather than from the fast pass — pinned byte-identical to it by unit
+//! and property tests (`tests/stateaccess_soundness.rs`). A divergence in
+//! either direction is a bug in one of the two derivations.
+//!
+//! [`state_report`] renders the classification of a workload (the *merged*
+//! TDG node set — classification is a property of the final workload) as a
+//! serializable [`StateReport`], and [`state_diagnostics`] re-emits it
+//! through the typed diagnostic model:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | `HS501` | info | field is read-mostly replicable |
+//! | `HS502` | info | field admits commutative split accumulation |
+//! | `HS503` | warning | multi-writer field stays single-writer (mixed ops) |
+//! | `HS504` | info | workload summary: relaxable fields / relaxed edges |
+
+use crate::diag::{Diagnostic, Severity, Span};
+use hermes_dataplane::action::{FoldOp, PrimitiveOp};
+use hermes_dataplane::fields::Field;
+use hermes_dataplane::program::Program;
+use hermes_dataplane::Mat;
+use hermes_tdg::{merge_all, AnalysisMode, StateClass, StateClassification, Tdg};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------
+// The naive oracle.
+// ---------------------------------------------------------------------
+
+/// Every field the MAT set touches: match keys, action reads, and writes.
+fn touched_fields(mats: &[&Mat]) -> BTreeSet<Field> {
+    let mut out = BTreeSet::new();
+    for m in mats {
+        out.extend(m.match_fields());
+        out.extend(m.action_read_fields());
+        out.extend(m.written_fields());
+    }
+    out
+}
+
+/// All primitive ops across `mat` that write `field`.
+fn writing_ops<'a>(mat: &'a Mat, field: &Field) -> Vec<&'a PrimitiveOp> {
+    mat.actions().iter().flat_map(|a| a.ops()).filter(|op| op.writes().contains(&field)).collect()
+}
+
+/// The reference verdict for one field, recomputed from scratch with
+/// straightforward set logic. Mirrors the lattice definition, not the
+/// fast pass's accumulator plumbing.
+fn oracle_verdict(field: &Field, mats: &[&Mat]) -> StateClass {
+    let writers: Vec<&Mat> =
+        mats.iter().copied().filter(|m| !writing_ops(m, field).is_empty()).collect();
+    if writers.is_empty() {
+        return StateClass::ReadOnly;
+    }
+    if field.is_metadata() {
+        let ops: Vec<&PrimitiveOp> = writers.iter().flat_map(|m| writing_ops(m, field)).collect();
+
+        // CommutativeUpdate: every write is a fold of one common kind whose
+        // per-packet sources ride the packet (headers).
+        let kinds: BTreeSet<FoldOp> = ops
+            .iter()
+            .filter_map(|op| match op {
+                PrimitiveOp::Fold { op: k, .. } => Some(*k),
+                _ => None,
+            })
+            .collect();
+        let all_folds = ops.iter().all(|op| matches!(op, PrimitiveOp::Fold { .. }));
+        let srcs_header_pure = ops.iter().all(|op| match op {
+            PrimitiveOp::Fold { srcs, .. } => srcs.iter().all(Field::is_header),
+            _ => true,
+        });
+        if all_folds && kinds.len() == 1 && srcs_header_pure {
+            return StateClass::CommutativeUpdate(*kinds.iter().next().expect("len 1"));
+        }
+
+        // ReadMostlyReplicable: idempotent stateless header-pure writes,
+        // header-matched producers, strictly more readers than writers.
+        let writes_replicable = ops.iter().all(|op| {
+            !op.is_stateful()
+                && op.writes_are_idempotent()
+                && op.reads().iter().all(|f| f.is_header())
+        });
+        let producers_header_matched =
+            writers.iter().all(|m| m.match_fields().iter().all(Field::is_header));
+        let readers = mats
+            .iter()
+            .filter(|m| {
+                let mut consumed = m.match_fields();
+                consumed.extend(m.action_read_fields());
+                consumed.contains(field) && !m.written_fields().contains(field)
+            })
+            .count();
+        if writes_replicable && producers_header_matched && readers > writers.len() {
+            return StateClass::ReadMostlyReplicable;
+        }
+    }
+    StateClass::SingleWriter
+}
+
+/// The naive set-based classification oracle: one verdict per touched
+/// field, recomputed independently per field. Quadratic and proud of it —
+/// its only job is to pin [`StateClassification::of_mats`] down.
+pub fn oracle_classification<'a, I>(mats: I) -> BTreeMap<Field, StateClass>
+where
+    I: IntoIterator<Item = &'a Mat>,
+{
+    let mats: Vec<&Mat> = mats.into_iter().collect();
+    touched_fields(&mats)
+        .into_iter()
+        .map(|f| {
+            let class = oracle_verdict(&f, &mats);
+            (f, class)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// The state report.
+// ---------------------------------------------------------------------
+
+/// One field's row in the state report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldReport {
+    /// Field name.
+    pub field: String,
+    /// `"header"` or `"metadata"`.
+    pub kind: String,
+    /// Field width in bytes.
+    pub bytes: u32,
+    /// The verdict's display form (`commutative-update(add)` etc.).
+    pub class: String,
+    /// `true` when edges justified by this field may relax.
+    pub relaxable: bool,
+    /// Distinct MATs writing the field.
+    pub writer_mats: usize,
+    /// Distinct MATs consuming the field without writing it.
+    pub reader_mats: usize,
+}
+
+/// The full state-access report of one workload, as `hermes audit
+/// --state-report --json` emits it. Field order is lexicographic, so the
+/// JSON is byte-reproducible and golden-diffable.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateReport {
+    /// The analysis mode the workload was analyzed under.
+    pub mode: String,
+    /// Per-field verdicts, sorted by field name.
+    pub fields: Vec<FieldReport>,
+    /// Count of fields classified.
+    pub total_fields: usize,
+    /// Count of fields with a relaxable verdict.
+    pub relaxable_fields: usize,
+    /// Edges of the merged TDG carrying a relaxed dependency type.
+    pub relaxed_edges: usize,
+    /// Total edges of the merged TDG.
+    pub total_edges: usize,
+}
+
+impl StateReport {
+    /// Deterministic pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the report contains no non-serializable values.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("state reports serialize")
+    }
+}
+
+/// Builds the state report for a workload: merges the per-program TDGs
+/// the way the deployment pipeline does (classification is a property of
+/// the final node set) and classifies every touched field.
+pub fn state_report(programs: &[Program], mode: AnalysisMode) -> StateReport {
+    let merged = merge_all(programs.iter().map(|p| Tdg::from_program(p, mode)).collect());
+    state_report_of_tdg(&merged)
+}
+
+/// [`state_report`] over an already-built (typically merged) TDG.
+pub fn state_report_of_tdg(tdg: &Tdg) -> StateReport {
+    let class = StateClassification::of_mats(tdg.nodes().iter().map(|n| &n.mat));
+    let fields: Vec<FieldReport> = class
+        .verdicts()
+        .map(|(f, e)| FieldReport {
+            field: f.name().to_owned(),
+            kind: if f.is_header() { "header".to_owned() } else { "metadata".to_owned() },
+            bytes: f.size_bytes(),
+            class: e.class.to_string(),
+            relaxable: e.class.is_relaxable(),
+            writer_mats: e.writer_mats,
+            reader_mats: e.reader_mats,
+        })
+        .collect();
+    let relaxable_fields = fields.iter().filter(|f| f.relaxable).count();
+    StateReport {
+        mode: format!("{:?}", tdg.mode()),
+        total_fields: fields.len(),
+        relaxable_fields,
+        relaxed_edges: tdg.edges().iter().filter(|e| e.dep.is_relaxed()).count(),
+        total_edges: tdg.edge_count(),
+        fields,
+    }
+}
+
+// ---------------------------------------------------------------------
+// HS5xx diagnostics.
+// ---------------------------------------------------------------------
+
+/// Re-renders a state report as `HS5xx` diagnostics: one per relaxable
+/// field, one per missed multi-writer field, plus the workload summary.
+pub fn state_diagnostics(report: &StateReport) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in &report.fields {
+        if f.class == StateClass::ReadMostlyReplicable.to_string() {
+            out.push(
+                Diagnostic::new(
+                    "HS501",
+                    Severity::Info,
+                    format!(
+                        "`{}` is read-mostly replicable ({} writer(s), {} reader(s))",
+                        f.field, f.writer_mats, f.reader_mats
+                    ),
+                )
+                .with_span(Span::field(&f.field))
+                .with_hint(
+                    "consumers may replicate the producer locally instead of shipping the value",
+                ),
+            );
+        } else if f.relaxable {
+            out.push(
+                Diagnostic::new(
+                    "HS502",
+                    Severity::Info,
+                    format!("`{}` admits commutative split accumulation ({})", f.field, f.class),
+                )
+                .with_span(Span::field(&f.field))
+                .with_hint(
+                    "each switch may fold into an identity-initialized partial; order is free",
+                ),
+            );
+        } else if f.kind == "metadata" && f.writer_mats >= 2 {
+            out.push(
+                Diagnostic::new(
+                    "HS503",
+                    Severity::Warning,
+                    format!(
+                        "`{}` has {} writers but stays single-writer ({})",
+                        f.field, f.writer_mats, f.class
+                    ),
+                )
+                .with_span(Span::field(&f.field))
+                .with_hint("mixed or non-commutative write ops serialize every writer pair; unify the fold kind"),
+            );
+        }
+    }
+    out.push(
+        Diagnostic::new(
+            "HS504",
+            Severity::Info,
+            format!(
+                "{} of {} fields relaxable; {} of {} dependency edges relaxed",
+                report.relaxable_fields,
+                report.total_fields,
+                report.relaxed_edges,
+                report.total_edges
+            ),
+        )
+        .with_hint("run with relaxation enabled to let solvers exploit the relaxable fields"),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hermes_dataplane::action::Action;
+    use hermes_dataplane::library;
+
+    /// Fast pass and oracle must agree field-for-field on a MAT set.
+    fn assert_oracle_agrees(mats: &[&Mat]) {
+        let fast = StateClassification::of_mats(mats.iter().copied());
+        let slow = oracle_classification(mats.iter().copied());
+        assert_eq!(fast.len(), slow.len(), "field sets diverge");
+        for (f, e) in fast.verdicts() {
+            assert_eq!(Some(&e.class), slow.get(f), "verdict diverges on `{}`", f.name());
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_on_real_programs() {
+        let programs = library::real_programs();
+        let mats: Vec<&Mat> = programs.iter().flat_map(|p| p.tables()).collect();
+        assert_oracle_agrees(&mats);
+    }
+
+    #[test]
+    fn oracle_agrees_on_aggregation_suite() {
+        for p in library::aggregation::all() {
+            let mats: Vec<&Mat> = p.tables().iter().collect();
+            assert_oracle_agrees(&mats);
+        }
+        // And on the whole suite composed, where cross-program writers can
+        // demote per-program verdicts.
+        let programs = library::aggregation::all();
+        let mats: Vec<&Mat> = programs.iter().flat_map(|p| p.tables()).collect();
+        assert_oracle_agrees(&mats);
+    }
+
+    #[test]
+    fn state_report_rows_are_sorted_and_counted() {
+        let report = state_report(&[library::aggregation::allreduce()], AnalysisMode::RelaxedState);
+        assert_eq!(report.total_fields, report.fields.len());
+        let names: Vec<&str> = report.fields.iter().map(|f| f.field.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "rows must come out in field order");
+        assert!(report.relaxable_fields >= 1, "{report:?}");
+        assert!(report.relaxed_edges >= 1, "{report:?}");
+        // The JSON round-trips.
+        let back: StateReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn conservative_report_relaxes_nothing() {
+        let report = state_report(&[library::aggregation::allreduce()], AnalysisMode::PaperLiteral);
+        assert_eq!(report.relaxed_edges, 0, "{report:?}");
+        // Verdicts are mode-independent; only edge relaxation is gated.
+        assert!(report.relaxable_fields >= 1);
+    }
+
+    #[test]
+    fn hs_codes_cover_the_report() {
+        let programs = library::aggregation::all();
+        let report = state_report(&programs, AnalysisMode::RelaxedState);
+        let diags = state_diagnostics(&report);
+        let codes: BTreeSet<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        // The suite exercises replication (replicated_config), commutative
+        // folds (allreduce/wordcount/telemetry), and a missed multi-writer
+        // field is not guaranteed — but the summary always is.
+        assert!(codes.contains("HS501"), "{codes:?}");
+        assert!(codes.contains("HS502"), "{codes:?}");
+        assert!(codes.contains("HS504"), "{codes:?}");
+        assert!(diags.iter().all(|d| d.severity != Severity::Error));
+    }
+
+    #[test]
+    fn hs503_fires_on_mixed_fold_kinds() {
+        use hermes_dataplane::mat::Mat;
+        let acc = Field::metadata("meta.sum", 4);
+        let src = Field::header("pkt.v", 4);
+        let mk = |name: &str, op: FoldOp| {
+            Mat::builder(name.to_owned())
+                .action(Action::new(format!("f_{name}")).with_op(PrimitiveOp::Fold {
+                    dst: acc.clone(),
+                    srcs: vec![src.clone()],
+                    op,
+                }))
+                .resource(0.1)
+                .build()
+                .unwrap()
+        };
+        let p = Program::builder("p")
+            .table(mk("a", FoldOp::Add))
+            .table(mk("b", FoldOp::Max))
+            .build()
+            .unwrap();
+        let report = state_report(&[p], AnalysisMode::RelaxedState);
+        let diags = state_diagnostics(&report);
+        assert!(diags.iter().any(|d| d.code == "HS503"), "{diags:?}");
+        assert_eq!(report.relaxed_edges, 0);
+    }
+}

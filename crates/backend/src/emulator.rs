@@ -19,7 +19,7 @@
 
 use crate::config::DeploymentArtifacts;
 use hermes_core::DeploymentPlan;
-use hermes_dataplane::action::PrimitiveOp;
+use hermes_dataplane::action::{FoldOp, PrimitiveOp};
 use hermes_dataplane::fields::Field;
 use hermes_dataplane::Mat;
 use hermes_net::SwitchId;
@@ -129,6 +129,25 @@ fn execute_mat(mat: &Mat, table_name: &str, pkt: &mut Packet, regs: &mut Registe
                 if let Some(out) = out {
                     pkt.set(out.clone(), value);
                 }
+            }
+            PrimitiveOp::Fold { dst, srcs, op } => {
+                // The per-packet contribution is a pure function of the
+                // sources; it combines into the accumulator through the
+                // actual monoid so that fold order is unobservable — the
+                // property the state-access relaxation relies on.
+                let contrib = srcs.iter().fold(0u64, |v, s| mix(v, pkt.get(s)));
+                let v = if pkt.fields().contains_key(dst) {
+                    let acc = pkt.get(dst);
+                    match op {
+                        FoldOp::Add => acc.wrapping_add(contrib),
+                        FoldOp::Max => acc.max(contrib),
+                        FoldOp::Min => acc.min(contrib),
+                        FoldOp::Or => acc | contrib,
+                    }
+                } else {
+                    contrib // monoid identity: first fold installs the value
+                };
+                pkt.set(dst.clone(), v);
             }
             PrimitiveOp::Drop => {
                 pkt.dropped = true;

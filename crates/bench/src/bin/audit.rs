@@ -24,8 +24,14 @@ use hermes_analysis::{audit_instance, dataflow_diagnostics, dataflow_reference};
 use hermes_bench::report::{maybe_json, Table};
 use hermes_bench::{analyze, workload};
 use hermes_core::test_support::{chain_tdg, tiny_switches};
-use hermes_core::{DeployError, Epsilon, Portfolio, SearchContext};
+use hermes_core::{
+    DeployError, DeploymentAlgorithm, Epsilon, GreedyHeuristic, Portfolio, ProgramAnalyzer,
+    SearchContext,
+};
+use hermes_dataplane::library::aggregation;
+use hermes_dataplane::Mat;
 use hermes_net::topology;
+use hermes_tdg::{AnalysisMode, StateClassification};
 use serde::Serialize;
 use std::time::{Duration, Instant};
 
@@ -67,10 +73,28 @@ struct CertRow {
 }
 
 #[derive(Serialize)]
+struct StateRow {
+    programs: usize,
+    fields: usize,
+    classify_fast_ms: f64,
+    classify_oracle_ms: f64,
+    classify_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct RelaxRow {
+    workload: String,
+    amax_conservative: u64,
+    amax_relaxed: u64,
+}
+
+#[derive(Serialize)]
 struct Report {
     reps: usize,
     workloads: Vec<WorkloadRow>,
     certificates: Vec<CertRow>,
+    state: Vec<StateRow>,
+    relaxation: Vec<RelaxRow>,
 }
 
 fn bench_workload(programs: usize) -> WorkloadRow {
@@ -103,6 +127,66 @@ fn bench_workload(programs: usize) -> WorkloadRow {
         dataflow_oracle_ms: oracle_ms.as_secs_f64() * 1000.0,
         dataflow_speedup: oracle_ms.as_secs_f64() / fast_ms.as_secs_f64().max(f64::EPSILON),
     }
+}
+
+/// Asserts fast-classifier/oracle agreement on `mats` and returns the
+/// field count.
+fn assert_classifier_agreement(mats: &[&Mat]) -> usize {
+    let fast = StateClassification::of_mats(mats.iter().copied());
+    let oracle = hermes_analysis::oracle_classification(mats.iter().copied());
+    assert_eq!(fast.len(), oracle.len(), "classified field sets diverge");
+    for (field, verdict) in &oracle {
+        assert_eq!(fast.class(field), *verdict, "verdict diverges on `{}`", field.name());
+    }
+    oracle.len()
+}
+
+fn bench_state(programs: usize) -> StateRow {
+    let progs = workload(programs);
+    let mats: Vec<&Mat> = progs.iter().flat_map(|p| p.tables()).collect();
+    let fields = assert_classifier_agreement(&mats);
+    let fast_ms = min_wall(|| {
+        std::hint::black_box(StateClassification::of_mats(mats.iter().copied()));
+    });
+    let oracle_ms = min_wall(|| {
+        std::hint::black_box(hermes_analysis::oracle_classification(mats.iter().copied()));
+    });
+    StateRow {
+        programs,
+        fields,
+        classify_fast_ms: fast_ms.as_secs_f64() * 1000.0,
+        classify_oracle_ms: oracle_ms.as_secs_f64() * 1000.0,
+        classify_speedup: oracle_ms.as_secs_f64() / fast_ms.as_secs_f64().max(f64::EPSILON),
+    }
+}
+
+/// Greedy `A_max` of the aggregation exemplars under the conservative and
+/// relaxed analysis modes — the headline the relaxation pays for.
+fn bench_relaxation() -> Vec<RelaxRow> {
+    let eps = Epsilon::loose();
+    [
+        // Two switches force the all-reduce workers apart; the full suite
+        // needs a third for its extra segments.
+        ("allreduce", vec![aggregation::allreduce()], 2),
+        ("aggregation suite", aggregation::all(), 3),
+    ]
+    .into_iter()
+    .map(|(name, programs, switches)| {
+        let net = topology::linear(switches, 10.0);
+        let amax = |mode: AnalysisMode| {
+            let tdg = ProgramAnalyzer::with_mode(mode).analyze(&programs);
+            let plan = GreedyHeuristic::new()
+                .deploy(&tdg, &net, &eps)
+                .unwrap_or_else(|e| panic!("{name} deploys greedily: {e}"));
+            plan.max_inter_switch_bytes(&tdg)
+        };
+        RelaxRow {
+            workload: name.to_owned(),
+            amax_conservative: amax(AnalysisMode::PaperLiteral),
+            amax_relaxed: amax(AnalysisMode::RelaxedState),
+        }
+    })
+    .collect()
 }
 
 /// Races the portfolio on a provably infeasible instance and reports how
@@ -189,6 +273,28 @@ fn smoke() {
     );
     assert!(!report.has_errors(), "library workload audit found errors: {report}");
 
+    // State-access classifier: fast pass ≡ oracle on the library, the
+    // synthetic extension, and the fold-heavy aggregation suite.
+    let mut state_fields = 0usize;
+    for programs in [1, 5, 10] {
+        let progs = workload(programs);
+        let mats: Vec<&Mat> = progs.iter().flat_map(|p| p.tables()).collect();
+        state_fields = state_fields.max(assert_classifier_agreement(&mats));
+    }
+    let agg = aggregation::all();
+    let agg_mats: Vec<&Mat> = agg.iter().flat_map(|p| p.tables()).collect();
+    state_fields = state_fields.max(assert_classifier_agreement(&agg_mats));
+
+    // Relaxation headline: strictly lower greedy A_max on the all-reduce.
+    let relax = bench_relaxation();
+    let allreduce = &relax[0];
+    assert!(
+        allreduce.amax_relaxed < allreduce.amax_conservative,
+        "relaxation must strictly lower A_max on allreduce ({} B vs {} B)",
+        allreduce.amax_relaxed,
+        allreduce.amax_conservative
+    );
+
     // Certificate fast-path: proven infeasible in < 1 % of the budget.
     let certs = bench_certificate();
     for c in &certs {
@@ -203,8 +309,11 @@ fn smoke() {
 
     println!(
         "{{\"equivalence_workloads\":{checked},\"library_audit_errors\":{},\
+         \"state_fields\":{state_fields},\"allreduce_amax\":[{},{}],\
          \"certificate_max_budget_fraction\":{:.6},\"ok\":true}}",
         report.summary.errors,
+        allreduce.amax_conservative,
+        allreduce.amax_relaxed,
         certs.iter().map(|c| c.budget_fraction).fold(0.0, f64::max)
     );
 }
@@ -219,6 +328,8 @@ fn main() {
         reps: REPS,
         workloads: [5, 10, 20, 40].into_iter().map(bench_workload).collect(),
         certificates: bench_certificate(),
+        state: [5, 10, 20, 40].into_iter().map(bench_state).collect(),
+        relaxation: bench_relaxation(),
     };
     if maybe_json(&report) {
         return;
@@ -260,4 +371,26 @@ fn main() {
         ]);
     }
     println!("(b) proven-infeasible fast-path vs search budget\n{}", c.render());
+
+    let mut s = Table::new(["programs", "fields", "fast ms", "oracle ms", "speedup"]);
+    for row in &report.state {
+        s.row([
+            row.programs.to_string(),
+            row.fields.to_string(),
+            format!("{:.3}", row.classify_fast_ms),
+            format!("{:.3}", row.classify_oracle_ms),
+            format!("{:.1}x", row.classify_speedup),
+        ]);
+    }
+    println!("(c) state-access classification cost by workload size\n{}", s.render());
+
+    let mut r = Table::new(["workload", "A_max conservative", "A_max relaxed"]);
+    for row in &report.relaxation {
+        r.row([
+            row.workload.clone(),
+            format!("{} B", row.amax_conservative),
+            format!("{} B", row.amax_relaxed),
+        ]);
+    }
+    println!("(d) greedy A_max, conservative vs relaxed analysis mode\n{}", r.render());
 }

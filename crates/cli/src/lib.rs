@@ -413,6 +413,11 @@ pub struct Options {
     /// Target spec (audit/deploy/migrate): retargets the topology's
     /// programmable switches before planning.
     pub target: Option<String>,
+    /// Attach the per-field state-access report (`HS5xx`) to the audit.
+    pub state_report: bool,
+    /// Analyze under [`hermes_tdg::AnalysisMode::RelaxedState`]: edges
+    /// justified only by replicable or commutative state are relaxed.
+    pub relax_state: bool,
 }
 
 impl Default for Options {
@@ -437,6 +442,8 @@ impl Default for Options {
             exclude: None,
             journal: None,
             target: None,
+            state_report: false,
+            relax_state: false,
         }
     }
 }
@@ -448,10 +455,11 @@ hermes — network-wide data plane program deployment
 USAGE:
   hermes analyze  <files…> [--dot]
   hermes audit    <files…> [--library] [--topology SPEC] [--target SPEC]
-                  [--eps1 US] [--eps2 N] [--json]
+                  [--eps1 US] [--eps2 N] [--state-report] [--relax-state]
+                  [--json]
   hermes deploy   <files…> [--topology SPEC] [--target SPEC] [--solver NAME]
                   [--eps1 US] [--eps2 N] [--time-limit SECS] [--threads N]
-                  [--json] [--journal PATH]
+                  [--relax-state] [--json] [--journal PATH]
   hermes simulate <files…> [--topology SPEC] [--solver NAME]
   hermes chaos    <files…> [--topology SPEC] [--solver NAME] [--seed N]
                   [--trials N] [--channel SPEC] [--eps1 US] [--eps2 N]
@@ -475,6 +483,15 @@ TARGET SPECS:    tofino  smartnic  soft
 `audit` runs the static workload audit (lints, TDG dataflow, dependency
 soundness) plus the pre-solve infeasibility bounds for the given topology
 and eps budget. Exit is nonzero iff an error-severity diagnostic fires.
+`--state-report` adds the per-field state-access classification
+(read-only / read-mostly-replicable / commutative-update / single-writer)
+and its HS5xx diagnostics to the report.
+
+`--relax-state` analyzes under the relaxed-state mode: dependency edges
+justified only by replicable or commutative state carry no ordering or
+routing obligation, which can strictly lower A_max on aggregation-style
+workloads. The plan verifier re-certifies every relaxed edge; the default
+mode is unchanged and byte-identical to prior releases.
 
 `migrate` installs plan A (--from-solver), plans a staged migration to
 plan B (--solver, or --exclude N to drain switch N), prints the schedule
@@ -584,11 +601,16 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
             "--dot" => options.dot = true,
             "--json" => options.json = true,
             "--library" => options.library = true,
+            "--state-report" => options.state_report = true,
+            "--relax-state" => options.relax_state = true,
             flag if flag.starts_with("--") => {
                 return Err(err(format!("unknown flag `{flag}`\n\n{USAGE}")))
             }
             file => options.files.push(file.to_owned()),
         }
+    }
+    if options.state_report && options.command != "audit" {
+        return Err(err(format!("--state-report is an audit flag\n\n{USAGE}")));
     }
     if options.command == "recover" {
         if options.journal.is_none() {
@@ -951,7 +973,12 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
         Vec::new()
     };
     programs.extend(load_programs(options)?);
-    let tdg = ProgramAnalyzer::new().analyze(&programs);
+    let mode = if options.relax_state {
+        hermes_tdg::AnalysisMode::RelaxedState
+    } else {
+        hermes_tdg::AnalysisMode::PaperLiteral
+    };
+    let tdg = ProgramAnalyzer::with_mode(mode).analyze(&programs);
 
     match options.command.as_str() {
         "analyze" => {
@@ -973,12 +1000,14 @@ pub fn run(options: &Options, out: &mut dyn std::io::Write) -> Result<(), CliErr
         "audit" => {
             let net = parse_network(options)?;
             let eps = Epsilon::new(options.eps1, options.eps2);
-            let report = hermes_analysis::audit_instance(
-                &programs,
-                &net,
-                &eps,
-                hermes_tdg::AnalysisMode::PaperLiteral,
-            );
+            let mut report = hermes_analysis::audit_instance(&programs, &net, &eps, mode);
+            if options.state_report {
+                let state = hermes_analysis::state_report(&programs, mode);
+                let mut diags = report.diagnostics;
+                diags.extend(hermes_analysis::state_diagnostics(&state));
+                report =
+                    hermes_analysis::AuditReport::new(diags, report.certificates).with_state(state);
+            }
             if options.json {
                 writeln!(out, "{}", report.to_json()).map_err(io)?;
             } else {
@@ -1505,6 +1534,87 @@ mod tests {
         assert!(parse_args(&args(&["audit"])).is_err());
         // ...and --library does not excuse other commands from them.
         assert!(parse_args(&args(&["deploy", "--library"])).is_err());
+    }
+
+    #[test]
+    fn state_report_flags_parse_and_bind_to_audit() {
+        let options =
+            parse_args(&args(&["audit", "--library", "--state-report", "--relax-state"])).unwrap();
+        assert!(options.state_report);
+        assert!(options.relax_state);
+        // Defaults are off.
+        let options = parse_args(&args(&["audit", "--library"])).unwrap();
+        assert!(!options.state_report && !options.relax_state);
+        // --state-report is audit-only; --relax-state also drives deploy.
+        let e = parse_args(&args(&["deploy", "a.p4dsl", "--state-report"])).unwrap_err();
+        assert!(e.0.contains("--state-report is an audit flag"), "{e}");
+        assert!(parse_args(&args(&["deploy", "a.p4dsl", "--relax-state"])).unwrap().relax_state);
+        assert!(USAGE.contains("--state-report"), "usage must document --state-report");
+        assert!(USAGE.contains("--relax-state"), "usage must document --relax-state");
+    }
+
+    #[test]
+    fn audit_state_report_emits_hs_codes_and_field_rows() {
+        let options = parse_args(&args(&["audit", "--library", "--state-report"])).unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("HS504"), "summary diagnostic must fire: {text}");
+        assert!(text.contains("fields relaxable"), "{text}");
+        assert!(text.contains("state: "), "per-field rows must print: {text}");
+        // Conservative mode relaxes no edges even when fields qualify.
+        assert!(text.contains("0 of"), "{text}");
+
+        // JSON mode embeds the report and stays parseable.
+        let options = Options { json: true, ..options };
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"state\""), "{text}");
+        assert!(text.contains("\"HS504\""), "{text}");
+        let report: hermes_analysis::AuditReport = serde_json::from_str(&text).unwrap();
+        assert!(report.state.is_some());
+
+        // Without the flag the JSON omits the key entirely.
+        let options = parse_args(&args(&["audit", "--library", "--json"])).unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("\"state\""), "{text}");
+    }
+
+    #[test]
+    fn relax_state_audit_counts_relaxed_edges_on_aggregation_workloads() {
+        let dir = std::env::temp_dir().join("hermes-cli-relax-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("agg.p4dsl");
+        std::fs::write(
+            &file,
+            r#"
+            program agg {
+                header pkt.v: 4;
+                metadata meta.acc: 4;
+                table w0 { actions { fold0 { meta.acc = fold_add(pkt.v); } } resource 0.2; }
+                table w1 { actions { fold1 { meta.acc = fold_add(pkt.v); } } resource 0.3; }
+            }
+            "#,
+        )
+        .unwrap();
+        let options = parse_args(&args(&[
+            "audit",
+            file.to_str().unwrap(),
+            "--state-report",
+            "--relax-state",
+            "--topology",
+            "linear:2",
+        ]))
+        .unwrap();
+        let mut out = Vec::new();
+        run(&options, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("commutative-update(add)"), "{text}");
+        assert!(text.contains("HS502"), "{text}");
+        assert!(text.contains("1 of 1 dependency edges relaxed"), "{text}");
     }
 
     #[test]

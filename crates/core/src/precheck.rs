@@ -126,6 +126,16 @@ pub enum Certificate {
         /// Human-readable witness of the mandatory cut.
         witness: String,
     },
+    /// Informational: the TDG carries state-access relaxations, so some
+    /// edges were exempted from the chain and cut bounds above. Not an
+    /// infeasibility — it records that the instance was prechecked under
+    /// relaxed semantics and the verifier must certify every relaxed edge.
+    RelaxationApplied {
+        /// Number of relaxed edges in the TDG.
+        relaxed_edges: usize,
+        /// Total edge count, for scale.
+        total_edges: usize,
+    },
 }
 
 impl Certificate {
@@ -141,13 +151,15 @@ impl Certificate {
             Certificate::AmaxFloor { .. } => "HC307",
             Certificate::MatExceedsTargetBudget { .. } => "HC308",
             Certificate::BudgetedCapacityInsufficient { .. } => "HC309",
+            Certificate::RelaxationApplied { .. } => "HC310",
         }
     }
 
     /// `true` when this certificate proves the instance has no feasible
-    /// plan (everything except the `AmaxFloor` objective bound).
+    /// plan (everything except the `AmaxFloor` objective bound and the
+    /// informational `RelaxationApplied` notice).
     pub fn is_infeasible(&self) -> bool {
-        !matches!(self, Certificate::AmaxFloor { .. })
+        !matches!(self, Certificate::AmaxFloor { .. } | Certificate::RelaxationApplied { .. })
     }
 }
 
@@ -179,6 +191,11 @@ impl fmt::Display for Certificate {
             Certificate::AmaxFloor { bytes, witness } => {
                 write!(f, "A_max >= {bytes} B in every feasible plan ({witness})")
             }
+            Certificate::RelaxationApplied { relaxed_edges, total_edges } => write!(
+                f,
+                "{relaxed_edges} of {total_edges} dependency edges relaxed by state-access \
+                 analysis; bounds exempt them and the verifier must certify each"
+            ),
             Certificate::MatExceedsTargetBudget { mat, resource, max_capacity, max_pipeline } => {
                 write!(
                     f,
@@ -323,12 +340,18 @@ impl Precheck {
 
         // Pairwise bound: an edge whose endpoints cannot share even the
         // largest switch must cross in every plan, so its bytes floor
-        // A_max directly.
+        // A_max directly. Relaxed edges still force a second switch when
+        // their endpoints cannot co-reside (that part is pure resource
+        // arithmetic) but they mandate no route and carry no bytes, so
+        // they never raise the route count or the A_max floor.
         for e in tdg.edges() {
             let (a, b) = (tdg.node(e.from), tdg.node(e.to));
             if a.mat.resource() + b.mat.resource() > cap_max + TOL {
-                route_needed = true;
                 needed = needed.max(2);
+                if e.dep.is_relaxed() {
+                    continue;
+                }
+                route_needed = true;
                 if u64::from(e.bytes) > amax_floor {
                     amax_floor = u64::from(e.bytes);
                     witness = format!(
@@ -351,8 +374,9 @@ impl Precheck {
         // (distinct, programmable) endpoint switches plus one link. A
         // weakly connected TDG spread over `needed` switches crosses at
         // least `needed - 1` distinct switch pairs.
+        let strict_edges = tdg.edge_count() - relaxed_edge_count(tdg);
         let mut min_routes = usize::from(route_needed);
-        if needed >= 2 && tdg.edge_count() > 0 && weakly_connected(tdg) {
+        if needed >= 2 && strict_edges > 0 && weakly_connected(tdg) {
             min_routes = min_routes.max(needed - 1);
         }
         if min_routes > 0 && eps.max_latency_us.is_finite() {
@@ -382,6 +406,14 @@ impl Precheck {
             certs.push(Certificate::AmaxFloor { bytes: amax_floor, witness });
         }
 
+        let relaxed_edges = relaxed_edge_count(tdg);
+        if relaxed_edges > 0 {
+            certs.push(Certificate::RelaxationApplied {
+                relaxed_edges,
+                total_edges: tdg.edge_count(),
+            });
+        }
+
         // Deterministic presentation: infeasibility certificates first
         // (stable within each class by construction order above).
         certs.sort_by_key(|c| usize::from(!c.is_infeasible()));
@@ -408,7 +440,9 @@ impl Precheck {
 
 /// Longest path in the DAG by node count, with one witness path.
 /// `None` when the graph is cyclic (the audit reports that separately;
-/// no chain bound is emitted then).
+/// no chain bound is emitted then). Relaxed edges impose no Eq. 8 stage
+/// ordering, so they do not extend chains — a relaxed dependency between
+/// co-resident MATs never forces an extra pipeline stage.
 fn longest_chain(tdg: &Tdg) -> Option<(usize, Vec<NodeId>)> {
     let order = tdg.topo_order()?;
     let n = tdg.node_count();
@@ -417,6 +451,9 @@ fn longest_chain(tdg: &Tdg) -> Option<(usize, Vec<NodeId>)> {
     let mut pred: Vec<Option<NodeId>> = vec![None; n];
     for &u in &order {
         for e in tdg.out_edges(u) {
+            if e.dep.is_relaxed() {
+                continue;
+            }
             let v = e.to;
             if dist[u.index()] + 1 > dist[v.index()] {
                 dist[v.index()] = dist[u.index()] + 1;
@@ -439,7 +476,7 @@ fn chain_bottleneck(tdg: &Tdg, path: &[NodeId]) -> Option<u64> {
     path.windows(2)
         .map(|w| {
             tdg.out_edges(w[0])
-                .filter(|e| e.to == w[1])
+                .filter(|e| e.to == w[1] && !e.dep.is_relaxed())
                 .map(|e| u64::from(e.bytes))
                 .max()
                 .unwrap_or(0)
@@ -447,7 +484,16 @@ fn chain_bottleneck(tdg: &Tdg, path: &[NodeId]) -> Option<u64> {
         .min()
 }
 
-/// Undirected connectivity of the dependency graph.
+/// Number of edges carrying a relaxed dependency type.
+fn relaxed_edge_count(tdg: &Tdg) -> usize {
+    tdg.edges().iter().filter(|e| e.dep.is_relaxed()).count()
+}
+
+/// Undirected connectivity of the dependency graph over *strict* edges
+/// only. Relaxed edges mandate no route, so a graph held together solely
+/// by them can legally split across switches without paying any
+/// coordination latency — counting them here would make the latency
+/// floor unsound.
 fn weakly_connected(tdg: &Tdg) -> bool {
     let n = tdg.node_count();
     if n == 0 {
@@ -455,6 +501,9 @@ fn weakly_connected(tdg: &Tdg) -> bool {
     }
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for e in tdg.edges() {
+        if e.dep.is_relaxed() {
+            continue;
+        }
         adj[e.from.index()].push(e.to.index());
         adj[e.to.index()].push(e.from.index());
     }
@@ -575,6 +624,93 @@ mod tests {
         let net = topology::linear(3, 10.0);
         let pre = Precheck::run(&tdg, &net, &Epsilon::loose());
         assert!(pre.infeasible().is_none(), "{:?}", pre.certificates);
+    }
+
+    #[test]
+    fn relaxed_chain_is_exempt_from_split_bounds() {
+        use hermes_dataplane::action::{Action, FoldOp, PrimitiveOp};
+        use hermes_dataplane::fields::Field;
+        use hermes_dataplane::mat::Mat;
+        use hermes_tdg::{AnalysisMode, DependencyType};
+
+        // Strict baseline: a 5-MAT chain exceeds the only switch's 2-stage
+        // pipeline, so the split it forces cannot be hosted.
+        let strict = chain_tdg(&[4, 4, 4, 4], 0.1);
+        let net = tiny_switches(1, 2, 0.5);
+        let pre = Precheck::run(&strict, &net, &Epsilon::loose());
+        assert!(pre.infeasible().is_some());
+
+        // Relaxed: the same shape over one commutative fold accumulator
+        // mandates neither stage ordering nor routes — one switch suffices
+        // and no A_max floor survives.
+        let acc = Field::metadata("acc", 4);
+        let src = Field::header("v", 4);
+        let mats: Vec<(String, Mat)> = (0..5)
+            .map(|i| {
+                let mat = Mat::builder(format!("f{i}"))
+                    .resource(0.1)
+                    .capacity(8 + i)
+                    .action(Action::new(format!("fold{i}")).with_op(PrimitiveOp::Fold {
+                        dst: acc.clone(),
+                        srcs: vec![src.clone()],
+                        op: FoldOp::Add,
+                    }))
+                    .build()
+                    .unwrap();
+                (format!("p.f{i}"), mat)
+            })
+            .collect();
+        let edges = (0..4).map(|i| (i, i + 1, DependencyType::RelaxedMatch)).collect();
+        let relaxed = Tdg::from_mats_and_edges(mats, edges, AnalysisMode::RelaxedState);
+        let pre = Precheck::run(&relaxed, &net, &Epsilon::loose());
+        assert!(pre.infeasible().is_none(), "{:?}", pre.certificates);
+        assert_eq!(pre.amax_floor(), 0);
+        let notice = pre
+            .certificates
+            .iter()
+            .find(|c| matches!(c, Certificate::RelaxationApplied { .. }))
+            .expect("HC310 notice");
+        assert_eq!(notice.code(), "HC310");
+        assert!(!notice.is_infeasible());
+    }
+
+    #[test]
+    fn relaxed_pair_still_counts_toward_switch_floor() {
+        use hermes_dataplane::action::{Action, FoldOp, PrimitiveOp};
+        use hermes_dataplane::fields::Field;
+        use hermes_dataplane::mat::Mat;
+        use hermes_tdg::{AnalysisMode, DependencyType};
+
+        // Two 0.7-unit folders cannot share a 1.0-capacity switch. The
+        // relaxed edge waives the route (no A_max floor) but the resource
+        // arithmetic still needs two switches, so eps2 = 1 is infeasible.
+        let acc = Field::metadata("acc", 4);
+        let src = Field::header("v", 4);
+        let mats: Vec<(String, Mat)> = (0..2)
+            .map(|i| {
+                let mat = Mat::builder(format!("f{i}"))
+                    .resource(0.7)
+                    .capacity(8 + i)
+                    .action(Action::new(format!("fold{i}")).with_op(PrimitiveOp::Fold {
+                        dst: acc.clone(),
+                        srcs: vec![src.clone()],
+                        op: FoldOp::Add,
+                    }))
+                    .build()
+                    .unwrap();
+                (format!("p.f{i}"), mat)
+            })
+            .collect();
+        let edges = vec![(0, 1, DependencyType::RelaxedMatch)];
+        let tdg = Tdg::from_mats_and_edges(mats, edges, AnalysisMode::RelaxedState);
+        let net = tiny_switches(2, 2, 0.5);
+        let eps = Epsilon::new(f64::INFINITY, 1);
+        let pre = Precheck::run(&tdg, &net, &eps);
+        assert!(matches!(
+            pre.infeasible(),
+            Some(Certificate::SwitchFloorExceedsBound { needed: 2, bound: 1 })
+        ));
+        assert_eq!(pre.amax_floor(), 0);
     }
 
     #[test]

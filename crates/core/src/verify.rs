@@ -9,7 +9,7 @@
 
 use crate::deployment::{DeploymentPlan, Epsilon};
 use hermes_net::{Network, SwitchId};
-use hermes_tdg::Tdg;
+use hermes_tdg::{relaxed_type, StateClassification, Tdg};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -115,6 +115,18 @@ pub enum Violation {
         /// The switch's total-resource budget.
         budget: f64,
     },
+    /// An edge claims a relaxed dependency type that the state-access
+    /// classifier, re-run from scratch over the final node set, does not
+    /// certify. Relaxed edges waive Eq. 7 routing and Eq. 8 ordering, so
+    /// an uncertified relaxation would silently drop real constraints.
+    UncertifiedRelaxation {
+        /// Upstream MAT.
+        upstream: String,
+        /// Downstream MAT.
+        downstream: String,
+        /// The relaxed type the edge claims (display form).
+        claimed: String,
+    },
 }
 
 impl Violation {
@@ -135,6 +147,7 @@ impl Violation {
             Violation::LatencyBound { .. } => "HV411",
             Violation::SwitchBound { .. } => "HV412",
             Violation::TargetBudgetExceeded { .. } => "HV413",
+            Violation::UncertifiedRelaxation { .. } => "HV414",
         }
     }
 }
@@ -180,6 +193,11 @@ impl fmt::Display for Violation {
             Violation::TargetBudgetExceeded { switch, used, budget } => {
                 write!(f, "`{switch}` holds {used:.3} units against a total budget of {budget:.3}")
             }
+            Violation::UncertifiedRelaxation { upstream, downstream, claimed } => write!(
+                f,
+                "`{upstream}` -> `{downstream}` claims `{claimed}` but the state-access \
+                 classifier does not certify the relaxation"
+            ),
         }
     }
 }
@@ -255,7 +273,13 @@ pub fn verify(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) ->
     }
 
     // Edge deployment (Eq. 7 across switches, Eq. 8 within a switch).
+    // Relaxed edges waive both: replicable and commutative state needs
+    // neither a metadata route nor stage ordering. Whether each relaxation
+    // is actually justified is certified separately below.
     for e in tdg.edges() {
+        if e.dep.is_relaxed() {
+            continue;
+        }
         let (Some(u), Some(v)) = (host[e.from.index()], host[e.to.index()]) else {
             continue; // unplaced endpoints already reported
         };
@@ -323,6 +347,28 @@ pub fn verify(tdg: &Tdg, net: &Network, plan: &DeploymentPlan, eps: &Epsilon) ->
                 used,
                 budget,
             });
+        }
+    }
+
+    // Relaxation certification: an edge may carry a relaxed type only if
+    // the state-access classifier, recomputed from scratch over the final
+    // node set, would grant exactly that relaxation. This catches both
+    // hand-crafted unsound relaxations and stale ones that survived a
+    // merge which introduced a conflicting writer.
+    if tdg.edges().iter().any(|e| e.dep.is_relaxed()) {
+        let class = StateClassification::of_mats(tdg.nodes().iter().map(|n| &n.mat));
+        for e in tdg.edges() {
+            if !e.dep.is_relaxed() {
+                continue;
+            }
+            let (a, b) = (tdg.node(e.from), tdg.node(e.to));
+            if relaxed_type(&a.mat, &b.mat, e.dep, &class) != Some(e.dep) {
+                out.push(Violation::UncertifiedRelaxation {
+                    upstream: a.name.clone(),
+                    downstream: b.name.clone(),
+                    claimed: e.dep.to_string(),
+                });
+            }
         }
     }
 
@@ -468,6 +514,96 @@ mod tests {
         net.switch_mut(s).total_budget = f64::INFINITY;
         let clean = verify(&tdg, &net, &plan, &Epsilon::loose());
         assert!(!clean.iter().any(|v| matches!(v, Violation::TargetBudgetExceeded { .. })));
+    }
+
+    fn fold_mat(name: &str, capacity: usize) -> hermes_dataplane::mat::Mat {
+        use hermes_dataplane::action::{Action, FoldOp, PrimitiveOp};
+        use hermes_dataplane::fields::Field;
+        hermes_dataplane::mat::Mat::builder(name)
+            .resource(0.2)
+            .capacity(capacity)
+            .action(Action::new(format!("fold_{name}")).with_op(PrimitiveOp::Fold {
+                dst: Field::metadata("acc", 4),
+                srcs: vec![Field::header("v", 4)],
+                op: FoldOp::Add,
+            }))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn certified_relaxed_edge_waives_route_and_order() {
+        use hermes_tdg::DependencyType;
+        // Two commutative folders of one accumulator: the relaxed edge is
+        // certified, so placing them on separate switches with no route —
+        // and in reversed stage order — is still a valid plan.
+        let tdg = Tdg::from_mats_and_edges(
+            vec![("p.f0".into(), fold_mat("f0", 8)), ("p.f1".into(), fold_mat("f1", 16))],
+            vec![(0, 1, DependencyType::RelaxedMatch)],
+            AnalysisMode::RelaxedState,
+        );
+        let net = topology::linear(2, 10.0);
+        let switches: Vec<_> = net.switch_ids().collect();
+        let ids: Vec<_> = tdg.node_ids().collect();
+        let mut plan = DeploymentPlan::new();
+        for (i, &id) in ids.iter().enumerate() {
+            plan.place(StagePlacement {
+                node: id,
+                switch: switches[i],
+                stage: 0,
+                fraction: tdg.node(id).mat.resource(),
+            });
+        }
+        let violations = verify(&tdg, &net, &plan, &Epsilon::loose());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn uncertified_relaxation_rejected() {
+        use hermes_dataplane::action::Action;
+        use hermes_dataplane::fields::Field;
+        use hermes_dataplane::mat::{Mat, MatchKind};
+        use hermes_tdg::DependencyType;
+        // A plain setter feeding a matcher is SingleWriter state; claiming
+        // a relaxed match on that edge must be flagged even though the
+        // placement itself is otherwise legal.
+        let writer = Mat::builder("w")
+            .resource(0.2)
+            .action(Action::writing("set", vec![Field::metadata("x", 4)]))
+            .build()
+            .unwrap();
+        let reader = Mat::builder("r")
+            .resource(0.2)
+            .match_field(Field::metadata("x", 4), MatchKind::Exact)
+            .action(Action::writing("nop", vec![]))
+            .build()
+            .unwrap();
+        let tdg = Tdg::from_mats_and_edges(
+            vec![("p.w".into(), writer), ("p.r".into(), reader)],
+            vec![(0, 1, DependencyType::RelaxedMatch)],
+            AnalysisMode::RelaxedState,
+        );
+        let net = topology::linear(1, 10.0);
+        let s = net.switch_ids().next().unwrap();
+        let mut plan = DeploymentPlan::new();
+        for (i, id) in tdg.node_ids().enumerate() {
+            plan.place(StagePlacement {
+                node: id,
+                switch: s,
+                stage: i,
+                fraction: tdg.node(id).mat.resource(),
+            });
+        }
+        let violations = verify(&tdg, &net, &plan, &Epsilon::loose());
+        let bad = violations
+            .iter()
+            .find(|v| matches!(v, Violation::UncertifiedRelaxation { .. }))
+            .expect("HV414 violation");
+        assert_eq!(bad.code(), "HV414");
+        // No stage-order or route complaints: the relaxed edge is exempt
+        // from Eq. 7/8 either way; only the certification fails.
+        assert!(!violations.iter().any(|v| matches!(v, Violation::StageOrder { .. })));
+        assert!(!violations.iter().any(|v| matches!(v, Violation::MissingRoute { .. })));
     }
 
     #[test]

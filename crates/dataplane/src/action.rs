@@ -11,10 +11,65 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
+/// The combining operator of a [`PrimitiveOp::Fold`]: a commutative,
+/// associative binary operation with an identity element.
+///
+/// These four are exactly the operators whose algebra makes split
+/// accumulation sound: partial folds computed independently (each starting
+/// from the identity) can be combined in any order and any grouping and
+/// still yield the value a single serialized accumulator would have
+/// produced. That algebraic fact is what the state-access classification
+/// pass proves and what the `RelaxedState` TDG mode exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FoldOp {
+    /// `dst += f(srcs)` — identity 0.
+    Add,
+    /// `dst = max(dst, f(srcs))` — identity the type minimum.
+    Max,
+    /// `dst = min(dst, f(srcs))` — identity the type maximum.
+    Min,
+    /// `dst |= f(srcs)` — identity 0 (bitwise union).
+    Or,
+}
+
+impl FoldOp {
+    /// Stable lower-case name used by the p4dsl surface syntax
+    /// (`fold_add`, `fold_max`, ...) and the state report.
+    pub fn name(self) -> &'static str {
+        match self {
+            FoldOp::Add => "add",
+            FoldOp::Max => "max",
+            FoldOp::Min => "min",
+            FoldOp::Or => "or",
+        }
+    }
+
+    /// Op-algebra table: whether interleaved applications of `self` and
+    /// `other` to one accumulator commute. Each fold kind commutes with
+    /// itself (commutative + associative over its identity monoid); mixed
+    /// kinds do not (`max` then `+1` differs from `+1` then `max`).
+    pub fn commutes_with(self, other: FoldOp) -> bool {
+        self == other
+    }
+
+    /// All fold kinds, in `Ord` order (useful for exhaustive tables).
+    pub const ALL: [FoldOp; 4] = [FoldOp::Add, FoldOp::Max, FoldOp::Min, FoldOp::Or];
+}
+
+impl fmt::Display for FoldOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A primitive operation inside an action body.
 ///
 /// The operands let callers express realistic actions; dependency analysis
 /// only consumes the derived read/write sets.
+///
+/// New variants are appended at the end: the derived `Ord` (which drives
+/// MAT signatures and merge folding) and the serde wire form of existing
+/// variants must stay stable across releases.
 #[allow(missing_docs)] // variant fields are self-describing operands
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum PrimitiveOp {
@@ -33,6 +88,12 @@ pub enum PrimitiveOp {
     Drop,
     /// Send the packet to an output port held in `port`.
     Forward { port: Field },
+    /// `dst = op(dst, f(srcs...))` — accumulate into `dst` with a
+    /// commutative-associative combiner. Reads `srcs` *and* `dst` (it is a
+    /// read-modify-write), writes `dst`. The declared [`FoldOp`] is the
+    /// evidence the state-access pass consumes to prove the accumulator
+    /// `CommutativeUpdate`.
+    Fold { dst: Field, srcs: Vec<Field>, op: FoldOp },
 }
 
 impl PrimitiveOp {
@@ -46,6 +107,7 @@ impl PrimitiveOp {
             PrimitiveOp::RegisterOp { out, .. } => out.iter().collect(),
             PrimitiveOp::Drop => Vec::new(),
             PrimitiveOp::Forward { port } => vec![port],
+            PrimitiveOp::Fold { dst, .. } => vec![dst],
         }
     }
 
@@ -59,12 +121,47 @@ impl PrimitiveOp {
             }
             PrimitiveOp::RegisterOp { index, .. } => vec![index],
             PrimitiveOp::Forward { port } => vec![port],
+            // A fold is a read-modify-write: the accumulator is read too.
+            PrimitiveOp::Fold { dst, srcs, .. } => {
+                srcs.iter().chain(std::iter::once(dst)).collect()
+            }
         }
     }
 
     /// `true` for operations that touch stateful switch memory.
     pub fn is_stateful(&self) -> bool {
         matches!(self, PrimitiveOp::RegisterOp { .. })
+    }
+
+    /// The fold operator, for fold operations.
+    pub fn fold_op(&self) -> Option<FoldOp> {
+        match self {
+            PrimitiveOp::Fold { op, .. } => Some(*op),
+            _ => None,
+        }
+    }
+
+    /// `true` if every write this operation performs is *idempotent*:
+    /// re-executing it (or executing a replica concurrently) yields the
+    /// same final value because the written value does not depend on the
+    /// destination's prior contents. This is the per-op evidence behind
+    /// the `ReadMostlyReplicable` verdict.
+    pub fn writes_are_idempotent(&self) -> bool {
+        match self {
+            PrimitiveOp::Drop => true,
+            PrimitiveOp::SetConst { .. } | PrimitiveOp::Copy { .. } | PrimitiveOp::Hash { .. } => {
+                true
+            }
+            // A compute is idempotent unless it reads its own destination
+            // (e.g. `ttl = ttl - 1` is not; `v = f(a, b)` is).
+            PrimitiveOp::Compute { dst, srcs } => !srcs.contains(dst),
+            // Register read-modify-write and the exported old value are
+            // order-sensitive by definition.
+            PrimitiveOp::RegisterOp { .. } => false,
+            PrimitiveOp::Forward { port: _ } => true,
+            // A fold reads its accumulator; never idempotent.
+            PrimitiveOp::Fold { .. } => false,
+        }
     }
 }
 
@@ -198,6 +295,45 @@ mod tests {
         assert_eq!(act.alu_ops(), 0);
         assert!(act.writes().is_empty());
         assert!(act.reads().is_empty());
+    }
+
+    #[test]
+    fn fold_reads_accumulator_and_sources() {
+        let acc = Field::metadata("meta.sum", 4);
+        let src = headers::ipv4_src();
+        let op = PrimitiveOp::Fold { dst: acc.clone(), srcs: vec![src.clone()], op: FoldOp::Add };
+        assert_eq!(op.writes(), vec![&acc]);
+        assert!(op.reads().contains(&&acc), "fold is a read-modify-write");
+        assert!(op.reads().contains(&&src));
+        assert!(!op.is_stateful());
+        assert!(!op.writes_are_idempotent());
+        assert_eq!(op.fold_op(), Some(FoldOp::Add));
+    }
+
+    #[test]
+    fn fold_algebra_commutes_only_with_itself() {
+        for a in FoldOp::ALL {
+            for b in FoldOp::ALL {
+                assert_eq!(a.commutes_with(b), a == b, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn idempotence_table() {
+        let f = idx();
+        assert!(PrimitiveOp::SetConst { dst: f.clone() }.writes_are_idempotent());
+        assert!(
+            PrimitiveOp::Copy { dst: f.clone(), src: headers::ipv4_src() }.writes_are_idempotent()
+        );
+        assert!(PrimitiveOp::Compute { dst: f.clone(), srcs: vec![headers::ipv4_src()] }
+            .writes_are_idempotent());
+        // Self-referential compute (ttl = ttl - 1) is not idempotent.
+        assert!(
+            !PrimitiveOp::Compute { dst: f.clone(), srcs: vec![f.clone()] }.writes_are_idempotent()
+        );
+        assert!(!PrimitiveOp::RegisterOp { index: f.clone(), out: Some(f.clone()) }
+            .writes_are_idempotent());
     }
 
     #[test]

@@ -358,6 +358,198 @@ pub fn real_programs() -> Vec<Program> {
     ]
 }
 
+/// In-network compute workloads: P4COM-style aggregation and
+/// map/reduce-on-switch programs whose state accesses exercise every point
+/// of the state-access lattice (`ReadOnly`, `ReadMostlyReplicable`,
+/// `CommutativeUpdate`, `SingleWriter`). These are the workloads whose
+/// placements the `RelaxedState` TDG mode is allowed to improve.
+pub mod aggregation {
+    use super::*;
+    use crate::action::FoldOp;
+
+    /// All-reduce aggregation (P4COM style): three heavy worker stages each
+    /// fold their rank's contribution (a header field, so `ReadOnly`) into
+    /// one shared sum with `fold_add` — a `CommutativeUpdate` accumulator —
+    /// and an emit stage consumes the total. Worker→worker dependencies
+    /// exist only through the accumulator, so they are exactly the edges
+    /// relaxation may drop; worker→emit edges must keep their bytes.
+    pub fn allreduce() -> Program {
+        let val = Field::header("pkt.val", 4);
+        let sum = Field::metadata("meta.agg_sum", 4);
+        // Rank-specific action names keep the workers structurally
+        // distinct: they aggregate different ranks' traffic, so the TDG
+        // merge must not fold them into one MAT.
+        let worker = |i: usize| {
+            expect(
+                Mat::builder(format!("agg_rank{i}"))
+                    .action(Action::new(format!("accumulate_rank{i}")).with_op(PrimitiveOp::Fold {
+                        dst: sum.clone(),
+                        srcs: vec![val.clone()],
+                        op: FoldOp::Add,
+                    }))
+                    .capacity(16)
+                    .resource(5.0),
+            )
+        };
+        let emit = expect(
+            Mat::builder("agg_emit")
+                .action(
+                    Action::new("report")
+                        .with_op(PrimitiveOp::Compute {
+                            dst: Field::header("pkt.result", 4),
+                            srcs: vec![sum.clone()],
+                        })
+                        .with_op(PrimitiveOp::Forward {
+                            port: Field::metadata("meta.agg_port", 2),
+                        }),
+                )
+                .capacity(4)
+                .resource(0.6),
+        );
+        Program::builder("allreduce")
+            .table(worker(0))
+            .table(worker(1))
+            .table(worker(2))
+            .table(emit)
+            .build()
+            .expect("static program")
+    }
+
+    /// Map/reduce word count on switch: a replicable hash stage keys the
+    /// packet (`ReadMostlyReplicable` once merged with its consumers),
+    /// two map stages `fold_add` per-key counts (`CommutativeUpdate`),
+    /// and a reduce stage reads the count.
+    pub fn wordcount() -> Program {
+        let key = Field::metadata("meta.wc_key", 4);
+        let count = Field::metadata("meta.wc_count", 4);
+        let hash = expect(
+            Mat::builder("wc_hash")
+                .action(Action::new("key").with_op(PrimitiveOp::Hash {
+                    dst: key.clone(),
+                    srcs: vec![headers::ipv4_src(), headers::ipv4_dst()],
+                }))
+                .capacity(1)
+                .resource(0.4),
+        );
+        let map = |i: usize| {
+            expect(
+                Mat::builder(format!("wc_map{i}"))
+                    .match_field(key.clone(), MatchKind::Exact)
+                    .action(Action::new(format!("count{i}")).with_op(PrimitiveOp::Fold {
+                        dst: count.clone(),
+                        srcs: vec![Field::header("pkt.tokens", 2)],
+                        op: FoldOp::Add,
+                    }))
+                    .capacity(1024)
+                    .resource(2.0),
+            )
+        };
+        let reduce = expect(
+            Mat::builder("wc_reduce")
+                .action(Action::new("emit").with_op(PrimitiveOp::Compute {
+                    dst: Field::header("pkt.wc_out", 4),
+                    srcs: vec![count.clone()],
+                }))
+                .capacity(4)
+                .resource(0.6),
+        );
+        Program::builder("wordcount")
+            .table(hash)
+            .table(map(0))
+            .table(map(1))
+            .table(reduce)
+            .build()
+            .expect("static program")
+    }
+
+    /// Network-wide peak telemetry: transit stages `fold_max` the observed
+    /// queue depth (`CommutativeUpdate` via max), while an EWMA stage keeps
+    /// a self-referential smoothed value — `meta.tm_ewma = f(meta.tm_ewma,
+    /// depth)` is order-sensitive and stays `SingleWriter`.
+    pub fn telemetry_max() -> Program {
+        let depth = Field::header("pkt.qdepth", 4);
+        let peak = Field::metadata("meta.tm_peak", 4);
+        let ewma = Field::metadata("meta.tm_ewma", 4);
+        let transit = |i: usize| {
+            expect(
+                Mat::builder(format!("tm_transit{i}"))
+                    .action(Action::new(format!("peak{i}")).with_op(PrimitiveOp::Fold {
+                        dst: peak.clone(),
+                        srcs: vec![depth.clone()],
+                        op: FoldOp::Max,
+                    }))
+                    .capacity(8)
+                    .resource(1.2),
+            )
+        };
+        let smooth = expect(
+            Mat::builder("tm_smooth")
+                .action(Action::new("ewma").with_op(PrimitiveOp::Compute {
+                    dst: ewma.clone(),
+                    srcs: vec![ewma.clone(), depth.clone()],
+                }))
+                .capacity(8)
+                .resource(1.2),
+        );
+        let sink = expect(
+            Mat::builder("tm_sink")
+                .match_field(peak.clone(), MatchKind::Range)
+                .action(Action::new("report").with_op(PrimitiveOp::Compute {
+                    dst: Field::header("pkt.tm_report", 4),
+                    srcs: vec![peak.clone(), ewma.clone()],
+                }))
+                .capacity(16)
+                .resource(0.9),
+        );
+        Program::builder("telemetry_max")
+            .table(transit(0))
+            .table(transit(1))
+            .table(smooth)
+            .table(sink)
+            .build()
+            .expect("static program")
+    }
+
+    /// Replicated-config lookup (Cascone-style read-mostly state): one
+    /// stage writes a small policy epoch with a constant (idempotent, no
+    /// packet-varying inputs), and three independent consumers match on
+    /// it. With more readers than writers and only idempotent writes the
+    /// field is `ReadMostlyReplicable`: each consumer's switch can
+    /// replicate the producer instead of carrying the value.
+    pub fn replicated_config() -> Program {
+        let epoch = Field::metadata("meta.cfg_epoch", 1);
+        let set = expect(
+            Mat::builder("cfg_set")
+                .action(Action::new("epoch").with_op(PrimitiveOp::SetConst { dst: epoch.clone() }))
+                .capacity(1)
+                .resource(0.3),
+        );
+        let consumer = |name: &str| {
+            expect(
+                Mat::builder(name.to_owned())
+                    .match_field(epoch.clone(), MatchKind::Exact)
+                    .action(Action::new("apply"))
+                    .capacity(64)
+                    .resource(0.9),
+            )
+        };
+        Program::builder("replicated_config")
+            .table(set)
+            .table(consumer("cfg_acl"))
+            .table(consumer("cfg_route"))
+            .table(consumer("cfg_qos"))
+            .build()
+            .expect("static program")
+    }
+
+    /// The aggregation/map-reduce workload suite. Deliberately *not* part
+    /// of [`real_programs`]: that set reproduces the paper's testbed
+    /// workload and its goldens are pinned.
+    pub fn all() -> Vec<Program> {
+        vec![allreduce(), wordcount(), telemetry_max(), replicated_config()]
+    }
+}
+
 /// Sketch-based measurement programs (Exp#6 deploys ten of them).
 pub mod sketches {
     use super::*;
@@ -478,6 +670,53 @@ mod tests {
     #[test]
     fn ten_sketches() {
         assert_eq!(sketches::all().len(), 10);
+    }
+
+    #[test]
+    fn aggregation_suite_is_well_formed() {
+        let progs = aggregation::all();
+        assert_eq!(progs.len(), 4);
+        let names: std::collections::BTreeSet<_> =
+            progs.iter().map(|p| p.name().to_owned()).collect();
+        assert_eq!(names.len(), 4, "program names must be unique");
+        // The suite rides alongside the paper's testbed set, not inside it.
+        for p in &progs {
+            assert!(!real_programs().iter().any(|r| r.name() == p.name()));
+        }
+    }
+
+    #[test]
+    fn allreduce_workers_share_one_commutative_accumulator() {
+        let p = aggregation::allreduce();
+        let sum = Field::metadata("meta.agg_sum", 4);
+        for i in 0..3 {
+            let w = p.table(&format!("agg_rank{i}")).unwrap();
+            assert!(w.written_fields().contains(&sum));
+            let folds: Vec<_> =
+                w.actions().iter().flat_map(|a| a.ops()).filter_map(|op| op.fold_op()).collect();
+            assert_eq!(folds, vec![crate::action::FoldOp::Add]);
+        }
+        // Same-kind folds everywhere: the multi-writer lint stays quiet.
+        let findings = crate::lint::lint(&p);
+        assert!(
+            !findings
+                .iter()
+                .any(|l| matches!(l, crate::lint::Lint::NonCommutativeMultiWriter { .. })),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn aggregation_suite_composes_cleanly_for_serious_lints() {
+        let findings = crate::lint::lint_composition(&aggregation::all());
+        assert!(
+            !findings.iter().any(|l| matches!(
+                l,
+                crate::lint::Lint::MetadataReadBeforeWrite { .. }
+                    | crate::lint::Lint::TableWithoutActions { .. }
+            )),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -75,6 +75,19 @@ pub enum Lint {
         /// Program-qualified downstream writer.
         second_table: String,
     },
+    /// Two different MATs of one program write the same field with
+    /// non-commutative operations: the state-access pass will classify the
+    /// field `SingleWriter`, so every placement of the pair is serialized.
+    /// Rewriting the updates as a common commutative fold (add/max/min/or)
+    /// would make the field `CommutativeUpdate` and relaxable.
+    NonCommutativeMultiWriter {
+        /// The multiply-written field.
+        field: String,
+        /// First writing table.
+        first_table: String,
+        /// Second writing table.
+        second_table: String,
+    },
 }
 
 impl Lint {
@@ -89,6 +102,7 @@ impl Lint {
             Lint::OversizedCapacity { .. } => "HL005",
             Lint::DuplicateTableName { .. } => "HL006",
             Lint::CrossProgramSharedWrite { .. } => "HL007",
+            Lint::NonCommutativeMultiWriter { .. } => "HL008",
         }
     }
 }
@@ -118,6 +132,12 @@ impl fmt::Display for Lint {
                 f,
                 "`{first_table}` and `{second_table}` both write metadata `{field}` across \
                  programs; the later write clobbers the earlier one"
+            ),
+            Lint::NonCommutativeMultiWriter { field, first_table, second_table } => write!(
+                f,
+                "`{first_table}` and `{second_table}` both write `{field}` with \
+                 non-commutative operations; the field stays single-writer and the pair \
+                 is serialized everywhere"
             ),
         }
     }
@@ -239,6 +259,39 @@ pub fn lint_composition(programs: &[Program]) -> Vec<Lint> {
                     field: field.name().to_owned(),
                     first_table: format!("{}/{}", p1.name(), t1.name()),
                     second_table: format!("{}/{}", p2.name(), t2.name()),
+                });
+            }
+        }
+    }
+
+    // Non-commutative multi-writer fields within one program (HL008):
+    // the state-access classification pass will pin such a field
+    // `SingleWriter`, serializing every placement of the writing pair. If
+    // every write were a fold of one common kind the field would instead
+    // be `CommutativeUpdate` and the dependency relaxable.
+    for p in programs {
+        let mut writers: BTreeMap<Field, Vec<&crate::mat::Mat>> = BTreeMap::new();
+        for t in p.tables() {
+            for f in t.written_fields() {
+                writers.entry(f).or_default().push(t);
+            }
+        }
+        for (field, ws) in writers {
+            if ws.len() < 2 {
+                continue;
+            }
+            let write_ops = ws.iter().flat_map(|t| {
+                t.actions().iter().flat_map(|a| a.ops()).filter(|op| op.writes().contains(&&field))
+            });
+            let mut kinds: BTreeSet<Option<crate::action::FoldOp>> =
+                write_ops.map(crate::action::PrimitiveOp::fold_op).collect();
+            let all_one_fold_kind =
+                kinds.len() == 1 && kinds.pop_first().is_some_and(|k| k.is_some());
+            if !all_one_fold_kind {
+                findings.push(Lint::NonCommutativeMultiWriter {
+                    field: field.name().to_owned(),
+                    first_table: ws[0].name().to_owned(),
+                    second_table: ws[1].name().to_owned(),
                 });
             }
         }
@@ -492,6 +545,57 @@ mod tests {
             }),
             "HL007"
         );
+        assert_eq!(
+            mk(&Lint::NonCommutativeMultiWriter {
+                field: String::new(),
+                first_table: String::new(),
+                second_table: String::new(),
+            }),
+            "HL008"
+        );
+    }
+
+    #[test]
+    fn non_commutative_multi_writer_detected() {
+        use crate::action::{FoldOp, PrimitiveOp};
+        let acc = meta("meta.acc", 4);
+        let folder = |name: &str, op: FoldOp| {
+            Mat::builder(name.to_owned())
+                .action(Action::new("f").with_op(PrimitiveOp::Fold {
+                    dst: acc.clone(),
+                    srcs: vec![],
+                    op,
+                }))
+                .resource(0.1)
+                .build()
+                .unwrap()
+        };
+        // Two same-kind folders: commutative, no finding.
+        let p = Program::builder("p")
+            .table(folder("f1", FoldOp::Add))
+            .table(folder("f2", FoldOp::Add))
+            .build()
+            .unwrap();
+        assert!(!lint(&p).iter().any(|l| matches!(l, Lint::NonCommutativeMultiWriter { .. })));
+        // Mixed fold kinds: HL008.
+        let p = Program::builder("p")
+            .table(folder("f1", FoldOp::Add))
+            .table(folder("f2", FoldOp::Max))
+            .build()
+            .unwrap();
+        assert!(lint(&p).iter().any(|l| matches!(
+            l,
+            Lint::NonCommutativeMultiWriter { field, .. } if field == "meta.acc"
+        )));
+        // A plain overwrite plus a folder: HL008 too.
+        let setter = Mat::builder("s")
+            .action(Action::writing("w", [acc.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let p =
+            Program::builder("p").table(setter).table(folder("f", FoldOp::Add)).build().unwrap();
+        assert!(lint(&p).iter().any(|l| matches!(l, Lint::NonCommutativeMultiWriter { .. })));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!                 <field> = copy(<field>);
 //!                 <field> = compute(<field>, ...);
 //!                 <field> = hash(<field>, ...);
+//!                 <field> = fold_add|fold_max|fold_min|fold_or(<field>, ...);
 //!                 [<field> =] register(<field>);
 //!                 drop();
 //!                 forward(<field>);
@@ -35,7 +36,7 @@
 //! dependency. Every field must be declared before use so widths and
 //! header/metadata kinds are unambiguous.
 
-use crate::action::{Action, PrimitiveOp};
+use crate::action::{Action, FoldOp, PrimitiveOp};
 use crate::fields::{Field, FieldKind};
 use crate::mat::{Mat, MatchKind};
 use crate::program::Program;
@@ -336,6 +337,10 @@ impl Parser {
                         index: args.into_iter().next().expect("len 1"),
                         out: Some(dst),
                     },
+                    ("fold_add", _) => PrimitiveOp::Fold { dst, srcs: args, op: FoldOp::Add },
+                    ("fold_max", _) => PrimitiveOp::Fold { dst, srcs: args, op: FoldOp::Max },
+                    ("fold_min", _) => PrimitiveOp::Fold { dst, srcs: args, op: FoldOp::Min },
+                    ("fold_or", _) => PrimitiveOp::Fold { dst, srcs: args, op: FoldOp::Or },
                     (f, n) => {
                         return Err(self.error(format!("bad call `{f}` with {n} argument(s)")))
                     }
@@ -564,6 +569,35 @@ mod tests {
         let count = p.table("count").unwrap();
         let written = hash.written_metadata();
         assert!(count.match_fields().iter().any(|f| written.contains(f)));
+    }
+
+    #[test]
+    fn fold_statements_parse_to_fold_ops() {
+        let src = r#"
+            program agg {
+                header pkt.val: 4;
+                metadata meta.sum: 4;
+                metadata meta.peak: 4;
+                table accumulate {
+                    actions {
+                        add { meta.sum = fold_add(pkt.val); }
+                        peak { meta.peak = fold_max(pkt.val); }
+                    }
+                    resource 0.5;
+                }
+            }
+        "#;
+        let p = parse_program(src).unwrap();
+        let t = p.table("accumulate").unwrap();
+        let ops: Vec<_> = t.actions().iter().flat_map(|a| a.ops()).collect();
+        let sum = Field::metadata("meta.sum", 4);
+        assert!(ops.iter().any(|op| matches!(
+            op,
+            PrimitiveOp::Fold { dst, op: FoldOp::Add, .. } if *dst == sum
+        )));
+        assert!(ops.iter().any(|op| matches!(op, PrimitiveOp::Fold { op: FoldOp::Max, .. })));
+        // Folds read their accumulator.
+        assert!(t.action_read_fields().contains(&sum));
     }
 
     #[test]

@@ -25,7 +25,15 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// The four MAT dependency types of the paper.
+/// The four MAT dependency types of the paper, plus their *relaxed*
+/// shadows produced by the state-access classification pass.
+///
+/// A relaxed edge records that the base dependency exists but that every
+/// field justifying it was proven relaxable (`ReadMostlyReplicable` or
+/// `CommutativeUpdate`): the edge carries zero metadata bytes and imposes
+/// neither a stage ordering nor an inter-switch route. Relaxed variants
+/// are appended after the paper's four so the derived `Ord` and the serde
+/// wire form of existing graphs stay stable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DependencyType {
     /// 𝕄 — downstream matches a field the upstream modifies.
@@ -36,6 +44,47 @@ pub enum DependencyType {
     ReverseMatch,
     /// 𝕊 — upstream's result gates whether downstream executes.
     Successor,
+    /// 𝕄 whose justifying fields are all proven relaxable.
+    RelaxedMatch,
+    /// 𝔸 whose shared written fields are all proven `CommutativeUpdate`.
+    RelaxedAction,
+    /// ℝ whose justifying fields are all proven relaxable.
+    RelaxedReverse,
+}
+
+impl DependencyType {
+    /// The paper dependency type this edge relaxes; identity for the four
+    /// base types.
+    pub fn base(self) -> DependencyType {
+        match self {
+            DependencyType::RelaxedMatch => DependencyType::Match,
+            DependencyType::RelaxedAction => DependencyType::Action,
+            DependencyType::RelaxedReverse => DependencyType::ReverseMatch,
+            other => other,
+        }
+    }
+
+    /// `true` for the relaxed shadow variants.
+    pub fn is_relaxed(self) -> bool {
+        matches!(
+            self,
+            DependencyType::RelaxedMatch
+                | DependencyType::RelaxedAction
+                | DependencyType::RelaxedReverse
+        )
+    }
+
+    /// Whether a same-switch placement of the endpoints must put the
+    /// upstream MAT in a strictly earlier stage. Relaxed edges waive this.
+    pub fn requires_order(self) -> bool {
+        !self.is_relaxed()
+    }
+
+    /// Whether a split placement of the endpoints needs an inter-switch
+    /// route for the dependency's metadata. Relaxed edges waive this.
+    pub fn requires_route(self) -> bool {
+        !self.is_relaxed()
+    }
 }
 
 impl fmt::Display for DependencyType {
@@ -45,6 +94,9 @@ impl fmt::Display for DependencyType {
             DependencyType::Action => "action",
             DependencyType::ReverseMatch => "reverse-match",
             DependencyType::Successor => "successor",
+            DependencyType::RelaxedMatch => "relaxed-match",
+            DependencyType::RelaxedAction => "relaxed-action",
+            DependencyType::RelaxedReverse => "relaxed-reverse-match",
         };
         f.write_str(s)
     }
@@ -60,6 +112,28 @@ pub enum AnalysisMode {
     /// Only metadata the downstream MAT actually reads/matches counts.
     /// Tighter; used by the ablation benchmarks.
     Intersection,
+    /// [`PaperLiteral`](AnalysisMode::PaperLiteral) byte counting plus the
+    /// state-access relaxation pass: after inference, edges whose only
+    /// justification is a field proven `ReadMostlyReplicable` or
+    /// `CommutativeUpdate` are downgraded to their relaxed shadow type and
+    /// carry zero bytes. Opt-in; the default mode never relaxes.
+    RelaxedState,
+}
+
+impl AnalysisMode {
+    /// The byte-counting discipline of this mode: `RelaxedState` counts
+    /// un-relaxed edges exactly like `PaperLiteral`.
+    pub fn byte_mode(self) -> AnalysisMode {
+        match self {
+            AnalysisMode::Intersection => AnalysisMode::Intersection,
+            AnalysisMode::PaperLiteral | AnalysisMode::RelaxedState => AnalysisMode::PaperLiteral,
+        }
+    }
+
+    /// `true` when this mode runs the state-access relaxation pass.
+    pub fn relaxes_state(self) -> bool {
+        matches!(self, AnalysisMode::RelaxedState)
+    }
 }
 
 /// Infers the dependency type between `a` (upstream) and `b` (downstream),
@@ -99,8 +173,12 @@ fn metadata_bytes(fields: impl IntoIterator<Item = Field>) -> u32 {
 /// if `a` and `b` end up on different switches — for an edge of the given
 /// type (Algorithm 1, lines 10–18).
 pub fn metadata_amount(a: &Mat, b: &Mat, dep: DependencyType, mode: AnalysisMode) -> u32 {
+    // Relaxed edges never carry metadata: that is their entire point.
+    if dep.is_relaxed() {
+        return 0;
+    }
     let wa = a.written_fields();
-    match (dep, mode) {
+    match (dep, mode.byte_mode()) {
         (DependencyType::ReverseMatch, _) => 0,
         (DependencyType::Match, AnalysisMode::PaperLiteral)
         | (DependencyType::Successor, AnalysisMode::PaperLiteral) => metadata_bytes(wa),
@@ -125,6 +203,8 @@ pub fn metadata_amount(a: &Mat, b: &Mat, dep: DependencyType, mode: AnalysisMode
             let wb = b.written_fields();
             metadata_bytes(wa.into_iter().filter(|f| wb.contains(f)))
         }
+        // Relaxed deps returned early; `byte_mode` never yields RelaxedState.
+        _ => unreachable!("normalized above"),
     }
 }
 
@@ -198,7 +278,10 @@ pub fn metadata_amount_profiles(
     dep: DependencyType,
     mode: AnalysisMode,
 ) -> u32 {
-    match (dep, mode) {
+    if dep.is_relaxed() {
+        return 0;
+    }
+    match (dep, mode.byte_mode()) {
         (DependencyType::ReverseMatch, _) => 0,
         (DependencyType::Match, AnalysisMode::PaperLiteral)
         | (DependencyType::Successor, AnalysisMode::PaperLiteral) => a.written_overhead,
@@ -214,6 +297,8 @@ pub fn metadata_amount_profiles(
         (DependencyType::Action, AnalysisMode::Intersection) => {
             table.intersection_overhead(&a.written, &b.written)
         }
+        // Relaxed deps returned early; `byte_mode` never yields RelaxedState.
+        _ => unreachable!("normalized above"),
     }
 }
 

@@ -29,6 +29,10 @@ pub fn to_dot(tdg: &Tdg) -> String {
             DependencyType::Action => "bold",
             DependencyType::ReverseMatch => "dashed",
             DependencyType::Successor => "dotted",
+            // Relaxed edges render like their base type but greyed out.
+            DependencyType::RelaxedMatch
+            | DependencyType::RelaxedAction
+            | DependencyType::RelaxedReverse => "solid, color=gray",
         };
         let _ = writeln!(
             out,

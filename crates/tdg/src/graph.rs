@@ -112,6 +112,9 @@ impl Tdg {
                 }
             }
         }
+        if mode.relaxes_state() {
+            tdg.relax_edges();
+        }
         tdg
     }
 
@@ -267,13 +270,16 @@ impl Tdg {
     }
 
     /// Recomputes `A(a,b)` on every edge under a (possibly different)
-    /// analysis mode. Used after merging and by ablations.
+    /// analysis mode. Used after merging and by ablations. Relaxations are
+    /// rebuilt from scratch: edges are first restored to their base types,
+    /// then re-relaxed only when the new mode asks for it.
     pub fn reanalyze(&mut self, mode: AnalysisMode) {
         self.mode = mode;
         let mut table = FieldTable::new();
         let profiles: Vec<MatProfile> =
             self.nodes.iter().map(|n| MatProfile::build(&n.mat, &mut table)).collect();
         for e in &mut self.edges {
+            e.dep = e.dep.base();
             e.bytes = metadata_amount_profiles(
                 &table,
                 &profiles[e.from.0],
@@ -281,6 +287,52 @@ impl Tdg {
                 e.dep,
                 mode,
             );
+        }
+        if mode.relaxes_state() {
+            self.relax_edges();
+        }
+    }
+
+    /// Restores every relaxed edge to its base dependency type with the
+    /// conservative `A(a,b)`. The inverse of [`Tdg::relax_edges`]; merging
+    /// runs it first because merging can add writers to a field and demote
+    /// the verdict that justified a relaxation.
+    pub fn restore_base_edges(&mut self) {
+        if !self.edges.iter().any(|e| e.dep.is_relaxed()) {
+            return;
+        }
+        let mut table = FieldTable::new();
+        let profiles: Vec<MatProfile> =
+            self.nodes.iter().map(|n| MatProfile::build(&n.mat, &mut table)).collect();
+        for e in &mut self.edges {
+            if e.dep.is_relaxed() {
+                e.dep = e.dep.base();
+                e.bytes = metadata_amount_profiles(
+                    &table,
+                    &profiles[e.from.0],
+                    &profiles[e.to.0],
+                    e.dep,
+                    self.mode,
+                );
+            }
+        }
+    }
+
+    /// Runs the state-access relaxation pass: classifies every field over
+    /// the *current* node set and downgrades each edge whose justifying
+    /// fields are all proven relaxable to its zero-byte relaxed shadow
+    /// type. Sound only as a function of the final node set, which is why
+    /// merging restores base edges first and re-relaxes at the end.
+    pub fn relax_edges(&mut self) {
+        let classification =
+            crate::stateaccess::StateClassification::of_mats(self.nodes.iter().map(|n| &n.mat));
+        for e in &mut self.edges {
+            let a = &self.nodes[e.from.0].mat;
+            let b = &self.nodes[e.to.0].mat;
+            if let Some(relaxed) = crate::stateaccess::relaxed_type(a, b, e.dep, &classification) {
+                e.dep = relaxed;
+                e.bytes = 0;
+            }
         }
     }
 
@@ -504,6 +556,53 @@ mod tests {
         // transit writes meta.int_report (1 B metadata) which the sink matches.
         assert_eq!(edge.dep, DependencyType::Match);
         assert_eq!(edge.bytes, 1);
+    }
+
+    #[test]
+    fn relaxed_mode_zeroes_folder_edges_only() {
+        let p = library::aggregation::allreduce();
+        let conservative = Tdg::from_program(&p, AnalysisMode::PaperLiteral);
+        let relaxed = Tdg::from_program(&p, AnalysisMode::RelaxedState);
+        assert_eq!(conservative.node_count(), relaxed.node_count());
+        assert_eq!(conservative.edge_count(), relaxed.edge_count());
+        let emit = relaxed.node_by_name("allreduce/agg_emit").unwrap();
+        for (c, r) in conservative.edges().iter().zip(relaxed.edges()) {
+            assert_eq!(c.dep, r.dep.base(), "base types agree");
+            if r.to == emit {
+                // Partials must reach the true reader.
+                assert!(!r.dep.is_relaxed());
+                assert_eq!(r.bytes, c.bytes);
+                assert!(r.bytes > 0);
+            } else {
+                // Folder -> folder edges relax to zero bytes.
+                assert!(r.dep.is_relaxed(), "{:?}", r);
+                assert_eq!(r.bytes, 0);
+                assert!(c.bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn default_mode_never_relaxes() {
+        for p in library::aggregation::all() {
+            let tdg = Tdg::from_program(&p, AnalysisMode::PaperLiteral);
+            assert!(tdg.edges().iter().all(|e| !e.dep.is_relaxed()));
+        }
+    }
+
+    #[test]
+    fn restore_base_edges_round_trips() {
+        let p = library::aggregation::allreduce();
+        let conservative = Tdg::from_program(&p, AnalysisMode::PaperLiteral);
+        let mut relaxed = Tdg::from_program(&p, AnalysisMode::RelaxedState);
+        relaxed.restore_base_edges();
+        for (c, r) in conservative.edges().iter().zip(relaxed.edges()) {
+            assert_eq!(c.dep, r.dep);
+            assert_eq!(c.bytes, r.bytes);
+        }
+        // And reanalyze back into relaxed form.
+        relaxed.reanalyze(AnalysisMode::RelaxedState);
+        assert!(relaxed.edges().iter().any(|e| e.dep.is_relaxed()));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod analysis;
 pub mod export;
 pub mod graph;
 pub mod merge;
+pub mod stateaccess;
 
 pub use analysis::{
     classify, classify_profiles, metadata_amount, metadata_amount_profiles, AnalysisMode,
@@ -39,3 +40,4 @@ pub use analysis::{
 pub use export::{critical_path, stats, to_dot, TdgStats};
 pub use graph::{NodeId, Tdg, TdgEdge, TdgNode};
 pub use merge::{merge_all, merge_pair};
+pub use stateaccess::{relaxed_type, FieldEvidence, StateClass, StateClassification};

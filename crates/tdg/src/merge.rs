@@ -30,8 +30,17 @@ pub fn merge_all(tdgs: Vec<Tdg>) -> Tdg {
 }
 
 /// Merges two TDGs, eliminating redundant MATs across them.
-pub fn merge_pair(t1: Tdg, t2: Tdg) -> Tdg {
+///
+/// Relaxed edges are restored to their conservative base types before
+/// merging and the relaxation pass reruns on the merged result: a field's
+/// verdict is a property of the *final* node set (merging can add writers
+/// and demote it), so per-input relaxations must not survive as-is.
+pub fn merge_pair(mut t1: Tdg, mut t2: Tdg) -> Tdg {
     let mode = t1.mode();
+    if mode.relaxes_state() {
+        t1.restore_base_edges();
+        t2.restore_base_edges();
+    }
     let offset = t1.node_count();
 
     let mut nodes: Vec<TdgNode> = t1.nodes().to_vec();
@@ -134,8 +143,11 @@ pub fn merge_pair(t1: Tdg, t2: Tdg) -> Tdg {
         }
     }
 
-    let merged = Tdg::from_parts(out_nodes, out_edges, mode);
+    let mut merged = Tdg::from_parts(out_nodes, out_edges, mode);
     debug_assert!(merged.is_dag(), "merge must preserve acyclicity");
+    if mode.relaxes_state() {
+        merged.relax_edges();
+    }
     merged
 }
 
@@ -334,6 +346,53 @@ mod tests {
             .filter(|e| merged.node(e.to).name.ends_with("conn_state"))
             .count();
         assert_eq!(to_conn, 1, "exactly one edge to the firewall consumer");
+    }
+
+    #[test]
+    fn merging_a_conflicting_writer_demotes_relaxations() {
+        // Program A: two same-kind folders — their edge relaxes.
+        let acc = Field::metadata("meta.acc", 4);
+        let src = Field::header("pkt.v", 4);
+        // Distinct capacities keep the folders structurally different, so
+        // signature folding leaves both nodes (and their edge) in place.
+        let folder = |name: &str, cap: usize| {
+            Mat::builder(name.to_owned())
+                .action(Action::new("f").with_op(hermes_dataplane::action::PrimitiveOp::Fold {
+                    dst: acc.clone(),
+                    srcs: vec![src.clone()],
+                    op: hermes_dataplane::action::FoldOp::Add,
+                }))
+                .capacity(cap)
+                .resource(0.1)
+                .build()
+                .unwrap()
+        };
+        let pa =
+            Program::builder("a").table(folder("f1", 8)).table(folder("f2", 16)).build().unwrap();
+        let ta = Tdg::from_program(&pa, AnalysisMode::RelaxedState);
+        assert!(ta.edges().iter().all(|e| e.dep.is_relaxed() && e.bytes == 0));
+
+        // Program B: a plain overwriter of the same accumulator. Merged,
+        // the field is no longer all-folds: every relaxation must vanish.
+        let setter = Mat::builder("s")
+            .action(Action::writing("w", [acc.clone()]))
+            .resource(0.1)
+            .build()
+            .unwrap();
+        let pb = Program::builder("b").table(setter).build().unwrap();
+        let tb = Tdg::from_program(&pb, AnalysisMode::RelaxedState);
+        let merged = merge_pair(ta, tb);
+        assert!(
+            merged.edges().iter().all(|e| !e.dep.is_relaxed()),
+            "demoted verdict must un-relax: {:?}",
+            merged.edges()
+        );
+        // And the restored folder edge carries its conservative bytes again.
+        let f1 = merged.node_by_name("a/f1").unwrap();
+        let f2 = merged.node_by_name("a/f2").unwrap();
+        let e = merged.edges().iter().find(|e| e.from == f1 && e.to == f2).unwrap();
+        assert_eq!(e.dep, DependencyType::Match);
+        assert_eq!(e.bytes, 4);
     }
 
     #[test]
